@@ -1,0 +1,52 @@
+"""Figure 7: breakdown of level-prediction outcomes per application.
+
+Each prediction is classified as correctly-sequential, correct skip, lost
+opportunity (wrongly sequential) or harmful (wrongly skipped, requiring
+recovery).  The paper reports very high overall accuracy, with harmful
+fractions under ~20 % even in the worst cases and a large fraction of useful
+skips for the applications that benefit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.base import PredictionOutcome
+
+from conftest import save_result
+
+
+def test_figure7_prediction_breakdown(benchmark, single_core_results):
+    def build_rows():
+        rows = {}
+        for app, results in single_core_results.items():
+            stats = results["lp"].predictor_stats
+            rows[app] = stats.breakdown()
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    order = [outcome.value for outcome in PredictionOutcome]
+    table_rows = [[app] + [round(rows[app][key], 3) for key in order]
+                  for app in sorted(rows)]
+    table = format_table(["application"] + order, table_rows,
+                         title="Figure 7: level prediction outcome breakdown")
+    print("\n" + table)
+    save_result("fig07_accuracy", table)
+
+    harmful = {app: row["harmful"] for app, row in rows.items()}
+    skips = {app: row["skip"] for app, row in rows.items()}
+
+    # Breakdown fractions are consistent.
+    for app, row in rows.items():
+        assert abs(sum(row.values()) - 1.0) < 1e-6, app
+
+    # Overall accuracy is high: harmful predictions are rare for almost all
+    # applications (the paper's worst cases stay around 20 %).
+    assert sum(h <= 0.25 for h in harmful.values()) >= len(harmful) - 2
+    average_harmful = sum(harmful.values()) / len(harmful)
+    assert average_harmful < 0.10
+
+    # The predictor finds a large number of useful skips for the applications
+    # the paper highlights (graph analytics and gups).
+    for app in ("gapbs.pr", "gapbs.tc", "gups", "nas.is"):
+        assert skips[app] > 0.5, app

@@ -1,0 +1,64 @@
+"""Figure 9: distribution of the levels suggested by the level predictor.
+
+For each application the paper reports which lookup targets the predictor
+issued (L2, L3, memory, and the multi-way combinations).  Multi-way
+predictions are rare overall but show up for applications whose PLD counters
+are not strongly biased (620.omnetpp, gapbs.pr, nas.is in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.memory.block import Level
+
+from conftest import save_result
+
+COLUMNS = ["L2", "L3", "L2+L3", "Memory", "L2+Memory", "L3+Memory", "All"]
+
+_KEYS = {
+    (Level.L2,): "L2",
+    (Level.L3,): "L3",
+    (Level.L2, Level.L3): "L2+L3",
+    (Level.MEM,): "Memory",
+    (Level.L2, Level.MEM): "L2+Memory",
+    (Level.L3, Level.MEM): "L3+Memory",
+    (Level.L2, Level.L3, Level.MEM): "All",
+}
+
+
+def test_figure9_predicted_levels(benchmark, single_core_results):
+    def build_rows():
+        rows = {}
+        for app, results in single_core_results.items():
+            histogram = results["lp"].predictor_stats.level_histogram
+            total = sum(histogram.values()) or 1
+            fractions = {column: 0.0 for column in COLUMNS}
+            for levels, count in histogram.items():
+                key = _KEYS.get(tuple(levels))
+                if key is not None:
+                    fractions[key] += count / total
+            rows[app] = fractions
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    table_rows = [[app] + [round(rows[app][c], 3) for c in COLUMNS]
+                  for app in sorted(rows)]
+    table = format_table(["application"] + COLUMNS, table_rows,
+                         title="Figure 9: levels suggested by the predictor")
+    print("\n" + table)
+    save_result("fig09_levels", table)
+
+    for app, fractions in rows.items():
+        assert abs(sum(fractions.values()) - 1.0) < 1e-6, app
+        multi_way = (fractions["L2+L3"] + fractions["L2+Memory"]
+                     + fractions["L3+Memory"] + fractions["All"])
+        # Multi-way predictions exist but are the minority (Section V.A).
+        assert multi_way < 0.6, app
+
+    # Memory-bound applications are dominated by memory/L3 predictions.
+    assert rows["gups"]["Memory"] + rows["gups"]["L3+Memory"] > 0.5
+    # Cache-friendlier applications keep a visible share of L2 (sequential)
+    # targets; the exact fraction depends on how much of gcc's friendly phase
+    # falls in the measured window, so the bound is loose.
+    assert rows["602.gcc"]["L2"] > 0.1

@@ -1,0 +1,59 @@
+"""Figure 10: cache-hierarchy energy normalized to the baseline.
+
+The paper compares the energy of the TAGE-2KB, TAGE-8KB, D2D and LP systems
+(each normalized to the prefetching baseline) and reports that LP saves 16 %
+of cache-hierarchy energy on average, that the 8 KB TAGE's larger access
+energy erases its accuracy advantage, and that only ~1 % of energy goes to
+misprediction recovery.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+
+from conftest import save_result
+
+SYSTEMS = ["tage-2kb", "tage-8kb", "d2d", "lp"]
+
+
+def test_figure10_normalized_energy(benchmark, single_core_results):
+    def build_rows():
+        rows = {}
+        for app, results in single_core_results.items():
+            baseline = results["baseline"]
+            rows[app] = {name: results[name].normalized_energy_over(baseline)
+                         for name in SYSTEMS}
+            rows[app]["lp_recovery_fraction"] = (
+                results["lp"].recovery.recovery_energy_fraction)
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    table_rows = [[app] + [round(rows[app][name], 3) for name in SYSTEMS]
+                  + [round(rows[app]["lp_recovery_fraction"], 4)]
+                  for app in sorted(rows)]
+    averages = {name: sum(rows[app][name] for app in rows) / len(rows)
+                for name in SYSTEMS}
+    table_rows.append(["Average"] + [round(averages[name], 3)
+                                     for name in SYSTEMS] + [""])
+    table = format_table(["application"] + SYSTEMS + ["LP recovery fraction"],
+                         table_rows,
+                         title="Figure 10: cache-hierarchy energy "
+                               "(normalized to baseline)")
+    print("\n" + table)
+    save_result("fig10_energy", table)
+
+    # LP saves cache-hierarchy energy on average (paper: 16 % saving).
+    assert averages["lp"] < 0.95
+    # LP saves energy for the vast majority of applications (the paper has
+    # only two applications with a slight increase).
+    increases = sum(1 for app in rows if rows[app]["lp"] > 1.0)
+    assert increases <= 5
+    # The 8 KB TAGE costs more energy than the 2 KB TAGE (larger structure),
+    # and both cost more than LP.
+    assert averages["tage-8kb"] > averages["tage-2kb"] - 0.02
+    assert averages["lp"] < averages["tage-8kb"]
+    # Recovery energy is a small fraction of the hierarchy energy (~1 %).
+    average_recovery = sum(rows[app]["lp_recovery_fraction"]
+                           for app in rows) / len(rows)
+    assert average_recovery < 0.05

@@ -1,0 +1,56 @@
+"""Figure 14: multi-core IPC and energy-efficiency improvement.
+
+The paper reports that level prediction always improves the Table II mixes —
+a geomean speedup of ~6 % (against an ideal potential of ~7 %) and an ~8 %
+energy-efficiency improvement — with the high-MPKI mixes gaining the most and
+the all-low-MPKI mix (mix4) gaining the least.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+
+from conftest import geomean, save_result
+
+
+def test_figure14_multicore_performance(benchmark, multicore_results):
+    def build_rows():
+        rows = {}
+        for mix, results in multicore_results.items():
+            baseline = results["baseline"]
+            lp = results["lp"]
+            ideal = results["ideal"]
+            rows[mix] = {
+                "lp_speedup": lp.speedup_over(baseline),
+                "ideal_speedup": ideal.speedup_over(baseline),
+                "lp_energy_efficiency": lp.energy_efficiency_over(baseline),
+            }
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+
+    table_rows = [[mix, round(rows[mix]["lp_speedup"], 3),
+                   round(rows[mix]["ideal_speedup"], 3),
+                   round(rows[mix]["lp_energy_efficiency"], 3)]
+                  for mix in rows]
+    lp_geo = geomean([rows[mix]["lp_speedup"] for mix in rows])
+    ideal_geo = geomean([rows[mix]["ideal_speedup"] for mix in rows])
+    eff_geo = geomean([rows[mix]["lp_energy_efficiency"] for mix in rows])
+    table_rows.append(["G-mean", round(lp_geo, 3), round(ideal_geo, 3),
+                       round(eff_geo, 3)])
+    table = format_table(
+        ["mix", "LP speedup", "Ideal speedup", "LP energy efficiency"],
+        table_rows,
+        title="Figure 14: multi-core IPC and energy efficiency vs baseline")
+    print("\n" + table)
+    save_result("fig14_multicore_perf", table)
+
+    # Level prediction always provides some speedup on the mixes.
+    assert all(rows[mix]["lp_speedup"] > 0.99 for mix in rows)
+    # Geomean speedup is positive and captures a large share of the ideal
+    # potential (paper: 6 % of a 7 % potential).
+    assert lp_geo > 1.01
+    assert ideal_geo >= lp_geo - 1e-6
+    assert lp_geo > 1.0 + 0.5 * (ideal_geo - 1.0)
+    # Energy efficiency improves on average.
+    assert eff_geo > 1.0

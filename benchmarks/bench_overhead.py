@@ -1,0 +1,48 @@
+"""Section V.F: overhead analysis of the level predictor.
+
+The paper's design costs a 2 KiB metadata cache and three 32-bit counters per
+core, 2 bits of LocMap metadata per 64-byte block (0.39 % of physical memory),
+one cycle on the L1 miss path, and no directory changes.  This benchmark
+regenerates the overhead table and compares the on-chip storage of every
+evaluated predictor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.sim.system import make_predictor
+
+from conftest import save_result
+
+
+def _build_report():
+    lp = make_predictor("lp")
+    report = lp.overhead_report()
+    storage = {name: make_predictor(name).storage_bits() // 8
+               for name in ("baseline", "tage-2kb", "tage-8kb", "d2d", "lp")}
+    return report, storage
+
+
+def test_overhead_analysis(benchmark):
+    report, storage = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+
+    rows = [[key, value] for key, value in report.items()]
+    rows += [[f"on-chip storage ({name})", f"{size} bytes"]
+             for name, size in storage.items()]
+    table = format_table(["quantity", "value"], rows,
+                         title="Section V.F: overhead analysis")
+    print("\n" + table)
+    save_result("overhead", table)
+
+    # Paper numbers: 2 KiB metadata cache, three 32-bit counters, 0.39 %
+    # memory overhead, one added cycle on the L1 miss path.
+    assert report["metadata_cache_bytes"] == 2048
+    assert report["pld_counter_bits"] == 96
+    assert abs(report["memory_overhead_fraction"] - 0.0039) < 2e-4
+    assert report["prediction_latency_cycles"] == 1
+    # LP's on-chip cost is comparable to the 2 KB TAGE and far below the 8 KB
+    # TAGE and the D2D Hub.
+    assert storage["lp"] <= storage["tage-2kb"] + 64
+    assert storage["lp"] < storage["tage-8kb"]
+    assert storage["lp"] < storage["d2d"]
+    assert storage["baseline"] == 0

@@ -1,0 +1,48 @@
+"""Table II: the multi-program and multi-threaded workload mixes.
+
+Regenerates the mix composition table and validates that the generated traces
+have the structural properties the multi-core evaluation relies on (disjoint
+address spaces for multi-program mixes, shared data for multi-threaded runs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.workloads import MIXES, generate_mix_traces
+
+from conftest import save_result
+
+
+def _build_table_rows():
+    rows = []
+    for name, mix in MIXES.items():
+        rows.append([name, ", ".join(mix.applications),
+                     "multi-threaded" if mix.multithreaded else "multi-program"])
+    return rows
+
+
+def test_table2_workload_mixes(benchmark):
+    rows = benchmark.pedantic(_build_table_rows, rounds=1, iterations=1)
+
+    table = format_table(["mix", "applications", "kind"], rows,
+                         title="Table II: multi-program and multi-threaded mixes")
+    print("\n" + table)
+    save_result("table2_mixes", table)
+
+    # Composition matches the paper.
+    assert MIXES["mix1"].applications == ("gapbs.bfs", "619.lbm", "nas.lu",
+                                          "bmt")
+    assert MIXES["mix4"].applications == ("627.cam", "nas.cg", "621.wrf",
+                                          "nas.bt")
+    assert MIXES["MT2"].applications == ("gapbs.pr",) * 4
+
+    # Multi-program mixes occupy disjoint address regions; threads share one.
+    program_traces = generate_mix_traces("mix3", accesses_per_core=64, seed=0)
+    regions = [{a.address >> 36 for a in trace} for trace in program_traces]
+    assert all(len(region) == 1 for region in regions)
+    assert len({next(iter(region)) for region in regions}) == 4
+
+    thread_traces = generate_mix_traces("MT1", accesses_per_core=300, seed=0)
+    shared = ({a.address // 64 for a in thread_traces[0]}
+              & {a.address // 64 for a in thread_traces[1]})
+    assert shared

@@ -1,0 +1,79 @@
+"""Shared fixtures and helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation:
+it runs the relevant simulations, prints the same rows/series the paper plots,
+writes them to ``benchmarks/results/`` and asserts the qualitative shape
+(who wins, roughly by how much) that the reproduction is expected to preserve.
+
+Simulation volume is controlled with two environment variables so the suite
+can be scaled up for higher-fidelity runs:
+
+* ``REPRO_BENCH_ACCESSES`` — measured accesses per application (default 4000)
+* ``REPRO_BENCH_WARMUP`` — warm-up accesses per application (default 1200)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.cpu.ooo_core import geometric_mean
+from repro.sim.config import SystemConfig
+from repro.sim.multicore import run_mix_comparison
+from repro.sim.system import SimulationResult, run_predictor_comparison
+from repro.workloads import HIGHLIGHTED_APPLICATIONS, MIXES, build_workload
+
+#: Number of measured accesses per application per system.
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "4000"))
+#: Number of cache/predictor warm-up accesses excluded from statistics.
+BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "1200"))
+#: Accesses per core for the multi-core mixes.
+BENCH_MIX_ACCESSES = int(os.environ.get("REPRO_BENCH_MIX_ACCESSES", "2500"))
+
+#: The systems compared in Figures 10-12 (baseline is the normalisation point).
+COMPARED_SYSTEMS = ("baseline", "tage-2kb", "tage-8kb", "d2d", "lp", "ideal")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> Path:
+    """Write a generated table to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def geomean(values: Sequence[float]) -> float:
+    return geometric_mean(values)
+
+
+@pytest.fixture(scope="session")
+def single_core_results() -> Dict[str, Dict[str, SimulationResult]]:
+    """Run the 21 highlighted applications on all six compared systems.
+
+    This is the data behind Figures 7, 8, 9, 10, 11 and 12; computing it once
+    per benchmark session keeps the whole suite fast.
+    """
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for app in HIGHLIGHTED_APPLICATIONS:
+        results[app] = run_predictor_comparison(
+            build_workload(app), num_accesses=BENCH_ACCESSES,
+            predictors=COMPARED_SYSTEMS, seed=0,
+            warmup_accesses=BENCH_WARMUP)
+    return results
+
+
+@pytest.fixture(scope="session")
+def multicore_results():
+    """Run the Table II mixes under the baseline, LP and Ideal systems."""
+    results = {}
+    for mix in MIXES:
+        results[mix] = run_mix_comparison(
+            mix, accesses_per_core=BENCH_MIX_ACCESSES,
+            predictors=("baseline", "lp", "ideal"), seed=0,
+            config=SystemConfig.paper_multi_core())
+    return results

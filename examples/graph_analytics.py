@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Graph analytics case study: why level prediction helps irregular workloads.
+
+The paper's motivation (Section II) is that graph workloads miss in L2 almost
+always and hit the LLC only for popular vertices, so the sequential
+level-by-level lookup wastes latency on nearly every load.  This example runs
+the five GAPBS kernels plus gups, shows their miss-filtering signature (the
+Figure 1 coordinates), and compares all predictor designs on each kernel.
+
+Run with:
+
+    python examples/graph_analytics.py [--accesses 15000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.cpu import geometric_mean
+from repro.sim import run_predictor_comparison
+from repro.sim.stats import miss_filtering_ratios
+from repro.sim.system import SimulatedSystem
+from repro.sim.config import SystemConfig
+from repro.workloads import build_workload
+
+KERNELS = ["gapbs.pr", "gapbs.bfs", "gapbs.bc", "gapbs.cc", "gapbs.tc", "gups"]
+SYSTEMS = ("baseline", "tage-2kb", "d2d", "lp", "ideal")
+
+
+def characterise(app: str, accesses: int, seed: int) -> list:
+    """Run the baseline once and report the Figure 1 coordinates."""
+    system = SimulatedSystem(SystemConfig.paper_single_core("baseline"))
+    system.run_workload(build_workload(app), accesses, seed=seed,
+                        warmup_accesses=accesses // 4)
+    ratios = miss_filtering_ratios(system.hierarchy)
+    return [app, ratios.l1_misses, ratios.l2_misses, ratios.l3_misses,
+            round(ratios.l1_over_l2, 2), round(ratios.l2_over_l3, 2),
+            ratios.classify()]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=15_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("Characterising the graph kernels on the baseline system "
+          "(Figure 1 coordinates)...")
+    rows = [characterise(app, args.accesses, args.seed) for app in KERNELS]
+    print()
+    print(format_table(
+        ["kernel", "L1 misses", "L2 misses", "L3 misses",
+         "L1/L2", "L2/L3", "classification"], rows,
+        title="Cache-level filtering of graph workloads"))
+
+    print()
+    print("Comparing predictors on each kernel "
+          "(speedup over the prefetching baseline)...")
+    speedups = {name: [] for name in SYSTEMS if name != "baseline"}
+    comparison_rows = []
+    for app in KERNELS:
+        results = run_predictor_comparison(
+            build_workload(app), num_accesses=args.accesses,
+            predictors=SYSTEMS, seed=args.seed,
+            warmup_accesses=args.accesses // 4)
+        baseline = results["baseline"]
+        row = [app]
+        for name in SYSTEMS:
+            if name == "baseline":
+                continue
+            speedup = results[name].speedup_over(baseline)
+            speedups[name].append(speedup)
+            row.append(round(speedup, 3))
+        comparison_rows.append(row)
+    comparison_rows.append(
+        ["geomean"] + [round(geometric_mean(speedups[name]), 3)
+                       for name in SYSTEMS if name != "baseline"])
+    print()
+    print(format_table(["kernel"] + [n for n in SYSTEMS if n != "baseline"],
+                       comparison_rows,
+                       title="Speedup of each predictor design"))
+    print()
+    print("Level prediction captures most of the benefit of the precise D2D "
+          "scheme at a fraction of its implementation cost, exactly the "
+          "paper's argument for graph analytics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the level-predicted system against the baseline.
+
+This example reproduces the paper's headline experiment in miniature: it runs
+one memory-bound workload (GAPBS PageRank on a synthetic power-law graph)
+through the baseline system and the level-predicted system, then prints the
+speedup, the memory-access-latency reduction, the energy saving and the
+prediction-outcome breakdown.
+
+Run with:
+
+    python examples/quickstart.py [--accesses 20000] [--app gapbs.pr]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_breakdown, format_table
+from repro.sim import run_predictor_comparison
+from repro.workloads import APPLICATIONS, build_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="gapbs.pr",
+                        choices=sorted(APPLICATIONS),
+                        help="application trace to simulate")
+    parser.add_argument("--accesses", type=int, default=20_000,
+                        help="number of measured memory accesses")
+    parser.add_argument("--warmup", type=int, default=4_000,
+                        help="cache/predictor warm-up accesses")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"Simulating {args.app}: {args.accesses} accesses "
+          f"({args.warmup} warm-up) on the baseline and LP systems...")
+    results = run_predictor_comparison(
+        build_workload(args.app), num_accesses=args.accesses,
+        predictors=("baseline", "lp", "ideal"), seed=args.seed,
+        warmup_accesses=args.warmup)
+
+    baseline = results["baseline"]
+    lp = results["lp"]
+    ideal = results["ideal"]
+
+    rows = []
+    for name, result in (("baseline", baseline), ("level prediction", lp),
+                         ("ideal", ideal)):
+        rows.append([
+            name,
+            round(result.ipc, 3),
+            round(result.average_memory_access_latency, 1),
+            round(result.speedup_over(baseline), 3),
+            round(result.normalized_energy_over(baseline), 3),
+        ])
+    print()
+    print(format_table(
+        ["system", "IPC", "avg. memory latency (cycles)",
+         "speedup", "normalized cache energy"],
+        rows, title=f"{args.app}: baseline vs level prediction"))
+
+    print()
+    print("Level-prediction outcome breakdown (Figure 7 style):")
+    print("  " + format_breakdown(lp.predictor_stats.breakdown(),
+                                  order=["sequential", "skip",
+                                         "lost_opportunity", "harmful"]))
+    print(f"  metadata cache miss ratio: {lp.metadata_miss_ratio:.3f}")
+    print(f"  recoveries: {lp.recovery.recoveries} "
+          f"({lp.recovery.recovery_rate:.1%} of predictions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro: reproduction of "Reducing Load Latency with Cache Level Prediction".
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: the LocMap + Popular-Levels-
+  Detector level predictor and the TAGE / D2D / Ideal comparison points.
+* :mod:`repro.memory` — the memory-hierarchy substrate: caches, MSHRs, TLBs,
+  the coherence directory, DRAM and the level-predicted lookup path.
+* :mod:`repro.prefetch` — the baseline prefetch scheme and the Figure-3 sweep.
+* :mod:`repro.cpu` — the out-of-order core timing model.
+* :mod:`repro.energy` — per-access energy accounting.
+* :mod:`repro.workloads` — synthetic traces for every evaluated application.
+* :mod:`repro.sim` — system assembly and single/multi-core drivers.
+* :mod:`repro.analysis` — Figure-1 classification and report formatting.
+
+Quick start::
+
+    from repro.sim import SystemConfig, run_predictor_comparison
+    from repro.workloads import build_workload
+
+    results = run_predictor_comparison(
+        build_workload("gapbs.pr"), num_accesses=50_000,
+        predictors=("baseline", "lp"))
+    print(results["lp"].speedup_over(results["baseline"]))
+"""
+
+from .core import (
+    CacheLevelPredictor,
+    DirectToDataPredictor,
+    LevelPredictor,
+    LevelPredictorConfig,
+    Prediction,
+    PredictionOutcome,
+    SequentialPredictor,
+    TAGELevelPredictor,
+)
+from .memory import (
+    CoreMemoryHierarchy,
+    HierarchyConfig,
+    Level,
+    MemoryAccess,
+    SharedMemorySystem,
+)
+from .sim import (
+    MultiCoreSystem,
+    SimulatedSystem,
+    SimulationResult,
+    SystemConfig,
+    build_system,
+    run_predictor_comparison,
+)
+from .workloads import HIGHLIGHTED_APPLICATIONS, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheLevelPredictor",
+    "CoreMemoryHierarchy",
+    "DirectToDataPredictor",
+    "HIGHLIGHTED_APPLICATIONS",
+    "HierarchyConfig",
+    "Level",
+    "LevelPredictor",
+    "LevelPredictorConfig",
+    "MemoryAccess",
+    "MultiCoreSystem",
+    "Prediction",
+    "PredictionOutcome",
+    "SequentialPredictor",
+    "SharedMemorySystem",
+    "SimulatedSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "TAGELevelPredictor",
+    "build_system",
+    "build_workload",
+    "run_predictor_comparison",
+    "__version__",
+]

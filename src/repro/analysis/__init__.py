@@ -1,0 +1,17 @@
+"""Analysis helpers: Figure-1 classification and report formatting."""
+
+from .classification import (
+    ApplicationClassification,
+    classify_application,
+    classify_applications,
+)
+from .reports import format_breakdown, format_table, geomean_row
+
+__all__ = [
+    "ApplicationClassification",
+    "classify_application",
+    "classify_applications",
+    "format_breakdown",
+    "format_table",
+    "geomean_row",
+]

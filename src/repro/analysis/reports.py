@@ -1,0 +1,57 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+The benchmark harness regenerates the paper's tables and figures as text:
+each figure becomes a table of rows (one per application or configuration)
+with the same series the paper plots.  These helpers keep the formatting in
+one place so every benchmark prints consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row]
+                                      for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_breakdown(breakdown: Mapping[str, float],
+                     order: Sequence[str] = ()) -> str:
+    """Render an accuracy/energy breakdown as ``key=value`` pairs."""
+    keys = list(order) if order else sorted(breakdown)
+    return ", ".join(f"{key}={breakdown.get(key, 0.0):.3f}" for key in keys)
+
+
+def geomean_row(name: str, values: Sequence[float]) -> List[object]:
+    """A summary row with the geometric mean of ``values``."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return [name, 0.0]
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return [name, product ** (1.0 / len(filtered))]

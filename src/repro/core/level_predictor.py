@@ -1,0 +1,134 @@
+"""The proposed cache level predictor: LocMap metadata cache + PLD.
+
+This is the paper's main contribution (Section III.B).  On every L1 miss the
+predictor is consulted:
+
+1. the LocMap metadata cache is probed with the block's physical address;
+2. on a **metadata hit**, the stored 2-bit location (L2, LLC or MEM) is the
+   (single-way) prediction;
+3. on a **metadata miss**, the Popular Levels Detector supplies a single- or
+   multi-way prediction while the LocMap block is fetched from memory in the
+   background.
+
+The predictor is updated by cache events reported by the hierarchy: demand
+fills, dirty evictions, and prefetch fills that hit in the metadata cache
+(Section III.C), plus per-level hit signals that train the PLD counters.
+
+The whole structure costs one cycle on the L1 miss path, a 2 KiB metadata
+cache and three 32-bit counters per core, and 0.39 % of physical memory for
+the LocMap itself (Section V.F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..energy.model import EnergyParameters
+from ..memory.block import Level
+from .base import LevelPredictor, Prediction
+from .locmap import LocMap
+from .pld import PLDConfig, PopularLevelsDetector
+
+
+@dataclass
+class LevelPredictorConfig:
+    """Configuration of the proposed level predictor.
+
+    Attributes:
+        metadata_cache_bytes: Metadata cache capacity (2 KiB in the paper;
+            Figure 5 sweeps 1-8 KiB).
+        metadata_associativity: Metadata cache ways (2 in the paper).
+        pld: Popular Levels Detector configuration.
+        prediction_latency: Cycles added to the L1 miss path (1 in the paper).
+        predict_l3_and_mem_from_locmap_mem: When the LocMap says MEM, also
+            include L3 in the prediction if True.  The paper predicts exactly
+            the stored level (False); the knob exists for ablations.
+    """
+
+    metadata_cache_bytes: int = 2048
+    metadata_associativity: int = 2
+    pld: PLDConfig = None
+    prediction_latency: int = 1
+    predict_l3_and_mem_from_locmap_mem: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pld is None:
+            self.pld = PLDConfig()
+
+
+class CacheLevelPredictor(LevelPredictor):
+    """LocMap + Popular Levels Detector level predictor (the paper's LP)."""
+
+    def __init__(self, config: Optional[LevelPredictorConfig] = None,
+                 energy_params: Optional[EnergyParameters] = None) -> None:
+        super().__init__()
+        self.config = config or LevelPredictorConfig()
+        self.prediction_latency = self.config.prediction_latency
+        self.locmap = LocMap(
+            metadata_cache_bytes=self.config.metadata_cache_bytes,
+            metadata_associativity=self.config.metadata_associativity)
+        self.pld = PopularLevelsDetector(self.config.pld)
+        self._energy_params = energy_params or EnergyParameters()
+        self._metadata_access_energy = self._energy_params.sram_access_energy(
+            self.config.metadata_cache_bytes)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, block_addr: int, pc: int = 0) -> Prediction:
+        stored = self.locmap.query(block_addr)
+        if stored is not None:
+            levels = (stored,)
+            if (stored is Level.MEM
+                    and self.config.predict_l3_and_mem_from_locmap_mem):
+                levels = (Level.L3, Level.MEM)
+            return Prediction(levels=levels, metadata_hit=True,
+                              source="locmap")
+        levels = self.pld.predict()
+        return Prediction(levels=levels, used_pld=True, metadata_hit=False,
+                          source="pld")
+
+    # ------------------------------------------------------------------
+    # Updates from the hierarchy
+    # ------------------------------------------------------------------
+    def on_fill(self, block_addr: int, level: Level,
+                from_prefetch: bool = False) -> None:
+        if level is Level.L1:
+            # L1 is not a prediction target; its contents are covered by the
+            # inclusive L2, which is tracked.
+            return
+        self.locmap.record_fill(block_addr, level, from_prefetch=from_prefetch)
+        self.stats.updates += 1
+
+    def on_eviction(self, block_addr: int, level: Level, dirty: bool) -> None:
+        self.locmap.record_eviction(block_addr, level, dirty)
+        if dirty:
+            self.stats.updates += 1
+
+    def on_hit(self, level: Level) -> None:
+        self.pld.record_hit(level)
+
+    # ------------------------------------------------------------------
+    # Costs and overhead (Section V.F)
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return self.locmap.storage_bits_on_chip() + self.pld.storage_bits()
+
+    def energy_per_prediction_nj(self) -> float:
+        return self._metadata_access_energy
+
+    def overhead_report(self) -> Dict[str, float]:
+        """The quantities reported in the paper's overhead analysis."""
+        return {
+            "metadata_cache_bytes": float(self.config.metadata_cache_bytes),
+            "pld_counter_bits": float(self.pld.storage_bits()),
+            "on_chip_storage_bits": float(self.storage_bits()),
+            "memory_overhead_fraction": self.locmap.memory_overhead_fraction(),
+            "prediction_latency_cycles": float(self.prediction_latency),
+        }
+
+    def reset_statistics(self) -> None:
+        super().reset_statistics()
+        self.locmap.reset_statistics()
+        self.pld.reset()

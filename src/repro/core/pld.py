@@ -1,0 +1,134 @@
+"""Popular Levels Detector (PLD).
+
+Section III.D of the paper.  When the LocMap metadata cache misses, waiting
+for the LocMap block to arrive from memory would take longer than the lookup
+the prediction is meant to accelerate, so a tiny history-based predictor
+supplies the level instead.
+
+The PLD keeps one 32-bit counter per predictable level (L2, L3, MEM).  On a
+hit to a level, that level's counter is incremented and the others are
+decremented (never below zero), which makes the counters track the *recently*
+popular levels and prevents saturation.  When a prediction is needed the
+counters are sorted:
+
+* the top level is always a target;
+* if its counter alone does not reach a confidence threshold, the second level
+  is added (two-way parallel lookup);
+* if the top two together still do not reach the threshold, all three levels
+  are predicted (three-way).
+
+Single-way predictions are the common case; multi-way predictions trade a
+little lookup overhead for accuracy when the counters are not strongly biased
+toward one level (Section V.A, Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..memory.block import Level, PREDICTABLE_LEVELS
+
+
+@dataclass
+class PLDConfig:
+    """Tuning knobs of the Popular Levels Detector.
+
+    Attributes:
+        counter_bits: Width of each counter (32 in the paper; the width only
+            matters for the storage report since the update rule prevents
+            saturation in practice).
+        confidence_threshold: Fraction of the total counter mass the selected
+            level(s) must reach before the prediction stops adding levels.
+        decrement_on_other: How much the non-hitting counters are decremented
+            per update (1 in the paper).
+    """
+
+    counter_bits: int = 32
+    confidence_threshold: float = 0.6
+    decrement_on_other: int = 1
+
+
+class PopularLevelsDetector:
+    """Counter-based popular-level predictor used on metadata cache misses."""
+
+    def __init__(self, config: PLDConfig | None = None) -> None:
+        self.config = config or PLDConfig()
+        self._max_value = (1 << self.config.counter_bits) - 1
+        self._counters: Dict[Level, int] = {level: 0 for level in PREDICTABLE_LEVELS}
+        self.updates = 0
+        self.predictions = 0
+        self.multi_way_predictions = 0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def record_hit(self, level: Level) -> None:
+        """Update the counters after a demand access resolved at ``level``."""
+        if level is Level.L1:
+            return
+        if level not in self._counters:
+            raise ValueError(f"PLD does not track level {level}")
+        self.updates += 1
+        for tracked in self._counters:
+            if tracked is level:
+                self._counters[tracked] = min(self._counters[tracked] + 1,
+                                              self._max_value)
+            else:
+                self._counters[tracked] = max(
+                    self._counters[tracked] - self.config.decrement_on_other, 0)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self) -> Tuple[Level, ...]:
+        """Return the predicted level(s), ordered closest-to-furthest.
+
+        With no history at all (all counters zero) the detector falls back to
+        the conservative sequential choice, L2.
+        """
+        self.predictions += 1
+        total = sum(self._counters.values())
+        if total == 0:
+            return (Level.L2,)
+
+        ranked: List[Tuple[Level, int]] = sorted(
+            self._counters.items(), key=lambda item: (-item[1], int(item[0])))
+        threshold = self.config.confidence_threshold * total
+
+        selected: List[Level] = []
+        accumulated = 0
+        for level, count in ranked:
+            selected.append(level)
+            accumulated += count
+            if accumulated >= threshold:
+                break
+        if len(selected) > 1:
+            self.multi_way_predictions += 1
+        # Report targets in hierarchy order so the hierarchy knows which
+        # levels are being probed in parallel.
+        return tuple(sorted(selected, key=int))
+
+    # ------------------------------------------------------------------
+    # Introspection / reporting
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[Level, int]:
+        """A copy of the current counter values."""
+        return dict(self._counters)
+
+    def storage_bits(self) -> int:
+        """Three counters of ``counter_bits`` bits each (96 bits total)."""
+        return self.config.counter_bits * len(self._counters)
+
+    @property
+    def multi_way_fraction(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.multi_way_predictions / self.predictions
+
+    def reset(self) -> None:
+        for level in self._counters:
+            self._counters[level] = 0
+        self.updates = 0
+        self.predictions = 0
+        self.multi_way_predictions = 0

@@ -1,0 +1,308 @@
+"""TAGE-style address+history predictors extended to level prediction.
+
+The paper's main comparison points (Section IV.C) are 2 KB and 8 KB variants
+of the address+history miss predictor of Sim et al. [29], which is built on
+TAGE [28]: a base (tagless) table plus several tagged tables indexed by the
+block address hashed with geometrically increasing history lengths.  To turn a
+*miss* predictor into a *level* predictor the paper replaces each entry's
+counter with **three counters**, one per level (L2, L3, MEM), and applies the
+Popular-Levels heuristic to the counters of the providing entry
+(Section III.A, "Level Prediction Approach").
+
+Two well-known properties the paper reports are reproduced by construction:
+
+* the 2 KB variant has the same access energy as the proposed LP but much
+  lower accuracy (entries are scarce and prefetch-induced history noise
+  evicts them quickly);
+* the 8 KB variant approaches LP's accuracy but costs far more energy per
+  access, erasing the benefit (Figure 10).
+
+Prefetch fills can optionally update the tables ("coordinating the prefetcher
+and level predictor", Section III.A); the paper finds this still does not
+close the gap because the extra updates crowd the small tables — enabling
+``update_on_prefetch`` reproduces that crowding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..energy.model import EnergyParameters
+from ..memory.block import Level, PREDICTABLE_LEVELS
+from .base import LevelPredictor, Prediction
+
+
+@dataclass
+class TAGEConfig:
+    """Geometry of the TAGE level predictor.
+
+    The storage budget is split evenly across the tagged tables plus a base
+    table.  Entry cost: tag bits + 3 level counters + a useful bit.
+    """
+
+    storage_bytes: int = 2048
+    num_tagged_tables: int = 4
+    min_history: int = 4
+    max_history: int = 64
+    tag_bits: int = 10
+    counter_bits: int = 3
+    useful_bits: int = 1
+    confidence_threshold: float = 0.6
+    update_on_prefetch: bool = True
+    #: When no tagged entry matches, fall back to TAGE's (tagless) base table,
+    #: whose three counters behave like a popularity predictor.  Setting this
+    #: to False reproduces the stricter reading of the paper's description
+    #: ("If an entry is not found in any TAGE table, we follow a level-by-level
+    #: traversal"), which performs notably worse on traces with little
+    #: block-level temporal reuse; the ablation benchmark covers both.
+    base_table_fallback: bool = True
+
+    @property
+    def entry_bits(self) -> int:
+        return self.tag_bits + 3 * self.counter_bits + self.useful_bits
+
+    @property
+    def entries_per_table(self) -> int:
+        total_tables = self.num_tagged_tables + 1
+        table_bytes = self.storage_bytes / total_tables
+        entries = int((table_bytes * 8) // self.entry_bits)
+        return max(entries, 16)
+
+    def history_lengths(self) -> List[int]:
+        """Geometric history-length series (TAGE's defining feature)."""
+        lengths = []
+        if self.num_tagged_tables == 1:
+            return [self.min_history]
+        ratio = (self.max_history / self.min_history) ** (
+            1.0 / (self.num_tagged_tables - 1))
+        value = float(self.min_history)
+        for _ in range(self.num_tagged_tables):
+            lengths.append(max(1, int(round(value))))
+            value *= ratio
+        return lengths
+
+
+@dataclass
+class _TAGEEntry:
+    tag: int
+    counters: Dict[Level, int] = field(
+        default_factory=lambda: {level: 0 for level in PREDICTABLE_LEVELS})
+    useful: int = 0
+
+
+class TAGELevelPredictor(LevelPredictor):
+    """Address + level-history TAGE predictor with three counters per entry."""
+
+    def __init__(self, config: Optional[TAGEConfig] = None,
+                 energy_params: Optional[EnergyParameters] = None) -> None:
+        super().__init__()
+        self.config = config or TAGEConfig()
+        self.prediction_latency = 1
+        self._energy_params = energy_params or EnergyParameters()
+        self._access_energy = self._energy_params.sram_access_energy(
+            self.config.storage_bytes)
+        entries = self.config.entries_per_table
+        self._base_table: List[Dict[Level, int]] = [
+            {level: 0 for level in PREDICTABLE_LEVELS} for _ in range(entries)
+        ]
+        self._tables: List[List[Optional[_TAGEEntry]]] = [
+            [None] * entries for _ in range(self.config.num_tagged_tables)
+        ]
+        self._history_lengths = self.config.history_lengths()
+        self._history = 0  # Global level-outcome history register.
+        self._history_bits = 2 * max(self._history_lengths)
+        self._entries = entries
+        # Bookkeeping for training: which table/index provided the prediction.
+        self._last_provider: Dict[int, Tuple[int, int]] = {}
+        self.allocations = 0
+        self.provider_hits = 0
+        self.base_predictions = 0
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _folded_history(self, length: int) -> int:
+        mask = (1 << (2 * length)) - 1
+        history = self._history & mask
+        folded = 0
+        while history:
+            folded ^= history & 0xFFFF
+            history >>= 16
+        return folded
+
+    def _index(self, block_addr: int, table: int) -> int:
+        block = block_addr >> 6
+        folded = self._folded_history(self._history_lengths[table])
+        return (block ^ (block >> 7) ^ (folded * 0x9E3779B1)) % self._entries
+
+    def _tag(self, block_addr: int, table: int) -> int:
+        block = block_addr >> 6
+        folded = self._folded_history(self._history_lengths[table])
+        value = (block >> 3) ^ (folded >> 2) ^ (table * 0x5BD1)
+        return value & ((1 << self.config.tag_bits) - 1)
+
+    def _base_index(self, block_addr: int) -> int:
+        block = block_addr >> 6
+        return (block ^ (block >> 11)) % self._entries
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _counters_to_levels(self, counters: Dict[Level, int]) -> Tuple[Level, ...]:
+        """The Popular-Levels heuristic applied to one entry's counters."""
+        total = sum(counters.values())
+        if total == 0:
+            return (Level.L2,)
+        ranked = sorted(counters.items(), key=lambda item: (-item[1], int(item[0])))
+        threshold = self.config.confidence_threshold * total
+        selected: List[Level] = []
+        accumulated = 0
+        for level, count in ranked:
+            selected.append(level)
+            accumulated += count
+            if accumulated >= threshold:
+                break
+        return tuple(sorted(selected, key=int))
+
+    def predict(self, block_addr: int, pc: int = 0) -> Prediction:
+        provider: Optional[Tuple[int, int]] = None
+        counters: Optional[Dict[Level, int]] = None
+        # Longest-history matching table provides the prediction.
+        for table in range(self.config.num_tagged_tables - 1, -1, -1):
+            index = self._index(block_addr, table)
+            entry = self._tables[table][index]
+            if entry is not None and entry.tag == self._tag(block_addr, table):
+                provider = (table, index)
+                counters = entry.counters
+                break
+        source = "tage"
+        if counters is None:
+            self.base_predictions += 1
+            if not self.config.base_table_fallback:
+                # No matching entry: follow the sequential level-by-level
+                # traversal, exactly as the paper's TAGE baseline does.
+                self._last_provider[block_addr] = None
+                return Prediction(levels=(Level.L2,), source="tage-miss")
+            base_index = self._base_index(block_addr)
+            counters = self._base_table[base_index]
+            provider = (-1, base_index)
+            source = "tage-base"
+        else:
+            self.provider_hits += 1
+        self._last_provider[block_addr] = provider
+        levels = self._counters_to_levels(counters)
+        return Prediction(levels=levels, source=source)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def _learn(self, block_addr: int, pc: int, prediction: Prediction,
+               actual: Level) -> None:
+        self._update_entry(block_addr, actual,
+                           correct=actual in (prediction.levels or ()))
+        self._push_history(actual)
+
+    def _push_history(self, actual: Level) -> None:
+        code = {Level.L2: 0b01, Level.L3: 0b10, Level.MEM: 0b11}[actual]
+        self._history = ((self._history << 2) | code) & (
+            (1 << self._history_bits) - 1)
+
+    def _update_entry(self, block_addr: int, actual: Level,
+                      correct: bool) -> None:
+        provider = self._last_provider.pop(block_addr, None)
+        max_counter = (1 << self.config.counter_bits) - 1
+        if provider is not None:
+            table, index = provider
+            counters = (self._base_table[index] if table < 0
+                        else self._tables[table][index].counters
+                        if self._tables[table][index] is not None
+                        else None)
+            if counters is not None:
+                for level in counters:
+                    if level is actual:
+                        counters[level] = min(counters[level] + 1, max_counter)
+                    elif counters[level] > 0:
+                        counters[level] -= 1
+                if table >= 0:
+                    entry = self._tables[table][index]
+                    entry.useful = min(entry.useful + (1 if correct else 0), 3)
+        if not correct:
+            self._allocate(block_addr, actual,
+                           from_table=(provider[0] if provider else -1))
+
+    def _allocate(self, block_addr: int, actual: Level, from_table: int) -> None:
+        """Allocate a new entry in a longer-history table on a misprediction."""
+        for table in range(max(from_table + 1, 0), self.config.num_tagged_tables):
+            index = self._index(block_addr, table)
+            existing = self._tables[table][index]
+            if existing is not None and existing.useful > 0:
+                existing.useful -= 1
+                continue
+            entry = _TAGEEntry(tag=self._tag(block_addr, table))
+            entry.counters[actual] = 2
+            self._tables[table][index] = entry
+            self.allocations += 1
+            return
+
+    # ------------------------------------------------------------------
+    # Cache-event updates (prefetcher coordination)
+    # ------------------------------------------------------------------
+    def on_fill(self, block_addr: int, level: Level,
+                from_prefetch: bool = False) -> None:
+        if level is Level.L1:
+            return
+        if from_prefetch and not self.config.update_on_prefetch:
+            return
+        # Data moved to `level`; nudge the matching tagged entries toward it.
+        # This is the prefetcher/level-predictor coordination the paper
+        # evaluates; it only helps blocks that already have tagged history,
+        # and for small tables the extra allocations from mispredictions that
+        # follow still crowd out demand history.
+        max_counter = (1 << self.config.counter_bits) - 1
+        updated = False
+        for table in range(self.config.num_tagged_tables):
+            index = self._index(block_addr, table)
+            entry = self._tables[table][index]
+            if entry is None or entry.tag != self._tag(block_addr, table):
+                continue
+            counters = entry.counters
+            for tracked in counters:
+                if tracked is level:
+                    counters[tracked] = min(counters[tracked] + 1, max_counter)
+                elif counters[tracked] > 0:
+                    counters[tracked] -= 1
+            updated = True
+        if updated:
+            self.stats.updates += 1
+
+    def on_eviction(self, block_addr: int, level: Level, dirty: bool) -> None:
+        if not dirty:
+            return
+        destination = Level.L3 if level is Level.L2 else Level.MEM
+        self.on_fill(block_addr, destination)
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        return self.config.storage_bytes * 8
+
+    def energy_per_prediction_nj(self) -> float:
+        return self._access_energy
+
+    @property
+    def name(self) -> str:
+        return f"TAGE-{self.config.storage_bytes // 1024}KB"
+
+
+def make_tage_2kb(**overrides) -> TAGELevelPredictor:
+    """The paper's 2 KB TAGE variant (energy competitor)."""
+    config = TAGEConfig(storage_bytes=2048, **overrides)
+    return TAGELevelPredictor(config)
+
+
+def make_tage_8kb(**overrides) -> TAGELevelPredictor:
+    """The paper's 8 KB TAGE variant (accuracy competitor)."""
+    config = TAGEConfig(storage_bytes=8192, **overrides)
+    return TAGELevelPredictor(config)

@@ -1,0 +1,5 @@
+"""Out-of-order core timing model (window-limited overlap)."""
+
+from .ooo_core import CoreConfig, ExecutionResult, OutOfOrderCore, geometric_mean
+
+__all__ = ["CoreConfig", "ExecutionResult", "OutOfOrderCore", "geometric_mean"]

@@ -1,0 +1,5 @@
+"""CACTI-like per-access energy model and per-category accounting."""
+
+from .model import EnergyAccount, EnergyParameters, normalized_energy
+
+__all__ = ["EnergyAccount", "EnergyParameters", "normalized_energy"]

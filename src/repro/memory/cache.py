@@ -1,0 +1,357 @@
+"""Set-associative cache model.
+
+Each cache level in the simulated hierarchy is an instance of :class:`Cache`.
+The model is functional (it tracks exactly which blocks are resident) with
+per-access latency constants, which is what the level-prediction study needs:
+the paper's results depend on *where* a block is found and *how many lookups*
+were performed on the way, not on bank conflicts or port arbitration.
+
+Features modelled, matching Table I of the paper:
+
+* parallel caches (tag and data accessed together, a single latency) for L1
+  and L2, and sequential caches (tag first, then data) for L3, where a tag
+  lookup costs ``tag_latency`` and a hit costs ``tag_latency + data_latency``;
+* write-back, write-allocate;
+* a prefetched bit per line so prefetcher accuracy can be measured;
+* an MSHR file per cache with demand reservation for prefetch throttling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .block import (
+    AccessType,
+    CacheLine,
+    CoherenceState,
+    DEFAULT_BLOCK_SIZE,
+    Level,
+    block_address,
+)
+from .mshr import MSHRFile
+from .replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        level: Which hierarchy level this cache implements.
+        size_bytes: Total capacity.
+        associativity: Ways per set.
+        block_size: Line size in bytes.
+        tag_latency: Cycles to access the tag array.
+        data_latency: Additional cycles to access the data array.  For a
+            parallel cache the hit latency is ``tag_latency`` alone and
+            ``data_latency`` should be zero; for a sequential cache the hit
+            latency is ``tag_latency + data_latency``.
+        sequential_tag_data: True for a sequential (tag-then-data) cache.
+        mshr_entries: Number of MSHR entries.
+        mshr_demand_reserve: Fraction of MSHR entries reserved for demand
+            accesses (prefetch throttling, Section IV.A).
+        replacement: Replacement policy name (see ``repro.memory.replacement``).
+        writeback: True for a write-back cache (the only mode the paper uses).
+    """
+
+    level: Level
+    size_bytes: int
+    associativity: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    tag_latency: int = 1
+    data_latency: int = 0
+    sequential_tag_data: bool = False
+    mshr_entries: int = 16
+    mshr_demand_reserve: float = 0.25
+    replacement: str = "lru"
+    writeback: bool = True
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.block_size * self.associativity)
+        if sets <= 0:
+            raise ValueError("cache too small for its associativity/block size")
+        return sets
+
+    @property
+    def hit_latency(self) -> int:
+        """Latency of a hit (tag plus data for sequential caches)."""
+        if self.sequential_tag_data:
+            return self.tag_latency + self.data_latency
+        return self.tag_latency
+
+    @property
+    def miss_detect_latency(self) -> int:
+        """Latency to discover a miss (always just the tag lookup)."""
+        return self.tag_latency
+
+
+@dataclass(slots=True)
+class EvictionInfo:
+    """Describes a line pushed out of the cache by a fill or invalidation."""
+
+    block_addr: int
+    dirty: bool
+    prefetched_unused: bool
+    state: CoherenceState
+
+
+@dataclass
+class CacheStats:
+    """Per-cache hit/miss counters, split by demand and prefetch traffic."""
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    writebacks_received: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    prefetch_fills: int = 0
+    prefetched_lines_used: int = 0
+    prefetched_lines_evicted_unused: int = 0
+    invalidations: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.demand_accesses + self.prefetch_hits + self.prefetch_misses
+
+    @property
+    def demand_miss_ratio(self) -> float:
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class Cache:
+    """A single set-associative cache level.
+
+    The cache exposes a small functional API used by the hierarchy:
+
+    * :meth:`lookup` — probe the tag array, update replacement state on a hit.
+    * :meth:`fill` — install a block, returning the eviction it caused.
+    * :meth:`invalidate` — remove a block (coherence or inclusion victims).
+    * :meth:`contains` — probe without side effects (used by the directory and
+      by the oracle/ideal predictors).
+    """
+
+    def __init__(self, config: CacheConfig, name: Optional[str] = None) -> None:
+        self.config = config
+        self.name = name or config.level.name
+        self._num_sets = config.num_sets
+        self._lines: List[List[Optional[CacheLine]]] = [
+            [None] * config.associativity for _ in range(self._num_sets)
+        ]
+        # Per-set index from tag to way for O(1) lookups; kept in sync by
+        # fill() and invalidate().  Purely an implementation accelerator —
+        # real hardware compares all tags in parallel.
+        self._tag_to_way: List[Dict[int, int]] = [
+            {} for _ in range(self._num_sets)
+        ]
+        # Shared all-valid flag list used on the common fast path where every
+        # way in the set already holds a valid line.
+        self._all_valid = [True] * config.associativity
+        self._policy: ReplacementPolicy = make_replacement_policy(
+            config.replacement, self._num_sets, config.associativity
+        )
+        self.mshrs = MSHRFile(
+            config.mshr_entries, demand_reserve_fraction=config.mshr_demand_reserve
+        )
+        self.stats = CacheStats()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def set_index(self, block_addr: int) -> int:
+        return (block_addr // self.config.block_size) % self._num_sets
+
+    def tag_of(self, block_addr: int) -> int:
+        return block_addr // (self.config.block_size * self._num_sets)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def _find(self, block_addr: int) -> Tuple[int, Optional[int]]:
+        """Return (set_index, way) of the block, way is None on a miss."""
+        set_index = self.set_index(block_addr)
+        tag = self.tag_of(block_addr)
+        return set_index, self._tag_to_way[set_index].get(tag)
+
+    def contains(self, address: int) -> bool:
+        """Probe for a block without updating replacement state."""
+        block_addr = block_address(address, self.config.block_size)
+        _, way = self._find(block_addr)
+        return way is not None
+
+    def get_line(self, address: int) -> Optional[CacheLine]:
+        """Return the resident line for ``address`` (no side effects)."""
+        block_addr = block_address(address, self.config.block_size)
+        set_index, way = self._find(block_addr)
+        if way is None:
+            return None
+        return self._lines[set_index][way]
+
+    # ------------------------------------------------------------------
+    # Main operations
+    # ------------------------------------------------------------------
+    def lookup(
+        self, address: int, access_type: AccessType = AccessType.LOAD
+    ) -> bool:
+        """Probe the cache for a demand or prefetch access.
+
+        Returns True on a hit.  A hit updates replacement state, marks the
+        line dirty for stores, and clears the prefetched bit (the prefetch has
+        proven useful).
+        """
+        self._clock += 1
+        block_addr = block_address(address, self.config.block_size)
+        set_index, way = self._find(block_addr)
+        hit = way is not None
+        if hit:
+            line = self._lines[set_index][way]
+            line.last_touch = self._clock
+            self._policy.on_access(set_index, way)
+            if access_type is AccessType.STORE:
+                line.dirty = True
+                line.state = CoherenceState.MODIFIED
+            if line.prefetched and access_type.is_demand:
+                line.prefetched = False
+                self.stats.prefetched_lines_used += 1
+        self._record_lookup(access_type, hit)
+        return hit
+
+    def _record_lookup(self, access_type: AccessType, hit: bool) -> None:
+        if access_type is AccessType.PREFETCH:
+            if hit:
+                self.stats.prefetch_hits += 1
+            else:
+                self.stats.prefetch_misses += 1
+        else:
+            if hit:
+                self.stats.demand_hits += 1
+            else:
+                self.stats.demand_misses += 1
+
+    def fill(
+        self,
+        address: int,
+        access_type: AccessType = AccessType.LOAD,
+        dirty: bool = False,
+        state: CoherenceState = CoherenceState.EXCLUSIVE,
+    ) -> Optional[EvictionInfo]:
+        """Install a block, evicting a victim if the set is full.
+
+        Returns information about the evicted line (or ``None`` when an
+        invalid way was available or the block was already resident).
+        """
+        self._clock += 1
+        block_addr = block_address(address, self.config.block_size)
+        set_index, way = self._find(block_addr)
+        if way is not None:
+            # Already resident (e.g. a prefetch raced a demand fill); refresh.
+            line = self._lines[set_index][way]
+            line.dirty = line.dirty or dirty
+            line.last_touch = self._clock
+            self._policy.on_access(set_index, way)
+            return None
+
+        lines = self._lines[set_index]
+        if len(self._tag_to_way[set_index]) == self.config.associativity:
+            valid_flags = self._all_valid
+        else:
+            valid_flags = [line is not None and line.valid for line in lines]
+        victim_way = self._policy.victim(set_index, valid_flags)
+        victim = lines[victim_way]
+        eviction: Optional[EvictionInfo] = None
+        if victim is not None and victim.valid:
+            eviction = EvictionInfo(
+                block_addr=victim.block_addr,
+                dirty=victim.dirty,
+                prefetched_unused=victim.prefetched,
+                state=victim.state,
+            )
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+            if victim.prefetched:
+                self.stats.prefetched_lines_evicted_unused += 1
+            self._tag_to_way[set_index].pop(victim.tag, None)
+
+        new_line = CacheLine(
+            tag=self.tag_of(block_addr),
+            block_addr=block_addr,
+            state=state,
+            dirty=dirty,
+            prefetched=access_type is AccessType.PREFETCH,
+            last_touch=self._clock,
+            inserted_at=self._clock,
+        )
+        lines[victim_way] = new_line
+        self._tag_to_way[set_index][new_line.tag] = victim_way
+        self._policy.on_fill(set_index, victim_way)
+        self.stats.fills += 1
+        if access_type is AccessType.PREFETCH:
+            self.stats.prefetch_fills += 1
+        return eviction
+
+    def invalidate(self, address: int) -> Optional[EvictionInfo]:
+        """Remove a block (coherence invalidation or inclusion victim)."""
+        block_addr = block_address(address, self.config.block_size)
+        set_index, way = self._find(block_addr)
+        if way is None:
+            return None
+        line = self._lines[set_index][way]
+        info = EvictionInfo(
+            block_addr=line.block_addr,
+            dirty=line.dirty,
+            prefetched_unused=line.prefetched,
+            state=line.state,
+        )
+        self._lines[set_index][way] = None
+        self._tag_to_way[set_index].pop(line.tag, None)
+        self._policy.on_invalidate(set_index, way)
+        self.stats.invalidations += 1
+        return info
+
+    def mark_dirty(self, address: int) -> bool:
+        """Mark a resident block dirty (used when a store hits)."""
+        line = self.get_line(address)
+        if line is None:
+            return False
+        line.dirty = True
+        line.state = CoherenceState.MODIFIED
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_blocks(self) -> List[int]:
+        """Block addresses of every valid line (used by tests and D2D)."""
+        blocks = []
+        for cache_set in self._lines:
+            for line in cache_set:
+                if line is not None and line.valid:
+                    blocks.append(line.block_addr)
+        return blocks
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self.resident_blocks())
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._num_sets * self.config.associativity
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()
+        self.mshrs.reset_statistics()

@@ -1,0 +1,129 @@
+"""MOESI coherence-protocol helpers.
+
+The directory-based MOESI protocol used by the paper (Table I: "MOESI
+directory; L1 and L2 are inclusive, L3 is non-inclusive") is modelled at the
+granularity the level-prediction study needs: which cores hold a block, which
+single core (if any) owns a dirty copy, and what state transitions a read or
+write from a given core implies.  Data movement itself is functional — the
+hierarchy moves blocks between cache objects — so this module concentrates on
+the state machine and on deciding when invalidations and ownership transfers
+happen, which is what affects the LocMap staleness the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Optional, Set, Tuple
+
+from .block import CoherenceState
+
+
+class BusRequest(Enum):
+    """Coherence request types observed by the directory."""
+
+    GET_SHARED = "GetS"      # read miss
+    GET_MODIFIED = "GetM"    # write miss / upgrade
+    PUT_MODIFIED = "PutM"    # dirty writeback
+    PUT_SHARED = "PutS"      # clean eviction notification
+
+
+@dataclass(frozen=True)
+class CoherenceDecision:
+    """Directory decision for one request.
+
+    Attributes:
+        sharers_to_invalidate: Cores whose copies must be invalidated.
+        owner_to_downgrade: Core that must supply data and downgrade (M/O->S/I),
+            or None if memory/LLC supplies the data.
+        new_requestor_state: State the requesting core installs the block in.
+        data_from_owner: True when another core's private cache forwards the
+            data (cache-to-cache transfer), which has different latency/energy
+            than an LLC or memory fill.
+    """
+
+    sharers_to_invalidate: FrozenSet[int]
+    owner_to_downgrade: Optional[int]
+    new_requestor_state: CoherenceState
+    data_from_owner: bool
+
+
+def decide_read(
+    requestor: int, sharers: Set[int], owner: Optional[int]
+) -> CoherenceDecision:
+    """Directory decision for a read (GetS) request.
+
+    If a core owns a dirty copy, it forwards the data and transitions to
+    Owned (MOESI allows dirty sharing); the requestor installs Shared.  If the
+    block is unshared, the requestor installs Exclusive.
+    """
+    if owner is not None and owner != requestor:
+        return CoherenceDecision(
+            sharers_to_invalidate=frozenset(),
+            owner_to_downgrade=owner,
+            new_requestor_state=CoherenceState.SHARED,
+            data_from_owner=True,
+        )
+    if sharers - {requestor}:
+        return CoherenceDecision(
+            sharers_to_invalidate=frozenset(),
+            owner_to_downgrade=None,
+            new_requestor_state=CoherenceState.SHARED,
+            data_from_owner=False,
+        )
+    return CoherenceDecision(
+        sharers_to_invalidate=frozenset(),
+        owner_to_downgrade=None,
+        new_requestor_state=CoherenceState.EXCLUSIVE,
+        data_from_owner=False,
+    )
+
+
+def decide_write(
+    requestor: int, sharers: Set[int], owner: Optional[int]
+) -> CoherenceDecision:
+    """Directory decision for a write (GetM) request.
+
+    All other sharers are invalidated; a dirty owner forwards data and
+    invalidates its copy.  The requestor installs Modified.
+    """
+    others = frozenset(core for core in sharers if core != requestor)
+    forwarding_owner = owner if owner is not None and owner != requestor else None
+    return CoherenceDecision(
+        sharers_to_invalidate=others,
+        owner_to_downgrade=forwarding_owner,
+        new_requestor_state=CoherenceState.MODIFIED,
+        data_from_owner=forwarding_owner is not None,
+    )
+
+
+def merge_state_on_fill(
+    requested_write: bool, decision: CoherenceDecision
+) -> CoherenceState:
+    """State to install in the requesting core's private caches."""
+    if requested_write:
+        return CoherenceState.MODIFIED
+    return decision.new_requestor_state
+
+
+VALID_TRANSITIONS: Tuple[Tuple[CoherenceState, CoherenceState], ...] = (
+    (CoherenceState.INVALID, CoherenceState.SHARED),
+    (CoherenceState.INVALID, CoherenceState.EXCLUSIVE),
+    (CoherenceState.INVALID, CoherenceState.MODIFIED),
+    (CoherenceState.SHARED, CoherenceState.MODIFIED),
+    (CoherenceState.SHARED, CoherenceState.INVALID),
+    (CoherenceState.EXCLUSIVE, CoherenceState.MODIFIED),
+    (CoherenceState.EXCLUSIVE, CoherenceState.SHARED),
+    (CoherenceState.EXCLUSIVE, CoherenceState.INVALID),
+    (CoherenceState.MODIFIED, CoherenceState.OWNED),
+    (CoherenceState.MODIFIED, CoherenceState.INVALID),
+    (CoherenceState.OWNED, CoherenceState.INVALID),
+    (CoherenceState.OWNED, CoherenceState.MODIFIED),
+)
+
+
+def is_valid_transition(old: CoherenceState, new: CoherenceState) -> bool:
+    """True when ``old -> new`` is a legal MOESI transition (or a no-op)."""
+    if old == new:
+        return True
+    return (old, new) in VALID_TRANSITIONS

@@ -1,0 +1,199 @@
+"""Cache-coherence directory collocated with the LLC tags.
+
+The directory tracks, for every block cached anywhere on chip, which cores
+hold it in their private caches (L1/L2) and which single core, if any, owns a
+dirty copy.  The paper relies on this structure for two things:
+
+1. normal MOESI coherence between private caches, and
+2. **misprediction detection** for level prediction (Section III.E): when a
+   request bypasses L2 and reaches the LLC, the collocated directory reveals
+   whether the block actually lives in a private cache above, and when main
+   memory is (wrongly) predicted, the directory is consulted before the memory
+   access anyway, so the misprediction is caught "for free".
+
+Because the directory sits next to the LLC tags, its lookup latency is folded
+into the LLC tag latency by the hierarchy model; this module only provides the
+tracking state, the decision logic and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .block import CoherenceState, Level
+from .coherence import (
+    BusRequest,
+    CoherenceDecision,
+    decide_read,
+    decide_write,
+)
+
+
+@dataclass
+class DirectoryEntry:
+    """Tracking state for one block."""
+
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    @property
+    def cached_anywhere(self) -> bool:
+        return bool(self.sharers) or self.owner is not None
+
+    def holders(self) -> Set[int]:
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+
+@dataclass
+class DirectoryStats:
+    lookups: int = 0
+    reads: int = 0
+    writes: int = 0
+    invalidations_sent: int = 0
+    owner_forwards: int = 0
+    misprediction_detections: int = 0
+    writebacks: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+class Directory:
+    """Full-map directory keyed by block address."""
+
+    def __init__(self, num_cores: int = 1) -> None:
+        if num_cores <= 0:
+            raise ValueError("directory needs at least one core")
+        self.num_cores = num_cores
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = DirectoryStats()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def entry(self, block_addr: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(block_addr)
+
+    def holders(self, block_addr: int) -> Set[int]:
+        """Cores currently holding the block in a private cache."""
+        entry = self._entries.get(block_addr)
+        return entry.holders() if entry else set()
+
+    def is_cached_privately(self, block_addr: int, exclude_core: Optional[int] = None
+                            ) -> bool:
+        """True when any private cache (optionally excluding one core) holds it."""
+        holders = self.holders(block_addr)
+        if exclude_core is not None:
+            holders = holders - {exclude_core}
+        return bool(holders)
+
+    def owner_of(self, block_addr: int) -> Optional[int]:
+        entry = self._entries.get(block_addr)
+        return entry.owner if entry else None
+
+    # ------------------------------------------------------------------
+    # Coherence transactions
+    # ------------------------------------------------------------------
+    def handle_request(
+        self, block_addr: int, requestor: int, request: BusRequest
+    ) -> CoherenceDecision:
+        """Apply a coherence request and return the resulting decision."""
+        self.stats.lookups += 1
+        entry = self._entries.setdefault(block_addr, DirectoryEntry())
+
+        if request is BusRequest.GET_SHARED:
+            self.stats.reads += 1
+            decision = decide_read(requestor, entry.sharers, entry.owner)
+            if decision.owner_to_downgrade is not None:
+                self.stats.owner_forwards += 1
+                # MOESI: dirty owner keeps an Owned copy and becomes a sharer.
+                entry.sharers.add(decision.owner_to_downgrade)
+                entry.owner = decision.owner_to_downgrade
+            entry.sharers.add(requestor)
+            return decision
+
+        if request is BusRequest.GET_MODIFIED:
+            self.stats.writes += 1
+            decision = decide_write(requestor, entry.sharers, entry.owner)
+            self.stats.invalidations_sent += len(decision.sharers_to_invalidate)
+            if decision.owner_to_downgrade is not None:
+                self.stats.owner_forwards += 1
+            entry.sharers = {requestor}
+            entry.owner = requestor
+            return decision
+
+        if request is BusRequest.PUT_MODIFIED:
+            self.stats.writebacks += 1
+            if entry.owner == requestor:
+                entry.owner = None
+            entry.sharers.discard(requestor)
+            self._drop_if_empty(block_addr, entry)
+            return CoherenceDecision(
+                sharers_to_invalidate=frozenset(),
+                owner_to_downgrade=None,
+                new_requestor_state=CoherenceState.INVALID,
+                data_from_owner=False,
+            )
+
+        # PUT_SHARED: clean eviction notification.
+        entry.sharers.discard(requestor)
+        if entry.owner == requestor:
+            entry.owner = None
+        self._drop_if_empty(block_addr, entry)
+        return CoherenceDecision(
+            sharers_to_invalidate=frozenset(),
+            owner_to_downgrade=None,
+            new_requestor_state=CoherenceState.INVALID,
+            data_from_owner=False,
+        )
+
+    def _drop_if_empty(self, block_addr: int, entry: DirectoryEntry) -> None:
+        if not entry.cached_anywhere:
+            self._entries.pop(block_addr, None)
+
+    # ------------------------------------------------------------------
+    # Level-prediction support
+    # ------------------------------------------------------------------
+    def detect_bypass_misprediction(
+        self, block_addr: int, requestor: int
+    ) -> bool:
+        """Check whether a bypassed private level actually holds the block.
+
+        Called when a level-predicted request that skipped L2 reaches the LLC.
+        Returns True when the requestor's own private hierarchy holds the
+        block (the bypass was wrong and recovery must re-issue to L2).
+        """
+        entry = self._entries.get(block_addr)
+        detected = entry is not None and requestor in entry.holders()
+        if detected:
+            self.stats.misprediction_detections += 1
+        return detected
+
+    def record_private_fill(self, block_addr: int, core: int,
+                            dirty: bool = False) -> None:
+        """Track that ``core`` now holds the block in its private caches."""
+        entry = self._entries.setdefault(block_addr, DirectoryEntry())
+        entry.sharers.add(core)
+        if dirty:
+            entry.owner = core
+
+    def record_private_eviction(self, block_addr: int, core: int) -> None:
+        """Track that ``core`` no longer holds the block privately."""
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        self._drop_if_empty(block_addr, entry)
+
+    def tracked_blocks(self) -> int:
+        return len(self._entries)
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()

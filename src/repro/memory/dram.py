@@ -1,0 +1,188 @@
+"""DDR4-like main-memory timing model.
+
+The paper's system uses a single DDR4-2400 x64 channel with Micron
+MT40A1G8-style timings in an 8x8 configuration (Table I).  The level-prediction
+results only need main-memory latency that (a) is substantially larger than the
+LLC latency and (b) varies plausibly with row-buffer locality and bank-level
+parallelism, so this model captures:
+
+* address mapping to channel/rank/bank/row/column,
+* open-page row-buffer policy with row hits, misses and conflicts,
+* a simple bank busy model that adds queueing delay when a bank is reused
+  before its previous access completes,
+* refresh-interval overhead folded into an average penalty.
+
+Timings are expressed in memory-controller cycles and converted to core cycles
+with the core-to-memory frequency ratio (4 GHz core vs 1200 MHz DRAM clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class DRAMConfig:
+    """Timing and geometry of the memory channel.
+
+    The defaults correspond to DDR4-2400 (tCK = 0.833 ns) with CL=17,
+    tRCD=17, tRP=17, tRAS=39 memory cycles, a 64-byte burst (BL8 on a x64
+    channel = 4 memory clocks), 16 banks, and a 4 GHz core clock.
+    """
+
+    core_frequency_ghz: float = 4.0
+    dram_frequency_mhz: float = 1200.0
+    cas_latency: int = 17
+    trcd: int = 17
+    trp: int = 17
+    tras: int = 39
+    burst_cycles: int = 4
+    num_banks: int = 16
+    num_ranks: int = 1
+    row_size_bytes: int = 8192
+    channel_capacity_gb: int = 16
+    controller_latency_core_cycles: int = 15
+    refresh_penalty_core_cycles: float = 1.0
+    #: Bank queueing delay is bounded to this fraction of one bank occupancy
+    #: (the functional front end has no issue backpressure, see access()).
+    max_queue_fraction: float = 0.5
+
+    @property
+    def core_cycles_per_dram_cycle(self) -> float:
+        return (self.core_frequency_ghz * 1000.0) / self.dram_frequency_mhz
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    total_latency_core_cycles: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_ratio(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def average_latency(self) -> float:
+        return (
+            self.total_latency_core_cycles / self.accesses if self.accesses else 0.0
+        )
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.total_latency_core_cycles = 0.0
+
+
+class DRAMModel:
+    """Open-page DRAM channel with per-bank row-buffer state."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        # Per-bank open row and the core-cycle time the bank becomes free.
+        self._open_row: Dict[int, int] = {}
+        self._bank_free_at: Dict[int, float] = {}
+        self.stats = DRAMStats()
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def map_address(self, address: int) -> Tuple[int, int]:
+        """Map a physical address to (bank, row)."""
+        cfg = self.config
+        row_index = address // cfg.row_size_bytes
+        bank = row_index % (cfg.num_banks * cfg.num_ranks)
+        row = row_index // (cfg.num_banks * cfg.num_ranks)
+        return bank, row
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False,
+               current_cycle: float | None = None) -> float:
+        """Service one 64-byte access and return its latency in core cycles.
+
+        Args:
+            address: Physical byte address.
+            is_write: True for writebacks.
+            current_cycle: Core-cycle timestamp of the request; when omitted an
+                internal monotonically advancing clock is used.
+        """
+        cfg = self.config
+        if current_cycle is None:
+            # Without an external clock, requests are assumed to arrive at the
+            # channel's peak burst rate (one 64 B transfer per burst window),
+            # which is the densest request stream a real core could sustain.
+            self._now += cfg.burst_cycles * cfg.core_cycles_per_dram_cycle
+            current_cycle = self._now
+        else:
+            self._now = max(self._now, current_cycle)
+
+        bank, row = self.map_address(address)
+        ratio = cfg.core_cycles_per_dram_cycle
+
+        open_row = self._open_row.get(bank)
+        if open_row is None:
+            # Bank closed: activate then read/write.
+            dram_cycles = cfg.trcd + cfg.cas_latency + cfg.burst_cycles
+            self.stats.row_misses += 1
+        elif open_row == row:
+            dram_cycles = cfg.cas_latency + cfg.burst_cycles
+            self.stats.row_hits += 1
+        else:
+            # Row conflict: precharge, activate, access.
+            dram_cycles = cfg.trp + cfg.trcd + cfg.cas_latency + cfg.burst_cycles
+            self.stats.row_conflicts += 1
+        self._open_row[bank] = row
+
+        access_core_cycles = dram_cycles * ratio
+
+        # Bank-level contention: back-to-back accesses to the same bank wait
+        # for it to free up.  The wait is bounded by one full bank occupancy
+        # because the functional front end has no issue backpressure — without
+        # the bound a memory-bound trace would accumulate unbounded queueing
+        # delay that no real (ROB-limited) core could generate.
+        free_at = self._bank_free_at.get(bank, 0.0)
+        queue_delay = min(max(0.0, free_at - current_cycle),
+                          access_core_cycles * cfg.max_queue_fraction)
+        finish = current_cycle + queue_delay + access_core_cycles
+        self._bank_free_at[bank] = finish
+
+        latency = (
+            cfg.controller_latency_core_cycles
+            + queue_delay
+            + access_core_cycles
+            + cfg.refresh_penalty_core_cycles
+        )
+
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.total_latency_core_cycles += latency
+        return latency
+
+    def idle_latency(self) -> float:
+        """Latency of an access to an idle, closed bank (used for reporting)."""
+        cfg = self.config
+        dram_cycles = cfg.trcd + cfg.cas_latency + cfg.burst_cycles
+        return (
+            cfg.controller_latency_core_cycles
+            + dram_cycles * cfg.core_cycles_per_dram_cycle
+            + cfg.refresh_penalty_core_cycles
+        )
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()

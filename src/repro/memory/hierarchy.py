@@ -1,0 +1,685 @@
+"""Three-level memory hierarchy with sequential and level-predicted lookup.
+
+This is the central substrate of the reproduction: a functional model of the
+paper's simulated system (Table I) — private L1 and L2, a shared non-inclusive
+L3 with a collocated directory, a DDR4 channel, per-level prefetchers with
+throttling, TLBs — plus the *level-predicted* lookup path that the paper adds
+on the L1 miss path.
+
+The model is trace driven: :meth:`CoreMemoryHierarchy.access` services one
+memory reference, returning an :class:`AccessResult` with the load latency,
+the levels looked up (for energy), the predicted levels and the misprediction
+outcome.  The out-of-order core model (``repro.cpu``) converts these per-access
+latencies into cycles and IPC.
+
+Timing model
+============
+
+For a block found at level ``A`` with prediction set ``P``:
+
+* Levels closer than ``A`` that appear in ``P`` are looked up (energy + port
+  pressure) but, because predicted levels are probed in parallel, they do not
+  serialise the path unless the prediction *is* the sequential fallback.
+* Levels closer than ``A`` that are *not* in ``P`` are skipped entirely: no tag
+  energy, no added latency beyond the bus hop (an MSHR entry is still
+  allocated on the way, as the paper requires for the fill path).
+* Bypassing the private L2 when it actually holds the block is the *harmful*
+  case: the collocated directory detects it during the LLC tag access and a
+  recovery transaction re-issues the request to L2 (Section III.E).
+* Predicting main memory launches the DRAM access as soon as the request
+  reaches the LLC/directory (Figure 6(c)); the directory check overlaps with
+  the DRAM access, so a correct MEM prediction hides the LLC tag latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..energy.model import EnergyAccount, EnergyParameters
+from ..prefetch.base import NullPrefetcher, PrefetchAccess, Prefetcher
+from .block import (
+    AccessResult,
+    AccessType,
+    CoherenceState,
+    Level,
+    MemoryAccess,
+    block_address,
+)
+from .cache import Cache, CacheConfig, EvictionInfo
+from .directory import Directory
+from .dram import DRAMConfig, DRAMModel
+from .interconnect import Interconnect, InterconnectConfig
+from .tlb import TLBHierarchy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from ..core.base import LevelPredictor, Prediction
+
+
+@dataclass
+class HierarchyConfig:
+    """Configuration of the full hierarchy (Table I defaults).
+
+    Attributes:
+        l1 / l2 / l3: Per-level cache geometries and latencies.
+        dram: DRAM channel configuration.
+        interconnect: Hop latencies between levels.
+        memory_speculative_launch: When True, a prediction that includes MEM
+            launches the DRAM access in parallel with the LLC tag/directory
+            check (the paper's design); when False the directory check is
+            serialised before memory (conservative ablation).
+        parallel_port_penalty: Extra cycles charged when a multi-way
+            prediction probes more than one on-chip cache in parallel,
+            modelling tag-port pressure (the nas.is effect in Section V.C).
+        prefetch_inflight_window: Number of recent demand accesses used to
+            approximate MSHR occupancy for prefetch throttling.
+        ideal_miss_latency: The paper's "Ideal" system: every L1 miss gets a
+            perfect, zero-cost level prediction, so no cycle is ever spent on
+            a lookup that does not hold the block (Section IV.C).  Data
+            movement, energy and statistics behave exactly like the baseline.
+    """
+
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(
+        level=Level.L1, size_bytes=32 * 1024, associativity=4,
+        tag_latency=4, data_latency=0, sequential_tag_data=False,
+        mshr_entries=16, mshr_demand_reserve=0.25))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        level=Level.L2, size_bytes=256 * 1024, associativity=8,
+        tag_latency=12, data_latency=0, sequential_tag_data=False,
+        mshr_entries=32, mshr_demand_reserve=0.25))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(
+        level=Level.L3, size_bytes=2 * 1024 * 1024, associativity=16,
+        tag_latency=20, data_latency=35, sequential_tag_data=True,
+        mshr_entries=64, mshr_demand_reserve=0.25))
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    memory_speculative_launch: bool = True
+    parallel_port_penalty: float = 2.0
+    prefetch_inflight_window: int = 32
+    ideal_miss_latency: bool = False
+
+    @staticmethod
+    def paper_single_core() -> "HierarchyConfig":
+        """The single-core configuration of Table I (2 MB LLC)."""
+        return HierarchyConfig()
+
+    @staticmethod
+    def paper_multi_core() -> "HierarchyConfig":
+        """The quad-core configuration of Table I (8 MB shared LLC)."""
+        config = HierarchyConfig()
+        config.l3 = CacheConfig(
+            level=Level.L3, size_bytes=8 * 1024 * 1024, associativity=16,
+            tag_latency=20, data_latency=35, sequential_tag_data=True,
+            mshr_entries=64, mshr_demand_reserve=0.25)
+        return config
+
+
+@dataclass
+class HierarchyStats:
+    """Per-core counters for latency, misses and prediction behaviour."""
+
+    demand_accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    memory_accesses: int = 0
+    remote_cache_hits: int = 0
+    total_demand_latency: float = 0.0
+    miss_latency: float = 0.0
+    predictions: int = 0
+    recoveries: int = 0
+    parallel_cache_probes: int = 0
+    speculative_dram_launches: int = 0
+    cancelled_dram_launches: int = 0
+    prefetches_issued: int = 0
+    prefetches_dropped_mshr: int = 0
+
+    @property
+    def l1_misses(self) -> int:
+        return self.demand_accesses - self.l1_hits
+
+    @property
+    def l2_misses(self) -> int:
+        """Demand accesses that missed both L1 and L2."""
+        return self.l1_misses - self.l2_hits
+
+    @property
+    def l3_misses(self) -> int:
+        return self.memory_accesses
+
+    @property
+    def average_memory_access_latency(self) -> float:
+        if not self.demand_accesses:
+            return 0.0
+        return self.total_demand_latency / self.demand_accesses
+
+    @property
+    def average_miss_latency(self) -> float:
+        misses = self.l1_misses
+        return self.miss_latency / misses if misses else 0.0
+
+    def reset(self) -> None:
+        for name, value in vars(self).items():
+            setattr(self, name, 0.0 if isinstance(value, float) else 0)
+
+
+class SharedMemorySystem:
+    """Resources shared by every core: the LLC, directory, DRAM and the
+    LLC prefetcher."""
+
+    def __init__(self, config: HierarchyConfig, num_cores: int = 1,
+                 llc_prefetcher: Optional[Prefetcher] = None,
+                 energy_params: Optional[EnergyParameters] = None) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.l3 = Cache(config.l3, name="L3")
+        self.directory = Directory(num_cores=num_cores)
+        self.dram = DRAMModel(config.dram)
+        self.llc_prefetcher = llc_prefetcher or NullPrefetcher()
+        self.energy_params = energy_params or EnergyParameters()
+        self.dram_writebacks = 0
+
+    def l3_eviction_to_memory(self, eviction: EvictionInfo,
+                              account: EnergyAccount) -> None:
+        """Handle an LLC eviction: dirty lines are written back to DRAM."""
+        if eviction.dirty:
+            self.dram.access(eviction.block_addr, is_write=True)
+            account.charge("dram", self.energy_params.dram_access_nj)
+            self.dram_writebacks += 1
+        if eviction.prefetched_unused:
+            self.llc_prefetcher.record_useless()
+
+
+class CoreMemoryHierarchy:
+    """The per-core view of the memory system (private L1/L2 + shared LLC).
+
+    Args:
+        config: Hierarchy configuration.
+        shared: The shared LLC/directory/DRAM; construct one
+            :class:`SharedMemorySystem` and pass it to every core.
+        predictor: The level predictor on the L1 miss path.  Defaults to the
+            :class:`SequentialPredictor`, which reproduces the baseline.
+        l1_prefetcher / l2_prefetcher: Prefetchers attached to the private
+            levels (tagged next-line in the paper's baseline).
+        core_id: This core's index in the directory.
+    """
+
+    def __init__(
+        self,
+        config: Optional[HierarchyConfig] = None,
+        shared: Optional[SharedMemorySystem] = None,
+        predictor: Optional[LevelPredictor] = None,
+        l1_prefetcher: Optional[Prefetcher] = None,
+        l2_prefetcher: Optional[Prefetcher] = None,
+        core_id: int = 0,
+        active_cores: int = 1,
+    ) -> None:
+        # Imported here (not at module scope) to avoid a circular import:
+        # the predictor interface needs Level from this package.
+        from ..core.base import SequentialPredictor
+
+        self.config = config or HierarchyConfig.paper_single_core()
+        self.shared = shared or SharedMemorySystem(self.config, num_cores=1)
+        self.predictor = predictor or SequentialPredictor()
+        self.l1 = Cache(self.config.l1, name=f"L1.{core_id}")
+        self.l2 = Cache(self.config.l2, name=f"L2.{core_id}")
+        self.tlb = TLBHierarchy()
+        self.l1_prefetcher = l1_prefetcher or NullPrefetcher()
+        self.l2_prefetcher = l2_prefetcher or NullPrefetcher()
+        self.interconnect = Interconnect(self.config.interconnect,
+                                         active_cores=active_cores)
+        self.energy = EnergyAccount(params=self.shared.energy_params)
+        self.stats = HierarchyStats()
+        self.core_id = core_id
+        self._block_size = self.config.l1.block_size
+        self._inflight_misses: Deque[bool] = deque(
+            maxlen=self.config.prefetch_inflight_window)
+        self._inflight_miss_count = 0
+        # Prefetches issued per recent demand access (same sliding window),
+        # used to bound the prefetch issue rate to the non-reserved MSHR share.
+        self._recent_prefetches: Deque[int] = deque(
+            maxlen=self.config.prefetch_inflight_window)
+        self._recent_prefetch_count = 0
+        self._prefetches_this_access = 0
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def access(self, access: MemoryAccess) -> AccessResult:
+        """Service one demand memory access and return its outcome."""
+        from ..core.base import PredictionOutcome
+
+        if not access.access_type.is_demand:
+            raise ValueError("access() only services demand loads and stores")
+        self.stats.demand_accesses += 1
+        if access.is_load:
+            self.stats.loads += 1
+        else:
+            self.stats.stores += 1
+
+        block = block_address(access.address, self._block_size)
+        translation = self.tlb.translate(access.address)
+        self.energy.charge("hierarchy", self.shared.energy_params.tlb_access_nj)
+
+        # ------------------------------------------------------------------
+        # L1 lookup (the level predictor never targets L1).
+        # ------------------------------------------------------------------
+        l1_was_prefetched = self._line_is_prefetched(self.l1, block)
+        l1_hit = self.l1.lookup(access.address, access.access_type)
+        self.energy.charge_cache_lookup(Level.L1)
+        self._train_l1_prefetcher(access, l1_hit)
+
+        if l1_hit:
+            if l1_was_prefetched:
+                self.l1_prefetcher.record_useful()
+            latency = float(self.config.l1.hit_latency) + translation.latency
+            self.stats.l1_hits += 1
+            self.stats.total_demand_latency += latency
+            self._note_inflight(False)
+            return AccessResult(hit_level=Level.L1, latency=latency,
+                                levels_looked_up=(Level.L1,))
+        self._note_inflight(True)
+
+        # ------------------------------------------------------------------
+        # L1 miss: consult the level predictor, find the block, time the path.
+        # ------------------------------------------------------------------
+        latency = float(self.config.l1.miss_detect_latency) + translation.latency
+        self.l1.mshrs.allocate(block, access.access_type)
+
+        actual, remote_core = self._locate(block)
+        if self.config.ideal_miss_latency:
+            # The paper's Ideal system: a perfect, zero-cost level prediction
+            # on every L1 miss — the request goes straight to the level that
+            # holds the block with no predictor latency and no wasted lookups.
+            from ..core.base import Prediction
+            prediction = Prediction(levels=(actual,), source="ideal")
+        else:
+            prediction = self.predictor.predict(block, access.pc)
+            latency += self.predictor.prediction_latency
+            self.energy.charge_predictor(
+                self.predictor.energy_per_prediction_nj())
+        self.stats.predictions += 1
+
+        outcome = self.predictor.train(block, access.pc, prediction, actual)
+        self.predictor.on_hit(actual)
+
+        path_latency, looked_up, recovered = self._timed_path(
+            prediction, actual, access, remote_core)
+        latency += path_latency
+        if recovered:
+            self.stats.recoveries += 1
+
+        self._account_hit_level(actual, remote_core)
+        self._fill_on_response(block, access, actual)
+        self.l1.mshrs.release(block)
+
+        self.stats.total_demand_latency += latency
+        self.stats.miss_latency += latency
+        return AccessResult(
+            hit_level=actual,
+            latency=latency,
+            levels_looked_up=tuple(looked_up),
+            bypassed_levels=self._bypassed(prediction, actual),
+            predicted_levels=tuple(prediction.levels),
+            misprediction=outcome is PredictionOutcome.HARMFUL,
+            used_pld=prediction.used_pld,
+        )
+
+    def run_trace(self, accesses) -> List[AccessResult]:
+        """Convenience helper: service an iterable of accesses."""
+        return [self.access(access) for access in accesses]
+
+    # ==================================================================
+    # Location and classification helpers
+    # ==================================================================
+    def _locate(self, block: int) -> Tuple[Level, Optional[int]]:
+        """Find where the block currently resides (after the L1 miss)."""
+        if self.l2.contains(block):
+            return Level.L2, None
+        if self.shared.l3.contains(block):
+            return Level.L3, None
+        remote_holders = self.shared.directory.holders(block) - {self.core_id}
+        if remote_holders:
+            # Supplied by another core's private cache through the directory;
+            # classified as an LLC-level hit for prediction purposes.
+            return Level.L3, min(remote_holders)
+        return Level.MEM, None
+
+    def _account_hit_level(self, actual: Level, remote_core: Optional[int]) -> None:
+        if actual is Level.L2:
+            self.stats.l2_hits += 1
+        elif actual is Level.L3:
+            self.stats.l3_hits += 1
+            if remote_core is not None:
+                self.stats.remote_cache_hits += 1
+        else:
+            self.stats.memory_accesses += 1
+
+    @staticmethod
+    def _bypassed(prediction: Prediction, actual: Level) -> Tuple[Level, ...]:
+        bypassed = []
+        levels = prediction.levels or (Level.L2,)
+        for level in (Level.L2, Level.L3):
+            if level not in levels and level.closer_than(actual):
+                bypassed.append(level)
+        return tuple(bypassed)
+
+    # ==================================================================
+    # Timing
+    # ==================================================================
+    def _timed_path(
+        self,
+        prediction: Prediction,
+        actual: Level,
+        access: MemoryAccess,
+        remote_core: Optional[int],
+    ) -> Tuple[float, List[Level], bool]:
+        """Latency of the L2-and-beyond path, levels probed, recovery flag."""
+        cfg = self.config
+        levels = prediction.levels or (Level.L2,)
+        probe_l2 = Level.L2 in levels
+        probe_l3 = Level.L3 in levels
+        probe_mem = Level.MEM in levels
+        looked_up: List[Level] = []
+        recovered = False
+
+        # Port-pressure penalty when more than one on-chip cache is probed in
+        # parallel (multi-way predictions, Section V.A / V.C).
+        cache_probes = sum(1 for lvl in levels if lvl.is_cache)
+        port_penalty = cfg.parallel_port_penalty * max(0, cache_probes - 1)
+        if cache_probes > 1:
+            self.stats.parallel_cache_probes += 1
+
+        latency = self.interconnect.l1_to_l2_latency()
+        self.energy.charge_bus()
+        # An MSHR entry is allocated at L2 even when it is bypassed, so the
+        # fill path can deposit the block on the way back (Section III.E).
+        self.l2.mshrs.allocate(block_address(access.address, self._block_size),
+                               access.access_type)
+
+        # ---------------- L2 stage ----------------
+        if probe_l2:
+            looked_up.append(Level.L2)
+            self.l2.lookup(access.address, access.access_type)
+            self.energy.charge_cache_lookup(Level.L2)
+            if actual is Level.L2:
+                latency += cfg.l2.hit_latency + port_penalty
+                self._train_l2_prefetcher(access, hit=True)
+                self._release_l2_mshr(access)
+                return latency, looked_up, recovered
+            if not (probe_l3 or probe_mem):
+                # Sequential fallback: wait for the L2 miss before forwarding.
+                latency += cfg.l2.miss_detect_latency
+        else:
+            if actual is Level.L2:
+                # Harmful misprediction: L2 held the block but was bypassed.
+                latency += self._recover_to_l2(access, looked_up)
+                latency += port_penalty
+                self._train_l2_prefetcher(access, hit=True)
+                self._release_l2_mshr(access)
+                return latency, looked_up, True
+
+        # ---------------- LLC / directory stage ----------------
+        latency += self.interconnect.l2_to_llc_latency()
+        self.energy.charge_bus()
+        looked_up.append(Level.L3)
+        self.energy.charge_directory()
+
+        if actual is Level.L3:
+            self.shared.l3.lookup(access.address, access.access_type)
+            self.energy.charge_cache_lookup(Level.L3)
+            llc_latency = float(cfg.l3.hit_latency)
+            if remote_core is not None:
+                # Data forwarded from another core's private cache.
+                llc_latency = (cfg.l3.tag_latency
+                               + self.interconnect.cache_to_cache_latency())
+            if probe_mem and cfg.memory_speculative_launch:
+                # A speculative DRAM access was launched and must be cancelled
+                # by the return-path address-matching logic: energy, no time.
+                self.energy.charge("dram",
+                                   self.shared.energy_params.dram_access_nj)
+                self.stats.cancelled_dram_launches += 1
+            latency += llc_latency + port_penalty
+            self._train_llc_prefetcher(access, hit=True)
+            self._release_l2_mshr(access)
+            return latency, looked_up, recovered
+
+        # Block is in main memory.
+        self.shared.l3.lookup(access.address, access.access_type)
+        self.energy.charge_cache_lookup(Level.L3, tag_only=True)
+        self._train_llc_prefetcher(access, hit=False)
+        looked_up.append(Level.MEM)
+        dram_latency = self.shared.dram.access(access.address)
+        self.energy.charge("dram", self.shared.energy_params.dram_access_nj)
+        hop_to_memory = self.interconnect.llc_to_memory_latency()
+
+        if probe_mem and cfg.memory_speculative_launch:
+            # DRAM access launched in parallel with the directory/tag check;
+            # the response is released once the check confirms the block is
+            # uncached, so the tag latency is hidden behind DRAM.
+            self.stats.speculative_dram_launches += 1
+            latency += max(float(cfg.l3.tag_latency),
+                           hop_to_memory + dram_latency)
+        else:
+            latency += cfg.l3.tag_latency + hop_to_memory + dram_latency
+        latency += port_penalty
+        self._release_l2_mshr(access)
+        return latency, looked_up, recovered
+
+    def _recover_to_l2(self, access: MemoryAccess,
+                       looked_up: List[Level]) -> float:
+        """Misprediction recovery: directory re-issues the request to L2."""
+        latency = self.interconnect.l2_to_llc_latency()
+        self.energy.charge_bus()
+        looked_up.append(Level.L3)
+        # The collocated directory is consulted during the LLC tag access.
+        latency += self.config.l3.tag_latency
+        self.energy.charge_cache_lookup(Level.L3, tag_only=True)
+        self.energy.charge_directory()
+        self.shared.directory.detect_bypass_misprediction(
+            block_address(access.address, self._block_size), self.core_id)
+        # Recovery transaction back to L2, then the L2 access itself.
+        latency += self.interconnect.recovery_latency()
+        self.energy.charge_recovery(
+            self.shared.energy_params.bus_transfer_nj
+            + self.shared.energy_params.directory_access_nj)
+        looked_up.append(Level.L2)
+        self.l2.lookup(access.address, access.access_type)
+        self.energy.charge_cache_lookup(Level.L2)
+        latency += self.config.l2.hit_latency
+        # Deallocate MSHR entries allocated past the actual level.
+        self.shared.l3.mshrs.force_release(
+            block_address(access.address, self._block_size))
+        return latency
+
+    def _release_l2_mshr(self, access: MemoryAccess) -> None:
+        self.l2.mshrs.release(block_address(access.address, self._block_size))
+
+    # ==================================================================
+    # Data movement (fills, evictions, writebacks)
+    # ==================================================================
+    def _fill_on_response(self, block: int, access: MemoryAccess,
+                          actual: Level) -> None:
+        """Move the block up the hierarchy after the response returns."""
+        dirty = access.is_store
+        state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
+
+        if actual is Level.MEM:
+            # Memory fills also populate the (non-inclusive) LLC.
+            l3_eviction = self.shared.l3.fill(block, access.access_type,
+                                              dirty=False, state=state)
+            self._handle_l3_eviction(l3_eviction)
+            self.predictor.on_fill(block, Level.L3)
+
+        if actual in (Level.MEM, Level.L3):
+            l2_eviction = self.l2.fill(block, access.access_type,
+                                       dirty=dirty, state=state)
+            self._handle_l2_eviction(l2_eviction)
+            self.predictor.on_fill(block, Level.L2)
+            self.shared.directory.record_private_fill(block, self.core_id,
+                                                      dirty=dirty)
+        elif actual is Level.L2:
+            # The L1 fill from L2 is a demand fill observed on the L2 bus, so
+            # the predictor's location metadata is refreshed with the truth
+            # (this is what repairs stale LocMap entries left by unrecorded
+            # prefetch fills).
+            self.predictor.on_fill(block, Level.L2)
+            if dirty:
+                self.l2.mark_dirty(block)
+
+        l1_eviction = self.l1.fill(access.address, access.access_type,
+                                   dirty=dirty, state=state)
+        self._handle_l1_eviction(l1_eviction)
+
+    def _handle_l1_eviction(self, eviction: Optional[EvictionInfo]) -> None:
+        if eviction is None:
+            return
+        if eviction.prefetched_unused:
+            self.l1_prefetcher.record_useless()
+        if eviction.dirty:
+            # L2 is inclusive of L1, so a dirty L1 victim merges into L2.
+            self.l2.mark_dirty(eviction.block_addr)
+
+    def _handle_l2_eviction(self, eviction: Optional[EvictionInfo]) -> None:
+        if eviction is None:
+            return
+        if eviction.prefetched_unused:
+            self.l2_prefetcher.record_useless()
+        # Inclusion: a block leaving L2 must leave L1 as well.
+        self.l1.invalidate(eviction.block_addr)
+        self.shared.directory.record_private_eviction(eviction.block_addr,
+                                                      self.core_id)
+        self.predictor.on_eviction(eviction.block_addr, Level.L2,
+                                   dirty=eviction.dirty)
+        if eviction.dirty:
+            # Dirty victims are written back into the non-inclusive LLC.
+            l3_eviction = self.shared.l3.fill(
+                eviction.block_addr, AccessType.WRITEBACK, dirty=True,
+                state=CoherenceState.MODIFIED)
+            self.energy.charge_cache_lookup(Level.L3)
+            self._handle_l3_eviction(l3_eviction)
+
+    def _handle_l3_eviction(self, eviction: Optional[EvictionInfo]) -> None:
+        if eviction is None:
+            return
+        self.shared.l3_eviction_to_memory(eviction, self.energy)
+        self.predictor.on_eviction(eviction.block_addr, Level.L3,
+                                   dirty=eviction.dirty)
+
+    # ==================================================================
+    # Prefetching
+    # ==================================================================
+    def _line_is_prefetched(self, cache: Cache, block: int) -> bool:
+        line = cache.get_line(block)
+        return line is not None and line.prefetched
+
+    def _note_inflight(self, missed: bool) -> None:
+        """Track recent demand-miss density (MSHR-pressure approximation)."""
+        if len(self._inflight_misses) == self._inflight_misses.maxlen:
+            if self._inflight_misses[0]:
+                self._inflight_miss_count -= 1
+        self._inflight_misses.append(missed)
+        if missed:
+            self._inflight_miss_count += 1
+        if len(self._recent_prefetches) == self._recent_prefetches.maxlen:
+            self._recent_prefetch_count -= self._recent_prefetches[0]
+        self._recent_prefetches.append(self._prefetches_this_access)
+        self._recent_prefetch_count += self._prefetches_this_access
+        self._prefetches_this_access = 0
+
+    def _prefetch_mshr_pressure(self) -> bool:
+        """Approximate the 25 %-MSHR-reservation throttle (Section IV.A).
+
+        The functional model retires each access before the next begins, so
+        true MSHR occupancy is not observable.  Instead the prefetch *issue
+        rate* over the last ``prefetch_inflight_window`` demand accesses is
+        bounded by the non-reserved share of the L2 MSHR entries: once that
+        many prefetches are outstanding in the window, further prefetches are
+        dropped, exactly the behaviour the reservation produces under load.
+        """
+        prefetch_budget = (1.0 - self.config.l2.mshr_demand_reserve) \
+            * self.config.l2.mshr_entries
+        return (self._recent_prefetch_count + self._prefetches_this_access
+                >= prefetch_budget)
+
+    def _train_l1_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+        candidates = self.l1_prefetcher.observe(PrefetchAccess(
+            address=access.address, pc=access.pc, hit=hit,
+            is_load=access.is_load))
+        for address in candidates:
+            self._issue_prefetch(address, Level.L1)
+
+    def _train_l2_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+        candidates = self.l2_prefetcher.observe(PrefetchAccess(
+            address=access.address, pc=access.pc, hit=hit,
+            is_load=access.is_load))
+        for address in candidates:
+            self._issue_prefetch(address, Level.L2)
+
+    def _train_llc_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+        # The L2 prefetcher trains on L1 misses (accesses that reach L2) and
+        # the LLC prefetcher on L2 misses; an access that gets here missed L2.
+        self._train_l2_prefetcher(access, hit=False)
+        candidates = self.shared.llc_prefetcher.observe(PrefetchAccess(
+            address=access.address, pc=access.pc, hit=hit,
+            is_load=access.is_load))
+        for address in candidates:
+            self._issue_prefetch(address, Level.L3)
+
+    def _issue_prefetch(self, address: int, level: Level) -> None:
+        """Install a prefetched block at ``level`` (and maintain inclusion)."""
+        if self._prefetch_mshr_pressure():
+            self.stats.prefetches_dropped_mshr += 1
+            return
+        block = block_address(address, self._block_size)
+        self.stats.prefetches_issued += 1
+        self._prefetches_this_access += 1
+        if level is Level.L1:
+            if self.l1.contains(block):
+                return
+            # L1/L2 are inclusive: the prefetched block is installed in both.
+            l2_eviction = self.l2.fill(block, AccessType.PREFETCH)
+            self._handle_l2_eviction(l2_eviction)
+            l1_eviction = self.l1.fill(block, AccessType.PREFETCH)
+            self._handle_l1_eviction(l1_eviction)
+            self.predictor.on_fill(block, Level.L2, from_prefetch=True)
+            self.shared.directory.record_private_fill(block, self.core_id)
+        elif level is Level.L2:
+            if self.l2.contains(block):
+                return
+            l2_eviction = self.l2.fill(block, AccessType.PREFETCH)
+            self._handle_l2_eviction(l2_eviction)
+            self.predictor.on_fill(block, Level.L2, from_prefetch=True)
+            self.shared.directory.record_private_fill(block, self.core_id)
+        else:
+            if self.shared.l3.contains(block):
+                return
+            l3_eviction = self.shared.l3.fill(block, AccessType.PREFETCH)
+            self._handle_l3_eviction(l3_eviction)
+            self.predictor.on_fill(block, Level.L3, from_prefetch=True)
+        self.energy.charge_cache_lookup(level if level.is_cache else Level.L3)
+
+    # ==================================================================
+    # Reporting
+    # ==================================================================
+    def miss_counts(self) -> Dict[str, int]:
+        """Demand miss counts per level (the quantities behind Figures 1-2)."""
+        return {
+            "l1_misses": self.stats.l1_misses,
+            "l2_misses": self.stats.l2_misses,
+            "l3_misses": self.stats.l3_misses,
+        }
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()
+        self.energy.reset()
+        self.l1.reset_statistics()
+        self.l2.reset_statistics()
+        self.predictor.reset_statistics()
+        self.tlb.reset_statistics()
+        self.interconnect.reset_statistics()

@@ -1,0 +1,79 @@
+"""On-chip interconnect latency and contention model.
+
+The private L1/L2 caches talk to the shared LLC and the memory controller over
+a shared bus (the paper describes the level predictor as "attached to the L2
+bus" and misprediction recovery as "a new transaction over the shared bus").
+This module provides a small latency model for those hops plus a utilisation-
+based contention penalty for multi-core runs, where LLC contention is one of
+the reasons multi-core prediction accuracy and speedup differ from single-core
+(Section V.D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InterconnectConfig:
+    """Per-hop latencies in core cycles.
+
+    Attributes:
+        l1_to_l2: Latency from the L1 miss path to the L2 controller.
+        l2_to_llc: Latency from L2 (or the bypass path) to the shared LLC.
+        llc_to_memory: Latency from the LLC/directory to the memory controller.
+        recovery_transaction: Extra latency of the misprediction-recovery
+            transaction the directory issues to the correct level.
+        contention_per_extra_core: Additional average cycles added to every
+            shared-resource hop per active core beyond the first, a simple
+            stand-in for queueing at the LLC and bus arbitration.
+    """
+
+    l1_to_l2: int = 2
+    l2_to_llc: int = 4
+    llc_to_memory: int = 6
+    recovery_transaction: int = 8
+    contention_per_extra_core: float = 1.5
+
+
+class Interconnect:
+    """Latency calculator for hops between hierarchy levels."""
+
+    def __init__(self, config: InterconnectConfig | None = None,
+                 active_cores: int = 1) -> None:
+        self.config = config or InterconnectConfig()
+        self.active_cores = max(1, active_cores)
+        self.transfers = 0
+        self.recovery_transactions = 0
+
+    def _contention(self) -> float:
+        extra_cores = self.active_cores - 1
+        return extra_cores * self.config.contention_per_extra_core
+
+    def l1_to_l2_latency(self) -> float:
+        self.transfers += 1
+        return float(self.config.l1_to_l2)
+
+    def l2_to_llc_latency(self) -> float:
+        self.transfers += 1
+        return self.config.l2_to_llc + self._contention()
+
+    def llc_to_memory_latency(self) -> float:
+        self.transfers += 1
+        return self.config.llc_to_memory + self._contention()
+
+    def recovery_latency(self) -> float:
+        """Latency of the directory-issued recovery transaction."""
+        self.recovery_transactions += 1
+        return self.config.recovery_transaction + self._contention()
+
+    def cache_to_cache_latency(self) -> float:
+        """Latency of a cache-to-cache forward between private caches."""
+        self.transfers += 1
+        return (
+            self.config.l2_to_llc + self.config.l1_to_l2 + self._contention()
+        )
+
+    def reset_statistics(self) -> None:
+        self.transfers = 0
+        self.recovery_transactions = 0

@@ -1,0 +1,158 @@
+"""Miss status holding registers (MSHRs).
+
+MSHRs give the caches their non-blocking behaviour: each outstanding miss
+allocates an entry, subsequent accesses to the same block coalesce onto the
+existing entry, and the entry is released when the fill returns.
+
+The paper uses MSHRs in two additional ways that this module models:
+
+* **Prefetch throttling** (Section IV.A): 25 % of the entries are reserved for
+  demand accesses so aggressive prefetchers cannot starve the core.
+* **Level prediction** (Section III.E): bypassed levels still allocate an MSHR
+  entry so the fill path can find a target on the way back; on a detected
+  misprediction the entries "past the actual level" are deallocated.  The
+  hierarchy model calls :meth:`MSHRFile.release` for those entries and the
+  recovery cost model charges the corresponding deallocation traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .block import AccessType
+
+
+@dataclass(slots=True)
+class MSHREntry:
+    """One outstanding miss.
+
+    Attributes:
+        block_addr: Block-aligned address of the miss.
+        is_prefetch: True when the original allocation was for a prefetch.
+        allocated_at: Logical time of allocation (for occupancy statistics).
+        coalesced: Number of additional requests merged onto this entry.
+    """
+
+    block_addr: int
+    is_prefetch: bool = False
+    allocated_at: int = 0
+    coalesced: int = 0
+
+
+class MSHRFile:
+    """A fixed-capacity file of MSHR entries with demand reservation.
+
+    Args:
+        capacity: Total number of entries.
+        demand_reserve_fraction: Fraction of entries that only demand accesses
+            may use.  Prefetches are rejected once occupancy exceeds
+            ``capacity * (1 - demand_reserve_fraction)``.
+    """
+
+    def __init__(self, capacity: int, demand_reserve_fraction: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        if not 0.0 <= demand_reserve_fraction < 1.0:
+            raise ValueError("demand_reserve_fraction must be in [0, 1)")
+        self.capacity = capacity
+        self.demand_reserve_fraction = demand_reserve_fraction
+        self._entries: Dict[int, MSHREntry] = {}
+        self._clock = 0
+        # Statistics.
+        self.allocations = 0
+        self.coalesces = 0
+        self.demand_rejections = 0
+        self.prefetch_rejections = 0
+        self.forced_deallocations = 0
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of entries currently allocated."""
+        return len(self._entries)
+
+    @property
+    def prefetch_limit(self) -> int:
+        """Maximum occupancy at which a prefetch may still allocate."""
+        return int(self.capacity * (1.0 - self.demand_reserve_fraction))
+
+    def is_full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    def has_room_for(self, access_type: AccessType) -> bool:
+        """True if an access of this type could allocate an entry right now."""
+        if access_type is AccessType.PREFETCH:
+            return self.occupancy < self.prefetch_limit
+        return self.occupancy < self.capacity
+
+    # ------------------------------------------------------------------
+    # Allocation / lookup / release
+    # ------------------------------------------------------------------
+    def lookup(self, block_addr: int) -> Optional[MSHREntry]:
+        """Return the entry tracking ``block_addr``, if any."""
+        return self._entries.get(block_addr)
+
+    def allocate(
+        self, block_addr: int, access_type: AccessType = AccessType.LOAD
+    ) -> Optional[MSHREntry]:
+        """Allocate (or coalesce onto) an entry for ``block_addr``.
+
+        Returns the entry, or ``None`` when the file has no room for this
+        access type (structural hazard).  A coalesced request never fails.
+        """
+        self._clock += 1
+        existing = self._entries.get(block_addr)
+        if existing is not None:
+            existing.coalesced += 1
+            self.coalesces += 1
+            return existing
+        if not self.has_room_for(access_type):
+            if access_type is AccessType.PREFETCH:
+                self.prefetch_rejections += 1
+            else:
+                self.demand_rejections += 1
+            return None
+        entry = MSHREntry(
+            block_addr=block_addr,
+            is_prefetch=access_type is AccessType.PREFETCH,
+            allocated_at=self._clock,
+        )
+        self._entries[block_addr] = entry
+        self.allocations += 1
+        return entry
+
+    def release(self, block_addr: int) -> bool:
+        """Release the entry for ``block_addr``.
+
+        Returns True if an entry was present.  Releasing an absent entry is
+        not an error: misprediction recovery may try to deallocate entries at
+        levels the request never reached.
+        """
+        entry = self._entries.pop(block_addr, None)
+        return entry is not None
+
+    def force_release(self, block_addr: int) -> bool:
+        """Release an entry as part of misprediction recovery.
+
+        Identical to :meth:`release` but counted separately so the recovery
+        traffic can be reported (Section III.E: recovery deallocates all MSHR
+        entries past the actual level).
+        """
+        released = self.release(block_addr)
+        if released:
+            self.forced_deallocations += 1
+        return released
+
+    def outstanding_blocks(self) -> List[int]:
+        """Block addresses with entries currently allocated."""
+        return list(self._entries)
+
+    def reset_statistics(self) -> None:
+        self.allocations = 0
+        self.coalesces = 0
+        self.demand_rejections = 0
+        self.prefetch_rejections = 0
+        self.forced_deallocations = 0

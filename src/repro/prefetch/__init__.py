@@ -1,0 +1,69 @@
+"""Hardware prefetchers used by the baseline system and by Figure 3.
+
+The paper's baseline prefetch scheme (Section IV.A) is built from
+:class:`TaggedNextLinePrefetcher` at L1/L2 and :class:`DCPTPrefetcher` at the
+LLC, wrapped in :class:`ThrottledPrefetcher` for accuracy-gated epochs.  The
+remaining prefetchers reproduce the comparison sweep of Figure 3.
+"""
+
+from .ampm import AMPMPrefetcher, SlimAMPMPrefetcher
+from .base import NullPrefetcher, PrefetchAccess, Prefetcher, PrefetcherStats
+from .dcpt import DCPTPrefetcher
+from .nextline import StridePrefetcher, TaggedNextLinePrefetcher
+from .offset import BestOffsetPrefetcher, SandboxPrefetcher
+from .spp import SPPPrefetcher, SPPv2Prefetcher
+from .temporal import (
+    IndirectMemoryPrefetcher,
+    ISBPrefetcher,
+    TemporalStreamPrefetcher,
+)
+from .throttle import ThrottledPrefetcher
+
+#: The LLC prefetchers evaluated in Figure 3, by the labels the paper uses.
+FIGURE3_PREFETCHERS = {
+    "AMPM": AMPMPrefetcher,
+    "BOP": BestOffsetPrefetcher,
+    "DCPT": DCPTPrefetcher,
+    "Indirect": IndirectMemoryPrefetcher,
+    "ISB": ISBPrefetcher,
+    "SPP": SPPPrefetcher,
+    "SBO": SandboxPrefetcher,
+    "SPPV2": SPPv2Prefetcher,
+    "SlimAMPM": SlimAMPMPrefetcher,
+    "STeMS": TemporalStreamPrefetcher,
+    "Stride": StridePrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate one of the Figure-3 prefetchers by its paper label."""
+    try:
+        cls = FIGURE3_PREFETCHERS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown prefetcher {name!r}; choose from "
+            f"{sorted(FIGURE3_PREFETCHERS)}") from exc
+    return cls(**kwargs)
+
+
+__all__ = [
+    "AMPMPrefetcher",
+    "BestOffsetPrefetcher",
+    "DCPTPrefetcher",
+    "FIGURE3_PREFETCHERS",
+    "IndirectMemoryPrefetcher",
+    "ISBPrefetcher",
+    "NullPrefetcher",
+    "PrefetchAccess",
+    "Prefetcher",
+    "PrefetcherStats",
+    "SandboxPrefetcher",
+    "SlimAMPMPrefetcher",
+    "SPPPrefetcher",
+    "SPPv2Prefetcher",
+    "StridePrefetcher",
+    "TaggedNextLinePrefetcher",
+    "TemporalStreamPrefetcher",
+    "ThrottledPrefetcher",
+    "make_prefetcher",
+]

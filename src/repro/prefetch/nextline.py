@@ -1,0 +1,110 @@
+"""Tagged next-line and stride prefetchers.
+
+The paper's baseline uses tagged next-line prefetchers at L1 (degree 1) and
+L2 (degree 2): on a demand miss — or on the first demand hit to a line that
+was itself prefetched (the "tag") — the next ``degree`` sequential lines are
+fetched.  The classic stride prefetcher (per-PC reference prediction table) is
+included as well; it is a common component of the comparison points in
+Figure 3 and a useful substrate for tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .base import PrefetchAccess, Prefetcher
+
+
+class TaggedNextLinePrefetcher(Prefetcher):
+    """Tagged sequential (next-line) prefetcher.
+
+    A prefetch is triggered on a demand miss, and also on a demand hit to a
+    block that this prefetcher brought in (the tagged part): that hit is
+    evidence the sequential stream is being consumed, so prefetching continues
+    ahead of it.
+    """
+
+    def __init__(self, degree: int = 1, block_size: int = 64,
+                 tag_capacity: int = 1024) -> None:
+        super().__init__(degree=degree, block_size=block_size)
+        # Blocks we prefetched and have not yet seen a demand access to.
+        self._tagged: OrderedDict[int, bool] = OrderedDict()
+        self._tag_capacity = tag_capacity
+
+    def _remember(self, block: int) -> None:
+        if block in self._tagged:
+            self._tagged.move_to_end(block)
+            return
+        if len(self._tagged) >= self._tag_capacity:
+            self._tagged.popitem(last=False)
+        self._tagged[block] = True
+
+    def _generate(self, access: PrefetchAccess) -> List[int]:
+        block = access.address - (access.address % self.block_size)
+        triggered = not access.hit
+        if access.hit and block in self._tagged:
+            # First demand use of a prefetched line keeps the stream going.
+            del self._tagged[block]
+            triggered = True
+        if not triggered:
+            return []
+        candidates = []
+        for i in range(1, self.degree + 1):
+            target = block + i * self.block_size
+            candidates.append(target)
+            self._remember(target)
+        return candidates
+
+
+@dataclass
+class _StrideEntry:
+    last_address: int
+    stride: int
+    confidence: int
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-PC stride prefetcher (reference prediction table).
+
+    Each static load PC gets a table entry holding its last address and last
+    observed stride with a 2-bit confidence counter; once the same stride is
+    seen twice, ``degree`` strided blocks ahead are prefetched.
+    """
+
+    MAX_CONFIDENCE = 3
+    ISSUE_CONFIDENCE = 2
+
+    def __init__(self, degree: int = 2, block_size: int = 64,
+                 table_entries: int = 256) -> None:
+        super().__init__(degree=degree, block_size=block_size)
+        self._table: OrderedDict[int, _StrideEntry] = OrderedDict()
+        self._table_entries = table_entries
+
+    def _entry_for(self, pc: int) -> _StrideEntry:
+        entry = self._table.get(pc)
+        if entry is not None:
+            self._table.move_to_end(pc)
+            return entry
+        if len(self._table) >= self._table_entries:
+            self._table.popitem(last=False)
+        entry = _StrideEntry(last_address=0, stride=0, confidence=0)
+        self._table[pc] = entry
+        return entry
+
+    def _generate(self, access: PrefetchAccess) -> List[int]:
+        entry = self._entry_for(access.pc)
+        candidates: List[int] = []
+        if entry.last_address:
+            stride = access.address - entry.last_address
+            if stride != 0 and stride == entry.stride:
+                entry.confidence = min(entry.confidence + 1, self.MAX_CONFIDENCE)
+            else:
+                entry.confidence = max(entry.confidence - 1, 0)
+                entry.stride = stride
+            if entry.confidence >= self.ISSUE_CONFIDENCE and entry.stride:
+                for i in range(1, self.degree + 1):
+                    candidates.append(access.address + i * entry.stride)
+        entry.last_address = access.address
+        return candidates

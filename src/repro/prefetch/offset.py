@@ -1,0 +1,150 @@
+"""Offset prefetchers: Best-Offset (BOP) and Sandbox (SBO).
+
+Both prefetchers learn a single good *offset* (in blocks) to add to every
+demand-missing address, rather than per-PC patterns:
+
+* **Best-Offset** (Michaud, HPCA 2016) scores a fixed list of candidate
+  offsets in rounds: an offset scores a point whenever the current miss
+  address minus that offset was recently requested (tracked in a small recent
+  requests table).  When a round ends, the best-scoring offset (if above a
+  threshold) becomes the active prefetch offset.
+* **Sandbox** (Brown and Pugsley, DPC2 2014) evaluates candidate offsets in a
+  "sandbox": pseudo-prefetches are added to a Bloom-filter-like set and score
+  when later demand accesses hit them; offsets whose score passes a threshold
+  are promoted to issue real prefetches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Set
+
+from .base import PrefetchAccess, Prefetcher
+
+#: Candidate offsets from the Best-Offset paper (a subset; block units).
+DEFAULT_OFFSETS = [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 30, 32]
+
+
+class BestOffsetPrefetcher(Prefetcher):
+    """Best-offset prefetching with round-based offset scoring."""
+
+    def __init__(self, degree: int = 1, block_size: int = 64,
+                 round_length: int = 256, score_threshold: int = 20,
+                 recent_requests: int = 128) -> None:
+        super().__init__(degree=degree, block_size=block_size)
+        self.round_length = round_length
+        self.score_threshold = score_threshold
+        self._offsets = list(DEFAULT_OFFSETS)
+        self._scores: Dict[int, int] = {offset: 0 for offset in self._offsets}
+        self._recent: "OrderedDict[int, bool]" = OrderedDict()
+        self._recent_capacity = recent_requests
+        self._round_position = 0
+        self._active_offset = 1
+        self.rounds_completed = 0
+
+    def _remember(self, block: int) -> None:
+        if block in self._recent:
+            self._recent.move_to_end(block)
+            return
+        if len(self._recent) >= self._recent_capacity:
+            self._recent.popitem(last=False)
+        self._recent[block] = True
+
+    def _score_offsets(self, block: int) -> None:
+        for offset in self._offsets:
+            if (block - offset) in self._recent:
+                self._scores[offset] += 1
+
+    def _end_round_if_needed(self) -> None:
+        self._round_position += 1
+        if self._round_position < self.round_length:
+            return
+        best_offset = max(self._offsets, key=lambda o: self._scores[o])
+        if self._scores[best_offset] >= self.score_threshold:
+            self._active_offset = best_offset
+        self._scores = {offset: 0 for offset in self._offsets}
+        self._round_position = 0
+        self.rounds_completed += 1
+
+    def _generate(self, access: PrefetchAccess) -> List[int]:
+        block = access.address // self.block_size
+        self._score_offsets(block)
+        self._remember(block)
+        self._end_round_if_needed()
+        if access.hit:
+            return []
+        candidates = []
+        for i in range(1, self.degree + 1):
+            candidates.append(
+                (block + i * self._active_offset) * self.block_size)
+        return candidates
+
+    @property
+    def active_offset(self) -> int:
+        return self._active_offset
+
+
+class SandboxPrefetcher(Prefetcher):
+    """Sandbox prefetching: offsets are auditioned before issuing for real."""
+
+    def __init__(self, degree: int = 1, block_size: int = 64,
+                 evaluation_period: int = 256, promote_threshold: int = 16,
+                 sandbox_capacity: int = 512) -> None:
+        super().__init__(degree=degree, block_size=block_size)
+        self.evaluation_period = evaluation_period
+        self.promote_threshold = promote_threshold
+        self.sandbox_capacity = sandbox_capacity
+        self._candidates = [1, -1, 2, -2, 4, 8]
+        self._current_index = 0
+        self._sandbox: Set[int] = set()
+        self._sandbox_order: Deque[int] = deque()
+        self._score = 0
+        self._position = 0
+        self._promoted: List[int] = []
+
+    def _sandbox_add(self, block: int) -> None:
+        if block in self._sandbox:
+            return
+        if len(self._sandbox_order) >= self.sandbox_capacity:
+            oldest = self._sandbox_order.popleft()
+            self._sandbox.discard(oldest)
+        self._sandbox.add(block)
+        self._sandbox_order.append(block)
+
+    def _rotate_candidate(self) -> None:
+        offset = self._candidates[self._current_index]
+        if self._score >= self.promote_threshold:
+            if offset not in self._promoted:
+                self._promoted.append(offset)
+                self._promoted = self._promoted[-2:]  # keep the best two
+        elif offset in self._promoted and self._score < self.promote_threshold // 2:
+            self._promoted.remove(offset)
+        self._current_index = (self._current_index + 1) % len(self._candidates)
+        self._score = 0
+        self._position = 0
+        self._sandbox.clear()
+        self._sandbox_order.clear()
+
+    def _generate(self, access: PrefetchAccess) -> List[int]:
+        block = access.address // self.block_size
+        # Score: did an earlier sandbox prefetch predict this access?
+        if block in self._sandbox:
+            self._score += 1
+        # Audition the current candidate offset in the sandbox.
+        offset = self._candidates[self._current_index]
+        self._sandbox_add(block + offset)
+        self._position += 1
+        if self._position >= self.evaluation_period:
+            self._rotate_candidate()
+
+        if access.hit or not self._promoted:
+            return []
+        candidates = []
+        for promoted in self._promoted:
+            for i in range(1, self.degree + 1):
+                candidates.append((block + i * promoted) * self.block_size)
+        return candidates
+
+    @property
+    def promoted_offsets(self) -> List[int]:
+        return list(self._promoted)

@@ -1,0 +1,144 @@
+"""Signature Path Prefetcher (SPP) and its enhanced variant.
+
+SPP (Kim et al.; "Lookahead prefetching with signature path", DPC2 2015)
+compresses the recent sequence of intra-page deltas into a *signature*, looks
+the signature up in a pattern table that maps signatures to likely next deltas
+with confidence, and walks the signature path speculatively: each predicted
+delta produces a new signature, letting the prefetcher run several deltas
+ahead as long as the compound confidence stays above a threshold.
+
+``SPPv2Prefetcher`` models the enhanced version evaluated in Figure 3 (higher
+lookahead and a global-history bootstrap for new pages).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .base import PrefetchAccess, Prefetcher
+
+
+def _update_signature(signature: int, delta: int) -> int:
+    """Fold a new delta into the 12-bit path signature."""
+    return ((signature << 3) ^ (delta & 0x3F)) & 0xFFF
+
+
+@dataclass
+class _PageEntry:
+    last_offset: int
+    signature: int = 0
+
+
+class SPPPrefetcher(Prefetcher):
+    """Signature path prefetching with confidence-scaled lookahead."""
+
+    def __init__(self, degree: int = 2, block_size: int = 64,
+                 page_size: int = 4096, pattern_entries: int = 512,
+                 page_entries: int = 64, lookahead: int = 4,
+                 confidence_threshold: float = 0.25) -> None:
+        super().__init__(degree=degree, block_size=block_size)
+        self.page_size = page_size
+        self.blocks_per_page = page_size // block_size
+        self.lookahead = lookahead
+        self.confidence_threshold = confidence_threshold
+        self._pages: "OrderedDict[int, _PageEntry]" = OrderedDict()
+        self._page_entries = page_entries
+        # signature -> {delta: count}
+        self._patterns: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self._pattern_entries = pattern_entries
+
+    # ------------------------------------------------------------------
+    # Table helpers
+    # ------------------------------------------------------------------
+    def _page(self, page: int) -> Optional[_PageEntry]:
+        entry = self._pages.get(page)
+        if entry is not None:
+            self._pages.move_to_end(page)
+        return entry
+
+    def _new_page(self, page: int, offset: int) -> _PageEntry:
+        if len(self._pages) >= self._page_entries:
+            self._pages.popitem(last=False)
+        entry = _PageEntry(last_offset=offset)
+        self._pages[page] = entry
+        return entry
+
+    def _pattern(self, signature: int) -> Dict[int, int]:
+        counts = self._patterns.get(signature)
+        if counts is not None:
+            self._patterns.move_to_end(signature)
+            return counts
+        if len(self._patterns) >= self._pattern_entries:
+            self._patterns.popitem(last=False)
+        counts = {}
+        self._patterns[signature] = counts
+        return counts
+
+    def _best_delta(self, signature: int) -> Tuple[Optional[int], float]:
+        counts = self._patterns.get(signature)
+        if not counts:
+            return None, 0.0
+        total = sum(counts.values())
+        delta, count = max(counts.items(), key=lambda item: item[1])
+        return delta, count / total
+
+    # ------------------------------------------------------------------
+    # Main hook
+    # ------------------------------------------------------------------
+    def _generate(self, access: PrefetchAccess) -> List[int]:
+        page = access.address // self.page_size
+        offset = (access.address % self.page_size) // self.block_size
+        entry = self._page(page)
+        if entry is None:
+            self._new_page(page, offset)
+            return self._bootstrap(page, offset)
+
+        delta = offset - entry.last_offset
+        if delta != 0:
+            # Train the pattern table with the observed transition.
+            counts = self._pattern(entry.signature)
+            counts[delta] = counts.get(delta, 0) + 1
+            entry.signature = _update_signature(entry.signature, delta)
+        entry.last_offset = offset
+
+        # Speculatively walk the signature path.
+        candidates: List[int] = []
+        signature = entry.signature
+        confidence = 1.0
+        current_offset = offset
+        for _ in range(self.lookahead):
+            next_delta, delta_confidence = self._best_delta(signature)
+            if next_delta is None:
+                break
+            confidence *= delta_confidence
+            if confidence < self.confidence_threshold:
+                break
+            current_offset += next_delta
+            if not 0 <= current_offset < self.blocks_per_page:
+                break
+            candidates.append(page * self.page_size
+                              + current_offset * self.block_size)
+            if len(candidates) >= self.degree:
+                break
+            signature = _update_signature(signature, next_delta)
+        return candidates
+
+    def _bootstrap(self, page: int, offset: int) -> List[int]:
+        """First touch of a page: no history, issue nothing (base SPP)."""
+        return []
+
+
+class SPPv2Prefetcher(SPPPrefetcher):
+    """Enhanced SPP: deeper lookahead plus next-line bootstrap on new pages."""
+
+    def __init__(self, degree: int = 4, block_size: int = 64, **kwargs) -> None:
+        kwargs.setdefault("lookahead", 8)
+        kwargs.setdefault("confidence_threshold", 0.20)
+        super().__init__(degree=degree, block_size=block_size, **kwargs)
+
+    def _bootstrap(self, page: int, offset: int) -> List[int]:
+        if offset + 1 >= self.blocks_per_page:
+            return []
+        return [page * self.page_size + (offset + 1) * self.block_size]

@@ -1,0 +1,39 @@
+"""System assembly, configuration and simulation drivers."""
+
+from .config import PREDICTOR_NAMES, SystemConfig, table1_description
+from .multicore import MultiCoreResult, MultiCoreSystem, run_mix_comparison
+from .stats import (
+    MissFilteringRatios,
+    MissTraceWindow,
+    WindowedMissTracker,
+    miss_filtering_ratios,
+    run_with_windows,
+)
+from .system import (
+    SimulatedSystem,
+    SimulationResult,
+    build_system,
+    make_llc_prefetcher,
+    make_predictor,
+    run_predictor_comparison,
+)
+
+__all__ = [
+    "MissFilteringRatios",
+    "MissTraceWindow",
+    "MultiCoreResult",
+    "MultiCoreSystem",
+    "PREDICTOR_NAMES",
+    "SimulatedSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "WindowedMissTracker",
+    "build_system",
+    "make_llc_prefetcher",
+    "make_predictor",
+    "miss_filtering_ratios",
+    "run_mix_comparison",
+    "run_predictor_comparison",
+    "run_with_windows",
+    "table1_description",
+]

@@ -1,0 +1,146 @@
+"""System configurations (Table I) and the predictor registry.
+
+A :class:`SystemConfig` bundles everything needed to build a simulated system:
+the cache hierarchy geometry/latencies, the core microarchitecture, the
+prefetch scheme and the level-prediction scheme.  The named constructors
+reproduce the configurations used throughout the paper's evaluation, including
+the sensitivity-study variants of Figure 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..cpu.ooo_core import CoreConfig
+from ..memory.cache import CacheConfig
+from ..memory.block import Level
+from ..memory.hierarchy import HierarchyConfig
+
+#: Names of the systems compared in Figures 10-12 (plus the baseline).
+PREDICTOR_NAMES: List[str] = [
+    "baseline", "tage-2kb", "tage-8kb", "d2d", "lp", "ideal",
+]
+
+
+@dataclass
+class SystemConfig:
+    """Complete configuration of one simulated system.
+
+    Attributes:
+        name: Human-readable configuration name.
+        hierarchy: Cache/DRAM/interconnect configuration.
+        core: Out-of-order core configuration.
+        predictor: Which level-prediction scheme to attach; one of
+            :data:`PREDICTOR_NAMES`.
+        prefetch_scheme: ``paper`` for the baseline prefetchers of
+            Section IV.A (tagged next-line at L1/L2, throttled DCPT at L3),
+            ``none`` to disable prefetching.
+        num_cores: Cores sharing the LLC.
+        metadata_cache_bytes: LP metadata cache capacity (Figure 5 sweep).
+        prefetch_epoch_accesses: Epoch length of the accuracy-gated throttling.
+    """
+
+    name: str = "paper-single-core"
+    hierarchy: HierarchyConfig = field(
+        default_factory=HierarchyConfig.paper_single_core)
+    core: CoreConfig = field(default_factory=CoreConfig.paper_baseline)
+    predictor: str = "lp"
+    prefetch_scheme: str = "paper"
+    num_cores: int = 1
+    metadata_cache_bytes: int = 2048
+    prefetch_epoch_accesses: int = 50_000
+
+    def with_predictor(self, predictor: str) -> "SystemConfig":
+        """A copy of this configuration using a different predictor."""
+        return replace(self, predictor=predictor,
+                       name=f"{self.name}/{predictor}")
+
+    # ------------------------------------------------------------------
+    # Named configurations used by the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper_single_core(predictor: str = "lp") -> "SystemConfig":
+        """Table I, single core, 2 MB LLC."""
+        return SystemConfig(name="paper-single-core", predictor=predictor)
+
+    @staticmethod
+    def paper_multi_core(predictor: str = "lp",
+                         num_cores: int = 4) -> "SystemConfig":
+        """Table I, quad core, 8 MB shared LLC."""
+        return SystemConfig(name="paper-multi-core",
+                            hierarchy=HierarchyConfig.paper_multi_core(),
+                            predictor=predictor, num_cores=num_cores)
+
+    @staticmethod
+    def sensitivity_variants(predictor: str = "lp") -> Dict[str, "SystemConfig"]:
+        """The five systems of the Figure 15 sensitivity study.
+
+        1. the default configuration;
+        2. a faster sequential LLC (45 cycles total);
+        3. a parallel LLC (40 cycles flat);
+        4. a parallel LLC plus a 96-entry LSQ;
+        5. a very aggressive core (ROB 224, LSQ 96) plus a parallel LLC.
+        """
+        base = SystemConfig.paper_single_core(predictor)
+
+        def with_llc(tag: int, data: int, sequential: bool) -> HierarchyConfig:
+            hierarchy = HierarchyConfig.paper_single_core()
+            hierarchy.l3 = CacheConfig(
+                level=Level.L3, size_bytes=hierarchy.l3.size_bytes,
+                associativity=hierarchy.l3.associativity,
+                tag_latency=tag, data_latency=data,
+                sequential_tag_data=sequential,
+                mshr_entries=hierarchy.l3.mshr_entries,
+                mshr_demand_reserve=hierarchy.l3.mshr_demand_reserve)
+            return hierarchy
+
+        # The "parallel" LLC of the paper delivers hit data after 40 cycles
+        # while still resolving hit/miss from the tag comparison after 20, so
+        # it is modelled as tag=20 + data=20.
+        variants = {
+            "default": base,
+            "fast-seq-llc": replace(base, name="fast-seq-llc",
+                                    hierarchy=with_llc(20, 25, True)),
+            "parallel-llc": replace(base, name="parallel-llc",
+                                    hierarchy=with_llc(20, 20, True)),
+            "parallel-llc-lsq96": replace(
+                base, name="parallel-llc-lsq96",
+                hierarchy=with_llc(20, 20, True),
+                core=CoreConfig(rob_entries=192, load_queue_entries=96,
+                                store_queue_entries=96)),
+            "aggressive-core": replace(
+                base, name="aggressive-core",
+                hierarchy=with_llc(20, 20, True),
+                core=CoreConfig.aggressive(rob_entries=224,
+                                           load_queue_entries=96)),
+        }
+        return variants
+
+
+def table1_description() -> Dict[str, str]:
+    """A textual rendering of Table I used by the configuration benchmark."""
+    config = SystemConfig.paper_single_core()
+    h = config.hierarchy
+    return {
+        "Processor": (f"{config.num_cores}-core, "
+                      f"{config.core.frequency_ghz:.1f} GHz, ROB "
+                      f"{config.core.rob_entries}, LQ "
+                      f"{config.core.load_queue_entries}, SQ "
+                      f"{config.core.store_queue_entries}, fetch width "
+                      f"{config.core.fetch_width}"),
+        "L1 Cache": (f"{h.l1.size_bytes // 1024} KB, {h.l1.associativity}-way, "
+                     f"{h.l1.block_size} B lines, {h.l1.tag_latency} cycles, "
+                     "tagged next-line prefetcher degree 1"),
+        "L2 Cache": (f"{h.l2.size_bytes // 1024} KB, {h.l2.associativity}-way, "
+                     f"{h.l2.tag_latency} cycles, tagged next-line prefetcher "
+                     "degree 2"),
+        "L3 Cache": (f"{h.l3.size_bytes // (1024 * 1024)} MB, "
+                     f"{h.l3.associativity}-way, sequential "
+                     f"({h.l3.tag_latency}+{h.l3.data_latency}), DCPT "
+                     "prefetcher degree 2"),
+        "Coherency": "MOESI directory; L1/L2 inclusive, L3 non-inclusive",
+        "Main Memory": "16 GB DDR4-2400 x64, single channel",
+        "Level Predictor": (f"LocMap + PLD, {config.metadata_cache_bytes} B "
+                            "metadata cache, 1-cycle prediction latency"),
+    }

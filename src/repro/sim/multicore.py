@@ -1,0 +1,170 @@
+"""Multi-core simulation driver (Section V.D).
+
+The paper's multi-core evaluation runs the Table II mixes on a quad-core
+system with an 8 MB shared LLC and one level predictor per core.  This driver
+builds one :class:`CoreMemoryHierarchy` (with its own predictor and private
+prefetchers) per core on top of a single :class:`SharedMemorySystem`, and
+interleaves the per-core traces round-robin so the cores contend for the LLC,
+the directory and DRAM banks the way concurrently running programs do.
+
+Per-core IPC is computed with the same window-limited core model as the
+single-core runs; the figures report the geometric-mean speedup across cores
+(multi-program mixes) or the aggregate accuracy breakdown (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.base import PredictionOutcome
+from ..cpu.ooo_core import ExecutionResult, OutOfOrderCore, geometric_mean
+from ..memory.block import AccessResult, MemoryAccess
+from ..memory.hierarchy import CoreMemoryHierarchy, SharedMemorySystem
+from ..workloads.mixes import generate_mix_traces, get_mix
+from .config import SystemConfig
+from .system import make_llc_prefetcher, make_predictor, _make_private_prefetchers
+
+
+@dataclass
+class MultiCoreResult:
+    """Aggregated outcome of one multi-core simulation."""
+
+    mix: str
+    predictor: str
+    per_core_execution: List[ExecutionResult]
+    per_core_workloads: List[str]
+    accuracy_breakdown: Dict[str, float]
+    cache_hierarchy_energy_nj: float
+    total_predictions: int
+    total_recoveries: int
+
+    @property
+    def aggregate_ipc(self) -> float:
+        return sum(result.ipc for result in self.per_core_execution)
+
+    def speedup_over(self, baseline: "MultiCoreResult") -> float:
+        """Geometric mean of per-core speedups (the paper's metric)."""
+        speedups = []
+        for mine, theirs in zip(self.per_core_execution,
+                                baseline.per_core_execution):
+            if theirs.ipc > 0:
+                speedups.append(mine.ipc / theirs.ipc)
+        return geometric_mean(speedups) if speedups else 1.0
+
+    def normalized_energy_over(self, baseline: "MultiCoreResult") -> float:
+        if baseline.cache_hierarchy_energy_nj == 0.0:
+            return 1.0
+        return (self.cache_hierarchy_energy_nj
+                / baseline.cache_hierarchy_energy_nj)
+
+    def energy_efficiency_over(self, baseline: "MultiCoreResult") -> float:
+        """Performance per unit of cache-hierarchy energy, relative."""
+        normalized_energy = self.normalized_energy_over(baseline)
+        speedup = self.speedup_over(baseline)
+        if normalized_energy == 0.0:
+            return speedup
+        return speedup / normalized_energy
+
+
+class MultiCoreSystem:
+    """A quad-core (or N-core) system sharing one LLC and DRAM channel."""
+
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+        self.config = config or SystemConfig.paper_multi_core()
+        hierarchy_config = self.config.hierarchy
+        if self.config.predictor == "ideal":
+            from dataclasses import replace
+            hierarchy_config = replace(hierarchy_config, ideal_miss_latency=True)
+        self.shared = SharedMemorySystem(
+            hierarchy_config, num_cores=self.config.num_cores,
+            llc_prefetcher=make_llc_prefetcher(self.config))
+        self.cores: List[CoreMemoryHierarchy] = []
+        for core_id in range(self.config.num_cores):
+            l1_prefetcher, l2_prefetcher = _make_private_prefetchers(self.config)
+            self.cores.append(CoreMemoryHierarchy(
+                config=hierarchy_config, shared=self.shared,
+                predictor=make_predictor(self.config.predictor, self.config),
+                l1_prefetcher=l1_prefetcher, l2_prefetcher=l2_prefetcher,
+                core_id=core_id, active_cores=self.config.num_cores))
+        self.core_model = OutOfOrderCore(self.config.core)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_traces(self, traces: Sequence[Sequence[MemoryAccess]],
+                   workload_names: Optional[Sequence[str]] = None,
+                   mix_name: str = "mix") -> MultiCoreResult:
+        """Interleave per-core traces round-robin and time each core."""
+        if len(traces) > len(self.cores):
+            raise ValueError("more traces than cores")
+        names = list(workload_names or [f"core{i}" for i in range(len(traces))])
+        per_core_results: List[List[AccessResult]] = [[] for _ in traces]
+
+        longest = max(len(trace) for trace in traces)
+        for position in range(longest):
+            for core_index, trace in enumerate(traces):
+                if position < len(trace):
+                    result = self.cores[core_index].access(trace[position])
+                    per_core_results[core_index].append(result)
+
+        executions = [
+            self.core_model.execute(list(trace), results)
+            for trace, results in zip(traces, per_core_results)
+        ]
+        return self._collect(mix_name, names, executions)
+
+    def run_mix(self, mix_name: str, accesses_per_core: int,
+                seed: int = 0) -> MultiCoreResult:
+        """Run one of the Table II mixes."""
+        mix = get_mix(mix_name)
+        traces = generate_mix_traces(mix_name, accesses_per_core, seed=seed)
+        return self.run_traces(traces, workload_names=list(mix.applications),
+                               mix_name=mix_name)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _collect(self, mix_name: str, names: Sequence[str],
+                 executions: List[ExecutionResult]) -> MultiCoreResult:
+        outcome_totals = {outcome: 0 for outcome in PredictionOutcome}
+        predictions = 0
+        recoveries = 0
+        energy = 0.0
+        for core in self.cores:
+            stats = core.predictor.stats
+            predictions += stats.predictions
+            for outcome, count in stats.outcomes.items():
+                outcome_totals[outcome] += count
+            recoveries += core.stats.recoveries
+            energy += core.energy.cache_hierarchy_energy()
+        breakdown = {
+            outcome.value: (outcome_totals[outcome] / predictions
+                            if predictions else 0.0)
+            for outcome in PredictionOutcome
+        }
+        return MultiCoreResult(
+            mix=mix_name,
+            predictor=self.config.predictor,
+            per_core_execution=executions,
+            per_core_workloads=list(names),
+            accuracy_breakdown=breakdown,
+            cache_hierarchy_energy_nj=energy,
+            total_predictions=predictions,
+            total_recoveries=recoveries,
+        )
+
+
+def run_mix_comparison(mix_name: str, accesses_per_core: int,
+                       predictors: Sequence[str] = ("baseline", "lp"),
+                       seed: int = 0,
+                       config: Optional[SystemConfig] = None
+                       ) -> Dict[str, MultiCoreResult]:
+    """Run one Table II mix under several predictors (same traces)."""
+    base_config = config or SystemConfig.paper_multi_core()
+    results: Dict[str, MultiCoreResult] = {}
+    for predictor in predictors:
+        system = MultiCoreSystem(base_config.with_predictor(predictor))
+        results[predictor] = system.run_mix(mix_name, accesses_per_core,
+                                            seed=seed)
+    return results

@@ -1,0 +1,176 @@
+"""GAPBS-style graph-analytics trace generators.
+
+The paper's graph workloads (GAPBS pr, bfs, bc, cc on the Twitter graph and tc
+on a synthetic 2^25-node graph) are the applications that benefit most from
+level prediction: their vertex-property gathers miss L2 almost always and hit
+the LLC only for the most popular vertices, so the sequential level-by-level
+lookup wastes latency on nearly every load (Section II, Figure 2(b)).
+
+The Twitter graph itself is several gigabytes and is not available offline, so
+these generators walk an *implicit* power-law graph: vertex degrees and
+neighbour identities are drawn from a skewed distribution seeded by the vertex
+id, which reproduces the two properties that matter to the memory system —
+
+* the CSR offset and edge arrays are read sequentially (prefetchable), and
+* the per-neighbour property gathers are scattered over a property array much
+  larger than the LLC, with a hot set of popular vertices that gives the LLC
+  (but not the private L2) a moderate hit rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from ..memory.block import MemoryAccess
+from .base import Workload, WorkloadProfile, make_access
+
+#: Region spacing between the offset / edge / property arrays of one graph.
+_REGION_STRIDE = 1 << 30
+
+
+class GraphWorkload(Workload):
+    """Implicit power-law graph traversal (PageRank-style gathers).
+
+    Args:
+        num_vertices: Number of vertices; the property array is
+            ``num_vertices * property_bytes`` and should exceed the LLC.
+        average_degree: Mean out-degree (edges per vertex processed).
+        skew: Power-law skew of neighbour popularity; higher values mean a
+            smaller hot set and therefore a better LLC hit rate.
+        vertex_order: ``sequential`` for PageRank-style full sweeps,
+            ``random`` for frontier-driven algorithms (BFS/BC).
+        property_bytes: Bytes per vertex property entry.
+        intersection: When True, each edge also triggers a scan of the
+            neighbour's adjacency list (triangle counting).
+        store_fraction: Fraction of property accesses that are stores
+            (rank updates).
+    """
+
+    def __init__(self, name: str, profile: Optional[WorkloadProfile] = None,
+                 num_vertices: int = 1 << 20, average_degree: int = 8,
+                 skew: float = 2.0, vertex_order: str = "sequential",
+                 property_bytes: int = 8, intersection: bool = False,
+                 store_fraction: float = 0.15,
+                 non_memory_instructions: int = 4) -> None:
+        super().__init__(name, profile)
+        if vertex_order not in ("sequential", "random"):
+            raise ValueError("vertex_order must be 'sequential' or 'random'")
+        self.num_vertices = num_vertices
+        self.average_degree = max(1, average_degree)
+        self.skew = skew
+        self.vertex_order = vertex_order
+        self.property_bytes = property_bytes
+        self.intersection = intersection
+        self.store_fraction = store_fraction
+        self.non_memory_instructions = non_memory_instructions
+
+    # ------------------------------------------------------------------
+    # Implicit graph structure
+    # ------------------------------------------------------------------
+    def _degree_of(self, vertex: int, rng: random.Random) -> int:
+        """Power-law-ish degree: a few hubs, many low-degree vertices."""
+        draw = rng.random()
+        if draw < 0.02:
+            return self.average_degree * 8
+        if draw < 0.2:
+            return self.average_degree * 2
+        return max(1, int(self.average_degree * rng.random()))
+
+    def _neighbour_of(self, rng: random.Random) -> int:
+        """Draw a neighbour id with power-law popularity (low ids are hot)."""
+        u = rng.random()
+        vertex = int(self.num_vertices * (u ** self.skew))
+        return min(vertex, self.num_vertices - 1)
+
+    # ------------------------------------------------------------------
+    # Address layout
+    # ------------------------------------------------------------------
+    def _offset_address(self, base: int, vertex: int) -> int:
+        return base + vertex * 8
+
+    def _edge_address(self, base: int, edge_index: int) -> int:
+        return base + _REGION_STRIDE + edge_index * 4
+
+    def _property_address(self, base: int, vertex: int) -> int:
+        return base + 2 * _REGION_STRIDE + vertex * self.property_bytes
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def _accesses(self, rng: random.Random, base_address: int,
+                  thread_id: int) -> Iterator[MemoryAccess]:
+        edge_cursor = 0
+        vertex = 0
+        while True:
+            if self.vertex_order == "sequential":
+                vertex = (vertex + 1) % self.num_vertices
+            else:
+                vertex = rng.randrange(self.num_vertices)
+
+            # Read the CSR offset entry for this vertex (sequential-ish).
+            yield make_access(
+                self._offset_address(base_address, vertex), pc=0x6000, rng=rng,
+                non_memory_instructions=self.non_memory_instructions,
+                thread_id=thread_id)
+
+            degree = self._degree_of(vertex, rng)
+            for _ in range(degree):
+                # Stream through the edge array.
+                yield make_access(
+                    self._edge_address(base_address, edge_cursor), pc=0x6008,
+                    rng=rng,
+                    non_memory_instructions=self.non_memory_instructions,
+                    thread_id=thread_id)
+                edge_cursor += 1
+
+                # Gather the neighbour's property: the address depends on the
+                # neighbour id just loaded from the edge array, so this load
+                # is serialised behind it (pointer-dependent gather).
+                neighbour = self._neighbour_of(rng)
+                yield make_access(
+                    self._property_address(base_address, neighbour),
+                    pc=0x6010, rng=rng,
+                    store_fraction=self.store_fraction,
+                    dependent=True,
+                    non_memory_instructions=self.non_memory_instructions,
+                    thread_id=thread_id)
+
+                if self.intersection:
+                    # Triangle counting: scan a prefix of the neighbour's own
+                    # adjacency list (another scattered region).
+                    scan = min(4, self.average_degree)
+                    for j in range(scan):
+                        yield make_access(
+                            self._edge_address(
+                                base_address,
+                                neighbour * self.average_degree + j),
+                            pc=0x6018, rng=rng, dependent=j == 0,
+                            non_memory_instructions=2,
+                            thread_id=thread_id)
+
+
+def make_gapbs_workload(kernel: str, profile: Optional[WorkloadProfile] = None,
+                        num_vertices: int = 1 << 20) -> GraphWorkload:
+    """Create the GAPBS kernel variants the paper evaluates.
+
+    ``pr`` and ``cc`` sweep vertices sequentially, ``bfs`` and ``bc`` visit
+    them in frontier (random) order, and ``tc`` adds adjacency-list
+    intersection on a smaller synthetic graph (matching the paper's use of a
+    synthetic graph for tc).
+    """
+    kernel = kernel.lower()
+    if kernel in ("pr", "cc"):
+        return GraphWorkload(f"gapbs.{kernel}", profile,
+                             num_vertices=num_vertices, vertex_order="sequential",
+                             skew=2.0, store_fraction=0.2)
+    if kernel in ("bfs", "bc"):
+        return GraphWorkload(f"gapbs.{kernel}", profile,
+                             num_vertices=num_vertices, vertex_order="random",
+                             skew=1.6, store_fraction=0.1)
+    if kernel == "tc":
+        return GraphWorkload("gapbs.tc", profile,
+                             num_vertices=num_vertices // 2,
+                             vertex_order="sequential", skew=1.2,
+                             intersection=True, store_fraction=0.0)
+    raise ValueError(f"unknown GAPBS kernel {kernel!r}")

@@ -1,0 +1,85 @@
+"""Multi-program and multi-threaded workload mixes (Table II).
+
+The paper's multi-core evaluation runs five four-application mixes plus
+GAPBS PageRank with two and four threads:
+
+=====  ==========================================================
+mix1   GAPBS.bfs, SPEC.619.lbm, NAS.lu, bmt
+mix2   SPEC.654.roms, NAS.mg, SPEC.649.fotonik3d, SPEC.602.gcc
+mix3   SPEC.620.omnetpp, GAPBS.pr, SPEC.627.cam, NAS.cg
+mix4   SPEC.627.cam, NAS.cg, SPEC.621.wrf, NAS.bt
+mix5   GAPBS.bfs, SPEC.619.lbm, SPEC.621.wrf, NAS.bt
+MT1    GAPBS.pr with 2 threads
+MT2    GAPBS.pr with 4 threads
+=====  ==========================================================
+
+Multi-program mixes place each application in a disjoint address region (one
+per core); multi-threaded runs share a single graph, so their traces use the
+same base address and therefore contend for (and share) the same blocks in the
+LLC, which is what degrades prediction accuracy in Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..memory.block import MemoryAccess
+from .base import ADDRESS_SPACE_STRIDE
+from .suite import build_workload
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One multi-core workload: either a program mix or a threaded kernel."""
+
+    name: str
+    applications: tuple
+    multithreaded: bool = False
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.applications)
+
+
+#: Table II of the paper.
+MIXES: Dict[str, MixSpec] = {
+    "mix1": MixSpec("mix1", ("gapbs.bfs", "619.lbm", "nas.lu", "bmt")),
+    "mix2": MixSpec("mix2", ("654.roms", "nas.mg", "649.foton", "602.gcc")),
+    "mix3": MixSpec("mix3", ("620.omnet", "gapbs.pr", "627.cam", "nas.cg")),
+    "mix4": MixSpec("mix4", ("627.cam", "nas.cg", "621.wrf", "nas.bt")),
+    "mix5": MixSpec("mix5", ("gapbs.bfs", "619.lbm", "621.wrf", "nas.bt")),
+    "MT1": MixSpec("MT1", ("gapbs.pr", "gapbs.pr"), multithreaded=True),
+    "MT2": MixSpec("MT2", ("gapbs.pr",) * 4, multithreaded=True),
+}
+
+
+def get_mix(name: str) -> MixSpec:
+    try:
+        return MIXES[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown mix {name!r}; known: {sorted(MIXES)}") from exc
+
+
+def generate_mix_traces(name: str, accesses_per_core: int,
+                        seed: int = 0) -> List[List[MemoryAccess]]:
+    """Generate one trace per core for a Table II mix.
+
+    Multi-program mixes use disjoint address regions; multi-threaded runs
+    share a single region (and therefore data) across threads, with each
+    thread visiting the shared structure in a different order (different
+    seeds), which is how a parallel PageRank partitions work.
+    """
+    mix = get_mix(name)
+    traces: List[List[MemoryAccess]] = []
+    for core, app_name in enumerate(mix.applications):
+        workload = build_workload(app_name)
+        if mix.multithreaded:
+            base = 0
+            core_seed = seed + core + 1
+        else:
+            base = core * ADDRESS_SPACE_STRIDE
+            core_seed = seed
+        traces.append(workload.generate(accesses_per_core, seed=core_seed,
+                                        base_address=base, thread_id=core))
+    return traces

@@ -1,0 +1,286 @@
+"""Application registry: the benchmark suites evaluated in the paper.
+
+Every application the paper reports (SPEC CPU 2017, GAPBS, NAS, and the
+hpcg / gups / stream / bmt / spmv kernels) is registered here with a factory
+producing its synthetic trace generator and with the paper's expected-benefit
+classification from Figure 1 (``high`` = green box, ``modest`` = red box,
+``low`` = outside both).
+
+The per-application parameters (footprints, reuse, dependence) are chosen so
+that each application reproduces its published cache-level filtering
+signature; DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .base import Workload, WorkloadProfile
+from .generators import (
+    PhasedWorkload,
+    PointerChaseWorkload,
+    RandomAccessWorkload,
+    StencilWorkload,
+    StreamingWorkload,
+    ZipfWorkload,
+)
+from .graph import make_gapbs_workload
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Registry entry: how to build one application's trace generator."""
+
+    name: str
+    suite: str
+    expected_benefit: str
+    description: str
+    factory: Callable[["ApplicationSpec"], Workload]
+
+    def profile(self) -> WorkloadProfile:
+        return WorkloadProfile(suite=self.suite,
+                               expected_benefit=self.expected_benefit,
+                               description=self.description)
+
+    def build(self) -> Workload:
+        return self.factory(self)
+
+
+def _streaming(array_bytes: int, streams: int = 3, stores: float = 0.3,
+               non_mem: int = 4, stride: int = 64,
+               irregularity: float = 0.1) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return StreamingWorkload(spec.name, spec.profile(),
+                                 array_bytes=array_bytes, num_streams=streams,
+                                 store_fraction=stores, stride_bytes=stride,
+                                 non_memory_instructions=non_mem,
+                                 irregularity=irregularity)
+    return factory
+
+
+def _random(table_bytes: int, stores: float = 0.5,
+            non_mem: int = 2) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return RandomAccessWorkload(spec.name, spec.profile(),
+                                    table_bytes=table_bytes,
+                                    store_fraction=stores,
+                                    non_memory_instructions=non_mem)
+    return factory
+
+
+def _pointer(footprint: int, hot_fraction: float = 0.1,
+             hot_probability: float = 0.5, chase: int = 32,
+             non_mem: int = 6) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return PointerChaseWorkload(spec.name, spec.profile(),
+                                    footprint_bytes=footprint,
+                                    hot_fraction=hot_fraction,
+                                    hot_probability=hot_probability,
+                                    chase_length=chase,
+                                    non_memory_instructions=non_mem)
+    return factory
+
+
+def _stencil(grid: int, plane: int, reuse: float, stores: float = 0.2,
+             non_mem: int = 12, gather: float = 0.04,
+             fields: int = 4) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return StencilWorkload(spec.name, spec.profile(), grid_bytes=grid,
+                               plane_bytes=plane, reuse_probability=reuse,
+                               store_fraction=stores,
+                               non_memory_instructions=non_mem,
+                               gather_fraction=gather,
+                               accesses_per_element=fields)
+    return factory
+
+
+def _zipf(footprint: int, alpha: float = 0.8, dependent: float = 0.2,
+          stores: float = 0.2, non_mem: int = 8, run: int = 2,
+          fields: int = 2) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return ZipfWorkload(spec.name, spec.profile(),
+                            footprint_bytes=footprint, zipf_alpha=alpha,
+                            dependent_fraction=dependent,
+                            store_fraction=stores,
+                            non_memory_instructions=non_mem,
+                            spatial_run_length=run,
+                            accesses_per_block=fields)
+    return factory
+
+
+def _gcc_phased() -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        friendly = ZipfWorkload("gcc.friendly", spec.profile(),
+                                footprint_bytes=384 * KiB, zipf_alpha=1.2,
+                                dependent_fraction=0.1, spatial_run_length=3,
+                                accesses_per_block=3)
+        hostile = ZipfWorkload("gcc.hostile", spec.profile(),
+                               footprint_bytes=1536 * KiB, zipf_alpha=0.9,
+                               dependent_fraction=0.2, spatial_run_length=1,
+                               accesses_per_block=3)
+        return PhasedWorkload(spec.name, [friendly, hostile],
+                              phase_length=15_000, profile=spec.profile())
+    return factory
+
+
+def _gapbs(kernel: str) -> Callable[[ApplicationSpec], Workload]:
+    def factory(spec: ApplicationSpec) -> Workload:
+        return make_gapbs_workload(kernel, spec.profile())
+    return factory
+
+
+def _spec(name: str, benefit: str, description: str,
+          factory: Callable[[ApplicationSpec], Workload]) -> ApplicationSpec:
+    return ApplicationSpec(name=name, suite="spec17",
+                           expected_benefit=benefit,
+                           description=description, factory=factory)
+
+
+def _nas(name: str, benefit: str, description: str,
+         factory: Callable[[ApplicationSpec], Workload]) -> ApplicationSpec:
+    return ApplicationSpec(name=name, suite="nas", expected_benefit=benefit,
+                           description=description, factory=factory)
+
+
+def _other(name: str, benefit: str, description: str,
+           factory: Callable[[ApplicationSpec], Workload]) -> ApplicationSpec:
+    return ApplicationSpec(name=name, suite="other", expected_benefit=benefit,
+                           description=description, factory=factory)
+
+
+def _gapbs_spec(kernel: str, benefit: str, description: str) -> ApplicationSpec:
+    return ApplicationSpec(name=f"gapbs.{kernel}", suite="gapbs",
+                           expected_benefit=benefit, description=description,
+                           factory=_gapbs(kernel))
+
+
+_SPECS: List[ApplicationSpec] = [
+    # ---------------- SPEC CPU 2017 ----------------
+    _spec("602.gcc", "modest", "phase-changing code/data mix",
+          _gcc_phased()),
+    _spec("605.mcf", "high", "pointer-heavy network simplex",
+          _pointer(16 * MiB, hot_fraction=0.08, hot_probability=0.55,
+                   chase=8, non_mem=10)),
+    _spec("619.lbm", "high", "lattice-Boltzmann streaming sweeps",
+          _streaming(16 * MiB, streams=3, stores=0.4, non_mem=7, stride=192,
+                     irregularity=0.15)),
+    _spec("620.omnet", "high", "discrete-event pointer chasing",
+          _pointer(6 * MiB, hot_fraction=0.25, hot_probability=0.45,
+                   chase=24, non_mem=6)),
+    _spec("623.xalan", "modest", "XML transform, cache-resident hot set",
+          _zipf(640 * KiB, alpha=1.3, dependent=0.2, run=2)),
+    _spec("627.cam", "modest", "atmosphere model stencil",
+          _stencil(384 * KiB, 64 * KiB, reuse=0.6)),
+    _spec("649.foton", "high", "electromagnetics stencil, streaming planes",
+          _stencil(12 * MiB, 512 * KiB, reuse=0.3, non_mem=6, fields=1)),
+    _spec("654.roms", "high", "ocean model, multi-array streaming",
+          _streaming(12 * MiB, streams=4, stores=0.3, non_mem=5, stride=128,
+                     irregularity=0.2)),
+    _spec("603.bwaves", "modest", "blast-wave stencil, cache friendly",
+          _stencil(320 * KiB, 64 * KiB, reuse=0.7)),
+    _spec("607.cactus", "modest", "numerical relativity stencil",
+          _stencil(448 * KiB, 96 * KiB, reuse=0.55)),
+    _spec("621.wrf", "modest", "weather model stencil",
+          _stencil(384 * KiB, 64 * KiB, reuse=0.6)),
+    _spec("625.x264", "low", "video encode, small hot set",
+          _zipf(512 * KiB, alpha=1.2, dependent=0.05, run=4)),
+    _spec("631.deepsjeng", "low", "tree search, resident tables",
+          _zipf(512 * KiB, alpha=1.1, dependent=0.3, run=1)),
+    _spec("638.imagick", "low", "image processing streams, small frames",
+          _streaming(2 * MiB, streams=2, stores=0.3, non_mem=8)),
+    _spec("641.leela", "low", "MCTS, tiny working set",
+          _zipf(256 * KiB, alpha=1.2, dependent=0.2, run=1)),
+    _spec("644.nab", "low", "molecular dynamics, resident data",
+          _zipf(1 * MiB, alpha=1.0, dependent=0.1, run=2)),
+    _spec("648.exchange2", "low", "integer puzzles, negligible misses",
+          _zipf(128 * KiB, alpha=1.3, dependent=0.05, run=2)),
+    _spec("657.xz", "modest", "compression, mixed reuse",
+          _zipf(4 * MiB, alpha=0.9, dependent=0.2, run=2)),
+    # ---------------- GAPBS ----------------
+    _gapbs_spec("bc", "high", "betweenness centrality on power-law graph"),
+    _gapbs_spec("bfs", "high", "breadth-first search, frontier gathers"),
+    _gapbs_spec("cc", "high", "connected components label propagation"),
+    _gapbs_spec("pr", "high", "PageRank vertex-property gathers"),
+    _gapbs_spec("tc", "high", "triangle counting with list intersection"),
+    # ---------------- NAS ----------------
+    _nas("nas.bt", "modest", "block tri-diagonal stencil",
+         _stencil(448 * KiB, 96 * KiB, reuse=0.55)),
+    _nas("nas.cg", "modest", "conjugate gradient sparse gathers",
+         _zipf(1280 * KiB, alpha=1.1, dependent=0.35, run=1, non_mem=5)),
+    _nas("nas.ft", "modest", "FFT transpose, strided but resident",
+         _zipf(768 * KiB, alpha=1.2, dependent=0.1, run=2)),
+    _nas("nas.is", "high", "integer sort histogram scatter",
+         _random(16 * MiB, stores=0.5, non_mem=3)),
+    _nas("nas.lu", "modest", "LU solver stencil",
+         _stencil(448 * KiB, 96 * KiB, reuse=0.5)),
+    _nas("nas.mg", "modest", "multigrid V-cycle stencil",
+         _stencil(512 * KiB, 96 * KiB, reuse=0.5)),
+    _nas("nas.ua", "modest", "unstructured adaptive mesh, LLC-ineffective",
+         _stencil(2560 * KiB, 96 * KiB, reuse=0.5, non_mem=10, fields=3)),
+    # ---------------- Other kernels ----------------
+    _other("bmt", "modest", "blocked matrix transpose kernel",
+           _zipf(768 * KiB, alpha=1.2, dependent=0.05, run=2, non_mem=4)),
+    _other("hpcg", "modest", "HPCG sparse stencil, strong filtering",
+           _stencil(384 * KiB, 64 * KiB, reuse=0.7, non_mem=14)),
+    _other("gups", "high", "random table updates (GUPS)",
+           _random(64 * MiB, stores=0.5, non_mem=2)),
+    _other("spmv", "modest", "sparse matrix-vector gathers",
+           _zipf(2 * MiB, alpha=1.0, dependent=0.4, run=1, non_mem=4)),
+    _other("stream", "modest", "STREAM triad, prefetch-friendly",
+           _streaming(16 * MiB, streams=3, stores=0.33, non_mem=2, stride=128,
+                      irregularity=0.05)),
+]
+
+#: All registered applications, keyed by name.
+APPLICATIONS: Dict[str, ApplicationSpec] = {spec.name: spec for spec in _SPECS}
+
+#: The 21 applications highlighted in the paper's single-core figures.
+HIGHLIGHTED_APPLICATIONS: List[str] = [
+    "602.gcc", "605.mcf", "619.lbm", "620.omnet", "623.xalan", "627.cam",
+    "649.foton", "654.roms", "bmt", "gapbs.bc", "gapbs.bfs", "gapbs.cc",
+    "gapbs.pr", "gapbs.tc", "gups", "nas.cg", "nas.ft", "nas.is", "nas.mg",
+    "nas.ua", "stream",
+]
+
+#: Suite membership used for suite-level averages (Figure 5).
+SUITES: Dict[str, List[str]] = {
+    "spec17": [name for name, spec in APPLICATIONS.items()
+               if spec.suite == "spec17"],
+    "gapbs": [name for name, spec in APPLICATIONS.items()
+              if spec.suite == "gapbs"],
+    "nas": [name for name, spec in APPLICATIONS.items()
+            if spec.suite == "nas"],
+    "other": [name for name, spec in APPLICATIONS.items()
+              if spec.suite == "other"],
+}
+
+
+def get_application(name: str) -> ApplicationSpec:
+    """Look up an application spec by name."""
+    try:
+        return APPLICATIONS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown application {name!r}; known: "
+                         f"{sorted(APPLICATIONS)}") from exc
+
+
+def build_workload(name: str) -> Workload:
+    """Instantiate the trace generator for an application."""
+    return get_application(name).build()
+
+
+def applications_in_suite(suite: str) -> List[str]:
+    """Names of the applications belonging to one suite."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; known: {sorted(SUITES)}")
+    return list(SUITES[suite])
+
+
+def high_benefit_applications() -> List[str]:
+    """Applications inside the green box of Figure 1."""
+    return [name for name, spec in APPLICATIONS.items()
+            if spec.expected_benefit == "high"]

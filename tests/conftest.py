@@ -1,0 +1,63 @@
+"""Shared pytest fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.memory.block import AccessType, MemoryAccess
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.block import Level
+from repro.memory.hierarchy import CoreMemoryHierarchy, HierarchyConfig
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimulatedSystem
+
+
+@pytest.fixture
+def small_cache() -> Cache:
+    """A tiny 8-set, 2-way cache for unit tests (1 KiB)."""
+    return Cache(CacheConfig(level=Level.L1, size_bytes=1024, associativity=2,
+                             tag_latency=4))
+
+
+@pytest.fixture
+def small_hierarchy_config() -> HierarchyConfig:
+    """A scaled-down hierarchy so working sets overflow quickly in tests."""
+    config = HierarchyConfig.paper_single_core()
+    config.l1 = CacheConfig(level=Level.L1, size_bytes=4 * 1024,
+                            associativity=4, tag_latency=4)
+    config.l2 = CacheConfig(level=Level.L2, size_bytes=16 * 1024,
+                            associativity=8, tag_latency=12)
+    config.l3 = CacheConfig(level=Level.L3, size_bytes=64 * 1024,
+                            associativity=16, tag_latency=20, data_latency=35,
+                            sequential_tag_data=True)
+    return config
+
+
+@pytest.fixture
+def baseline_hierarchy(small_hierarchy_config) -> CoreMemoryHierarchy:
+    """A small hierarchy with the sequential (baseline) predictor."""
+    return CoreMemoryHierarchy(config=small_hierarchy_config)
+
+
+@pytest.fixture
+def lp_system() -> SimulatedSystem:
+    """A full paper-configuration system with the proposed level predictor."""
+    return SimulatedSystem(SystemConfig.paper_single_core("lp"))
+
+
+def make_load(address: int, pc: int = 0x100,
+              dependent: bool = False) -> MemoryAccess:
+    """Convenience constructor used across test modules."""
+    return MemoryAccess(address=address, access_type=AccessType.LOAD, pc=pc,
+                        depends_on_previous=dependent)
+
+
+def make_store(address: int, pc: int = 0x200) -> MemoryAccess:
+    return MemoryAccess(address=address, access_type=AccessType.STORE, pc=pc)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)

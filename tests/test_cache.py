@@ -1,0 +1,187 @@
+"""Unit and property tests for the set-associative cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.block import AccessType, CoherenceState, Level
+from repro.memory.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, assoc=2, level=Level.L1, **kwargs) -> Cache:
+    return Cache(CacheConfig(level=level, size_bytes=size, associativity=assoc,
+                             **kwargs))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        config = CacheConfig(level=Level.L1, size_bytes=32 * 1024,
+                             associativity=4)
+        assert config.num_sets == 128
+
+    def test_invalid_geometry_raises(self):
+        config = CacheConfig(level=Level.L1, size_bytes=64, associativity=4)
+        with pytest.raises(ValueError):
+            _ = config.num_sets
+
+    def test_hit_latency_parallel_vs_sequential(self):
+        parallel = CacheConfig(level=Level.L2, size_bytes=1024, associativity=2,
+                               tag_latency=12, data_latency=0)
+        sequential = CacheConfig(level=Level.L3, size_bytes=1024, associativity=2,
+                                 tag_latency=20, data_latency=35,
+                                 sequential_tag_data=True)
+        assert parallel.hit_latency == 12
+        assert sequential.hit_latency == 55
+        assert sequential.miss_detect_latency == 20
+
+    def test_set_index_and_tag_roundtrip(self):
+        cache = make_cache(size=1024, assoc=2)
+        for block in (0, 64, 512, 4096, 65536):
+            set_index = cache.set_index(block)
+            assert 0 <= set_index < cache.config.num_sets
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.stats.demand_hits == 1
+        assert cache.stats.demand_misses == 1
+
+    def test_sub_block_addresses_share_a_line(self):
+        cache = make_cache()
+        cache.fill(0x1000)
+        assert cache.lookup(0x1010)
+        assert cache.lookup(0x103F)
+        assert not cache.lookup(0x1040)
+
+    def test_store_hit_marks_dirty(self):
+        cache = make_cache()
+        cache.fill(0x2000)
+        cache.lookup(0x2000, AccessType.STORE)
+        line = cache.get_line(0x2000)
+        assert line.dirty
+        assert line.state is CoherenceState.MODIFIED
+
+    def test_fill_of_resident_block_does_not_evict(self):
+        cache = make_cache()
+        cache.fill(0x40)
+        assert cache.fill(0x40) is None
+        assert cache.occupancy() == 1
+
+    def test_eviction_when_set_full(self):
+        # 1 KiB, 2-way, 64 B lines -> 8 sets; addresses 0, 512, 1024 map to set 0.
+        cache = make_cache(size=1024, assoc=2)
+        cache.fill(0)
+        cache.fill(512)
+        eviction = cache.fill(1024)
+        assert eviction is not None
+        assert eviction.block_addr == 0  # LRU victim
+        assert not cache.contains(0)
+        assert cache.contains(512) and cache.contains(1024)
+
+    def test_dirty_eviction_reported(self):
+        cache = make_cache(size=1024, assoc=2)
+        cache.fill(0, dirty=True)
+        cache.fill(512)
+        eviction = cache.fill(1024)
+        assert eviction.dirty
+        assert cache.stats.dirty_evictions == 1
+
+
+class TestPrefetchTracking:
+    def test_prefetched_line_marked_and_cleared_on_use(self):
+        cache = make_cache()
+        cache.fill(0x80, access_type=AccessType.PREFETCH)
+        assert cache.get_line(0x80).prefetched
+        cache.lookup(0x80)
+        assert not cache.get_line(0x80).prefetched
+        assert cache.stats.prefetched_lines_used == 1
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = make_cache(size=1024, assoc=2)
+        cache.fill(0, access_type=AccessType.PREFETCH)
+        cache.fill(512)
+        eviction = cache.fill(1024)
+        assert eviction.prefetched_unused
+        assert cache.stats.prefetched_lines_evicted_unused == 1
+
+    def test_prefetch_lookup_counted_separately(self):
+        cache = make_cache()
+        cache.lookup(0x40, AccessType.PREFETCH)
+        assert cache.stats.prefetch_misses == 1
+        assert cache.stats.demand_misses == 0
+
+
+class TestInvalidate:
+    def test_invalidate_removes_block(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        info = cache.invalidate(0x100)
+        assert info is not None
+        assert not cache.contains(0x100)
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_absent_block_is_noop(self):
+        cache = make_cache()
+        assert cache.invalidate(0x100) is None
+
+    def test_mark_dirty(self):
+        cache = make_cache()
+        cache.fill(0x100)
+        assert cache.mark_dirty(0x100)
+        assert cache.get_line(0x100).dirty
+        assert not cache.mark_dirty(0x5000)
+
+
+class TestCapacityInvariants:
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = make_cache(size=1024, assoc=2)
+        for i in range(100):
+            cache.fill(i * 64)
+        assert cache.occupancy() <= cache.capacity_blocks
+
+    def test_resident_blocks_are_block_aligned(self):
+        cache = make_cache()
+        cache.fill(0x1234)
+        assert cache.resident_blocks() == [0x1200]
+
+    def test_reset_statistics(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.fill(0)
+        cache.reset_statistics()
+        assert cache.stats.accesses == 0
+        assert cache.stats.fills == 0
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_property_contains_matches_fill_history(addresses):
+    """After any fill sequence, a filled block is either resident or was
+    evicted; occupancy never exceeds capacity; lookups after fill of the same
+    address always hit."""
+    cache = make_cache(size=2048, assoc=4)
+    for address in addresses:
+        cache.fill(address)
+        assert cache.lookup(address)  # just-filled blocks always hit
+        assert cache.occupancy() <= cache.capacity_blocks
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                          min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_tag_index_consistency(addresses):
+    """The internal tag->way index always agrees with the stored lines."""
+    cache = make_cache(size=1024, assoc=2)
+    for address in addresses:
+        cache.fill(address)
+    for block in cache.resident_blocks():
+        assert cache.contains(block)
+        line = cache.get_line(block)
+        assert line.block_addr == block

@@ -1,0 +1,119 @@
+"""Unit tests for the MOESI coherence logic and the directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.block import CoherenceState
+from repro.memory.coherence import (
+    BusRequest,
+    decide_read,
+    decide_write,
+    is_valid_transition,
+)
+from repro.memory.directory import Directory
+
+
+class TestCoherenceDecisions:
+    def test_read_of_uncached_block_installs_exclusive(self):
+        decision = decide_read(requestor=0, sharers=set(), owner=None)
+        assert decision.new_requestor_state is CoherenceState.EXCLUSIVE
+        assert not decision.data_from_owner
+
+    def test_read_of_shared_block_installs_shared(self):
+        decision = decide_read(requestor=0, sharers={1}, owner=None)
+        assert decision.new_requestor_state is CoherenceState.SHARED
+
+    def test_read_from_dirty_owner_forwards_data(self):
+        decision = decide_read(requestor=0, sharers=set(), owner=2)
+        assert decision.data_from_owner
+        assert decision.owner_to_downgrade == 2
+
+    def test_write_invalidates_other_sharers(self):
+        decision = decide_write(requestor=0, sharers={1, 2, 0}, owner=None)
+        assert decision.sharers_to_invalidate == frozenset({1, 2})
+        assert decision.new_requestor_state is CoherenceState.MODIFIED
+
+    def test_write_does_not_invalidate_self(self):
+        decision = decide_write(requestor=0, sharers={0}, owner=0)
+        assert decision.sharers_to_invalidate == frozenset()
+        assert not decision.data_from_owner
+
+    def test_transition_table(self):
+        assert is_valid_transition(CoherenceState.INVALID, CoherenceState.EXCLUSIVE)
+        assert is_valid_transition(CoherenceState.MODIFIED, CoherenceState.OWNED)
+        assert is_valid_transition(CoherenceState.SHARED, CoherenceState.SHARED)
+        assert not is_valid_transition(CoherenceState.SHARED,
+                                       CoherenceState.EXCLUSIVE)
+
+
+class TestDirectory:
+    def test_read_records_sharer(self):
+        directory = Directory(num_cores=2)
+        directory.handle_request(0x40, requestor=0, request=BusRequest.GET_SHARED)
+        assert directory.holders(0x40) == {0}
+
+    def test_write_makes_requestor_sole_owner(self):
+        directory = Directory(num_cores=4)
+        directory.handle_request(0x40, 0, BusRequest.GET_SHARED)
+        directory.handle_request(0x40, 1, BusRequest.GET_SHARED)
+        decision = directory.handle_request(0x40, 2, BusRequest.GET_MODIFIED)
+        assert decision.sharers_to_invalidate == frozenset({0, 1})
+        assert directory.holders(0x40) == {2}
+        assert directory.owner_of(0x40) == 2
+
+    def test_dirty_owner_forwards_on_read(self):
+        directory = Directory(num_cores=2)
+        directory.handle_request(0x80, 0, BusRequest.GET_MODIFIED)
+        decision = directory.handle_request(0x80, 1, BusRequest.GET_SHARED)
+        assert decision.data_from_owner
+        assert directory.stats.owner_forwards == 1
+        assert directory.holders(0x80) == {0, 1}
+
+    def test_writeback_removes_tracking(self):
+        directory = Directory(num_cores=2)
+        directory.handle_request(0x80, 0, BusRequest.GET_MODIFIED)
+        directory.handle_request(0x80, 0, BusRequest.PUT_MODIFIED)
+        assert directory.holders(0x80) == set()
+        assert directory.tracked_blocks() == 0
+
+    def test_clean_eviction_notification(self):
+        directory = Directory(num_cores=2)
+        directory.handle_request(0xC0, 0, BusRequest.GET_SHARED)
+        directory.handle_request(0xC0, 0, BusRequest.PUT_SHARED)
+        assert directory.holders(0xC0) == set()
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            Directory(num_cores=0)
+
+
+class TestMispredictionDetection:
+    """Section III.E: the directory detects bypassed private levels."""
+
+    def test_detects_block_in_requestors_private_cache(self):
+        directory = Directory(num_cores=2)
+        directory.record_private_fill(0x100, core=0)
+        assert directory.detect_bypass_misprediction(0x100, requestor=0)
+        assert directory.stats.misprediction_detections == 1
+
+    def test_no_detection_for_untracked_block(self):
+        directory = Directory(num_cores=2)
+        assert not directory.detect_bypass_misprediction(0x100, requestor=0)
+
+    def test_no_detection_after_eviction(self):
+        directory = Directory(num_cores=2)
+        directory.record_private_fill(0x100, core=0)
+        directory.record_private_eviction(0x100, core=0)
+        assert not directory.detect_bypass_misprediction(0x100, requestor=0)
+
+    def test_is_cached_privately_excludes_core(self):
+        directory = Directory(num_cores=2)
+        directory.record_private_fill(0x100, core=1)
+        assert directory.is_cached_privately(0x100)
+        assert not directory.is_cached_privately(0x100, exclude_core=1)
+
+    def test_record_private_fill_dirty_sets_owner(self):
+        directory = Directory(num_cores=2)
+        directory.record_private_fill(0x200, core=1, dirty=True)
+        assert directory.owner_of(0x200) == 1

@@ -1,0 +1,84 @@
+"""Unit tests for the DDR4-like DRAM timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.dram import DRAMConfig, DRAMModel
+
+
+class TestTiming:
+    def test_idle_latency_larger_than_llc(self):
+        dram = DRAMModel()
+        # Main memory must be much slower than the 55-cycle LLC for the
+        # level-prediction trade-offs of the paper to hold.
+        assert dram.idle_latency() > 100
+
+    def test_row_hit_faster_than_row_miss(self):
+        dram = DRAMModel()
+        first = dram.access(0x0)          # row miss (activate)
+        second = dram.access(0x40)        # same row: row hit
+        assert second < first
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses == 1
+
+    def test_row_conflict_slowest(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        dram.access(0x0)
+        conflict_addr = config.row_size_bytes * config.num_banks  # same bank, new row
+        bank0, row0 = dram.map_address(0x0)
+        bank1, row1 = dram.map_address(conflict_addr)
+        assert bank0 == bank1 and row0 != row1
+        latency = dram.access(conflict_addr)
+        assert dram.stats.row_conflicts == 1
+        assert latency >= dram.idle_latency()
+
+    def test_core_cycle_conversion(self):
+        config = DRAMConfig(core_frequency_ghz=4.0, dram_frequency_mhz=1200.0)
+        assert config.core_cycles_per_dram_cycle == pytest.approx(10.0 / 3.0)
+
+
+class TestAddressMapping:
+    def test_distinct_rows_map_to_different_banks(self):
+        dram = DRAMModel()
+        banks = {dram.map_address(i * dram.config.row_size_bytes)[0]
+                 for i in range(dram.config.num_banks)}
+        assert len(banks) == dram.config.num_banks
+
+    def test_same_row_same_mapping(self):
+        dram = DRAMModel()
+        assert dram.map_address(0x100) == dram.map_address(0x180)
+
+
+class TestStatistics:
+    def test_read_write_counters(self):
+        dram = DRAMModel()
+        dram.access(0x0)
+        dram.access(0x40, is_write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.accesses == 2
+        assert dram.stats.average_latency > 0
+
+    def test_row_hit_ratio(self):
+        dram = DRAMModel()
+        dram.access(0x0)
+        dram.access(0x40)
+        dram.access(0x80)
+        assert dram.stats.row_hit_ratio == pytest.approx(2.0 / 3.0)
+
+    def test_reset(self):
+        dram = DRAMModel()
+        dram.access(0x0)
+        dram.reset_statistics()
+        assert dram.stats.accesses == 0
+        assert dram.stats.total_latency_core_cycles == 0.0
+
+    def test_queueing_delay_is_bounded(self):
+        """Back-to-back same-bank accesses must not accumulate unbounded
+        queueing delay (the functional front end has no backpressure)."""
+        dram = DRAMModel()
+        latencies = [dram.access(0x0 if i % 2 == 0 else 0x40)
+                     for i in range(200)]
+        assert max(latencies) <= 3 * dram.idle_latency()

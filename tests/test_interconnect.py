@@ -1,0 +1,48 @@
+"""Unit tests for the interconnect latency/contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.interconnect import Interconnect, InterconnectConfig
+
+
+class TestLatencies:
+    def test_single_core_has_no_contention(self):
+        ic = Interconnect(active_cores=1)
+        assert ic.l2_to_llc_latency() == ic.config.l2_to_llc
+        assert ic.llc_to_memory_latency() == ic.config.llc_to_memory
+
+    def test_contention_grows_with_cores(self):
+        single = Interconnect(active_cores=1)
+        quad = Interconnect(active_cores=4)
+        assert quad.l2_to_llc_latency() > single.l2_to_llc_latency()
+        assert quad.recovery_latency() > single.recovery_latency()
+
+    def test_private_hop_unaffected_by_contention(self):
+        quad = Interconnect(active_cores=4)
+        assert quad.l1_to_l2_latency() == quad.config.l1_to_l2
+
+    def test_cache_to_cache_costs_both_hops(self):
+        ic = Interconnect()
+        assert ic.cache_to_cache_latency() >= (ic.config.l1_to_l2
+                                               + ic.config.l2_to_llc)
+
+    def test_transfer_counters(self):
+        ic = Interconnect()
+        ic.l1_to_l2_latency()
+        ic.l2_to_llc_latency()
+        ic.recovery_latency()
+        assert ic.transfers == 2
+        assert ic.recovery_transactions == 1
+        ic.reset_statistics()
+        assert ic.transfers == 0
+
+    def test_custom_configuration(self):
+        config = InterconnectConfig(l1_to_l2=5, l2_to_llc=9, llc_to_memory=11,
+                                    recovery_transaction=13)
+        ic = Interconnect(config)
+        assert ic.l1_to_l2_latency() == 5
+        assert ic.l2_to_llc_latency() == 9
+        assert ic.llc_to_memory_latency() == 11
+        assert ic.recovery_latency() == 13

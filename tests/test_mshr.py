@@ -1,0 +1,107 @@
+"""Unit tests for the MSHR file (non-blocking miss tracking + reservation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.block import AccessType
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        mshrs = MSHRFile(capacity=4)
+        entry = mshrs.allocate(0x1000)
+        assert entry is not None
+        assert mshrs.lookup(0x1000) is entry
+        assert mshrs.occupancy == 1
+
+    def test_coalescing_same_block(self):
+        mshrs = MSHRFile(capacity=2)
+        first = mshrs.allocate(0x40)
+        second = mshrs.allocate(0x40)
+        assert first is second
+        assert mshrs.occupancy == 1
+        assert mshrs.coalesces == 1
+
+    def test_capacity_limit_rejects_demand(self):
+        mshrs = MSHRFile(capacity=2)
+        assert mshrs.allocate(0x0) is not None
+        assert mshrs.allocate(0x40) is not None
+        assert mshrs.allocate(0x80) is None
+        assert mshrs.demand_rejections == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=4, demand_reserve_fraction=1.0)
+
+
+class TestDemandReservation:
+    def test_prefetch_blocked_by_reservation(self):
+        """25 % of entries are reserved for demand accesses (Section IV.A)."""
+        mshrs = MSHRFile(capacity=4, demand_reserve_fraction=0.25)
+        assert mshrs.prefetch_limit == 3
+        for i in range(3):
+            assert mshrs.allocate(i * 64, AccessType.PREFETCH) is not None
+        # The fourth entry is reserved: prefetch rejected, demand accepted.
+        assert mshrs.allocate(0x1000, AccessType.PREFETCH) is None
+        assert mshrs.prefetch_rejections == 1
+        assert mshrs.allocate(0x1000, AccessType.LOAD) is not None
+
+    def test_has_room_for(self):
+        mshrs = MSHRFile(capacity=4, demand_reserve_fraction=0.25)
+        for i in range(3):
+            mshrs.allocate(i * 64)
+        assert not mshrs.has_room_for(AccessType.PREFETCH)
+        assert mshrs.has_room_for(AccessType.LOAD)
+
+
+class TestRelease:
+    def test_release_returns_presence(self):
+        mshrs = MSHRFile(capacity=2)
+        mshrs.allocate(0x40)
+        assert mshrs.release(0x40) is True
+        assert mshrs.release(0x40) is False
+        assert mshrs.occupancy == 0
+
+    def test_force_release_counts_recovery_deallocations(self):
+        mshrs = MSHRFile(capacity=2)
+        mshrs.allocate(0x40)
+        assert mshrs.force_release(0x40) is True
+        assert mshrs.forced_deallocations == 1
+        # Releasing an entry the request never allocated is not an error.
+        assert mshrs.force_release(0x80) is False
+        assert mshrs.forced_deallocations == 1
+
+    def test_outstanding_blocks(self):
+        mshrs = MSHRFile(capacity=4)
+        mshrs.allocate(0x0)
+        mshrs.allocate(0x40)
+        assert sorted(mshrs.outstanding_blocks()) == [0x0, 0x40]
+
+    def test_reset_statistics_preserves_entries(self):
+        mshrs = MSHRFile(capacity=4)
+        mshrs.allocate(0x0)
+        mshrs.reset_statistics()
+        assert mshrs.allocations == 0
+        assert mshrs.occupancy == 1
+
+
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["alloc", "release"]),
+              st.integers(min_value=0, max_value=7)),
+    max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_property_occupancy_never_exceeds_capacity(ops):
+    """Occupancy stays within [0, capacity] for any allocate/release pattern."""
+    mshrs = MSHRFile(capacity=4, demand_reserve_fraction=0.25)
+    for op, block in ops:
+        if op == "alloc":
+            mshrs.allocate(block * 64)
+        else:
+            mshrs.release(block * 64)
+        assert 0 <= mshrs.occupancy <= 4

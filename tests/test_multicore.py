@@ -1,0 +1,73 @@
+"""Integration tests for the multi-core driver (Table II mixes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import PredictionOutcome
+from repro.sim.config import SystemConfig
+from repro.sim.multicore import MultiCoreSystem, run_mix_comparison
+from repro.workloads import build_workload
+
+
+class TestMultiCoreSystem:
+    def test_builds_one_hierarchy_per_core(self):
+        system = MultiCoreSystem(SystemConfig.paper_multi_core("lp"))
+        assert len(system.cores) == 4
+        predictors = {id(core.predictor) for core in system.cores}
+        assert len(predictors) == 4          # one LP per core (Section V.D)
+        llc = {id(core.shared.l3) for core in system.cores}
+        assert len(llc) == 1                 # one shared LLC
+
+    def test_run_traces_rejects_too_many_traces(self):
+        system = MultiCoreSystem(SystemConfig.paper_multi_core("lp",
+                                                               num_cores=2))
+        traces = [build_workload("gups").generate(10, seed=i) for i in range(3)]
+        with pytest.raises(ValueError):
+            system.run_traces(traces)
+
+    def test_mix_run_produces_per_core_results(self):
+        system = MultiCoreSystem(SystemConfig.paper_multi_core("lp"))
+        result = system.run_mix("mix1", accesses_per_core=600, seed=0)
+        assert len(result.per_core_execution) == 4
+        assert result.per_core_workloads == ["gapbs.bfs", "619.lbm",
+                                             "nas.lu", "bmt"]
+        assert result.total_predictions > 0
+        assert sum(result.accuracy_breakdown.values()) == pytest.approx(1.0)
+
+    def test_multithreaded_mix_uses_two_cores(self):
+        system = MultiCoreSystem(SystemConfig.paper_multi_core("lp"))
+        result = system.run_mix("MT1", accesses_per_core=400, seed=0)
+        assert len(result.per_core_execution) == 2
+        assert result.aggregate_ipc > 0
+
+    def test_shared_blocks_visible_across_cores(self):
+        """Multi-threaded runs share the LLC, so one thread's fill can be
+        another thread's remote/LLC hit."""
+        system = MultiCoreSystem(SystemConfig.paper_multi_core("baseline"))
+        result = system.run_mix("MT2", accesses_per_core=500, seed=1)
+        total_l3_hits = sum(core.stats.l3_hits for core in system.cores)
+        assert total_l3_hits > 0
+
+
+class TestMixComparison:
+    def test_lp_improves_mix_performance_and_energy(self):
+        results = run_mix_comparison("mix1", accesses_per_core=700,
+                                     predictors=("baseline", "lp"), seed=0)
+        baseline, lp = results["baseline"], results["lp"]
+        assert lp.speedup_over(baseline) > 1.0
+        assert lp.normalized_energy_over(baseline) < 1.05
+        assert lp.energy_efficiency_over(baseline) > 1.0
+
+    def test_breakdown_mostly_accurate(self):
+        results = run_mix_comparison("mix1", accesses_per_core=700,
+                                     predictors=("lp",), seed=0)
+        breakdown = results["lp"].accuracy_breakdown
+        harmful = breakdown[PredictionOutcome.HARMFUL.value]
+        assert harmful < 0.3
+
+    def test_speedup_over_itself_is_one(self):
+        results = run_mix_comparison("mix4", accesses_per_core=400,
+                                     predictors=("baseline",), seed=0)
+        baseline = results["baseline"]
+        assert baseline.speedup_over(baseline) == pytest.approx(1.0)

@@ -1,0 +1,236 @@
+"""Unit tests for the prefetcher implementations and throttling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prefetch import (
+    AMPMPrefetcher,
+    BestOffsetPrefetcher,
+    DCPTPrefetcher,
+    FIGURE3_PREFETCHERS,
+    ISBPrefetcher,
+    IndirectMemoryPrefetcher,
+    NullPrefetcher,
+    PrefetchAccess,
+    SandboxPrefetcher,
+    SlimAMPMPrefetcher,
+    SPPPrefetcher,
+    SPPv2Prefetcher,
+    StridePrefetcher,
+    TaggedNextLinePrefetcher,
+    TemporalStreamPrefetcher,
+    ThrottledPrefetcher,
+    make_prefetcher,
+)
+
+
+def miss(address: int, pc: int = 0x10) -> PrefetchAccess:
+    return PrefetchAccess(address=address, pc=pc, hit=False)
+
+
+def hit(address: int, pc: int = 0x10) -> PrefetchAccess:
+    return PrefetchAccess(address=address, pc=pc, hit=True)
+
+
+class TestBaseBehaviour:
+    def test_null_prefetcher_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.observe(miss(0x1000)) == []
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            TaggedNextLinePrefetcher(degree=0)
+
+    def test_candidates_are_block_aligned_and_unique(self):
+        pf = TaggedNextLinePrefetcher(degree=4)
+        for address in pf.observe(miss(0x1010)):
+            assert address % 64 == 0
+
+    def test_accuracy_accounting(self):
+        pf = TaggedNextLinePrefetcher()
+        pf.record_useful(3)
+        pf.record_useless(1)
+        assert pf.stats.accuracy == pytest.approx(0.75)
+
+    def test_disabled_prefetcher_issues_nothing(self):
+        pf = TaggedNextLinePrefetcher()
+        pf.enabled = False
+        assert pf.observe(miss(0x1000)) == []
+
+    def test_factory_covers_figure3(self):
+        for name in FIGURE3_PREFETCHERS:
+            assert make_prefetcher(name).name
+        with pytest.raises(ValueError):
+            make_prefetcher("nonexistent")
+
+
+class TestNextLine:
+    def test_prefetches_next_lines_on_miss(self):
+        pf = TaggedNextLinePrefetcher(degree=2)
+        assert pf.observe(miss(0x1000)) == [0x1040, 0x1080]
+
+    def test_no_prefetch_on_untagged_hit(self):
+        pf = TaggedNextLinePrefetcher(degree=1)
+        assert pf.observe(hit(0x1000)) == []
+
+    def test_tagged_hit_continues_stream(self):
+        pf = TaggedNextLinePrefetcher(degree=1)
+        pf.observe(miss(0x1000))          # prefetches 0x1040 (tagged)
+        assert pf.observe(hit(0x1040)) == [0x1080]
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        pf = StridePrefetcher(degree=1)
+        for i in range(4):
+            candidates = pf.observe(miss(0x1000 + i * 256, pc=0x44))
+        assert candidates == [0x1000 + 4 * 256]
+
+    def test_different_pcs_tracked_separately(self):
+        pf = StridePrefetcher(degree=1)
+        for i in range(4):
+            pf.observe(miss(0x1000 + i * 256, pc=0x44))
+            pf.observe(miss(0x9000 + i * 128, pc=0x88))
+        assert pf.observe(miss(0x1000 + 4 * 256, pc=0x44)) == [0x1000 + 5 * 256]
+
+
+class TestDCPT:
+    def test_replays_repeating_delta_pattern(self):
+        pf = DCPTPrefetcher(degree=2)
+        # Repeating delta pattern +1, +3 blocks.
+        addresses = [0x0]
+        for _ in range(6):
+            addresses.append(addresses[-1] + 64)
+            addresses.append(addresses[-1] + 192)
+        issued = []
+        for address in addresses:
+            issued.extend(pf.observe(miss(address, pc=0x77)))
+        assert issued, "DCPT should issue prefetches for a repeating pattern"
+        assert all(a % 64 == 0 for a in issued)
+
+    def test_constant_stride_fallback(self):
+        pf = DCPTPrefetcher(degree=2)
+        issued = []
+        for i in range(6):
+            issued.extend(pf.observe(miss(0x4000 + i * 128, pc=0x99)))
+        assert 0x4000 + 6 * 128 in issued or 0x4000 + 5 * 128 + 128 in issued
+
+
+class TestAMPM:
+    def test_detects_stride_within_zone(self):
+        pf = AMPMPrefetcher(degree=2)
+        issued = []
+        for i in range(8):
+            issued.extend(pf.observe(miss(0x10000 + i * 64)))
+        assert issued
+        assert all(a % 64 == 0 for a in issued)
+
+    def test_slim_variant_is_more_conservative(self):
+        full = AMPMPrefetcher(degree=2)
+        slim = SlimAMPMPrefetcher(degree=2)
+        full_count = slim_count = 0
+        for i in range(32):
+            address = 0x20000 + i * 64
+            full_count += len(full.observe(miss(address)))
+            slim_count += len(slim.observe(miss(address)))
+        assert slim_count <= full_count
+
+
+class TestOffsetPrefetchers:
+    def test_best_offset_learns_dominant_offset(self):
+        pf = BestOffsetPrefetcher(degree=1, round_length=64, score_threshold=8)
+        for i in range(300):
+            pf.observe(miss(0x100000 + i * 3 * 64))
+        assert pf.active_offset == 3
+
+    def test_sandbox_promotes_good_offset(self):
+        pf = SandboxPrefetcher(degree=1, evaluation_period=64,
+                               promote_threshold=8)
+        for i in range(600):
+            pf.observe(miss(0x200000 + i * 64))
+        assert 1 in pf.promoted_offsets
+
+    def test_sandbox_issues_only_after_promotion(self):
+        pf = SandboxPrefetcher(degree=1)
+        assert pf.observe(miss(0x1000)) == []
+
+
+class TestSPP:
+    def test_learns_intra_page_pattern(self):
+        pf = SPPPrefetcher(degree=2)
+        issued = []
+        for page in range(4):
+            base = 0x100000 + page * 4096
+            for i in range(0, 32, 2):
+                issued.extend(pf.observe(miss(base + i * 64)))
+        assert issued
+
+    def test_sppv2_bootstraps_new_pages(self):
+        pf = SPPv2Prefetcher(degree=1)
+        first = pf.observe(miss(0x340000))
+        assert first == [0x340040]
+
+
+class TestIrregularPrefetchers:
+    def test_isb_replays_recurring_sequence(self):
+        pf = ISBPrefetcher(degree=1)
+        sequence = [0x1000, 0x9040, 0x3080, 0x70C0, 0x2100]
+        for address in sequence:          # first pass: learn
+            pf.observe(miss(address, pc=0x5))
+        issued = pf.observe(miss(sequence[0], pc=0x5))
+        assert issued == [0x9040 - 0x9040 % 64]
+
+    def test_temporal_stream_replays_miss_sequence(self):
+        pf = TemporalStreamPrefetcher(degree=2)
+        sequence = [0x1000, 0x5000, 0x9000, 0xD000]
+        for address in sequence:
+            pf.observe(miss(address))
+        issued = pf.observe(miss(0x1000))
+        assert issued[:2] == [0x5000, 0x9000]
+
+    def test_indirect_requires_streaming_index(self):
+        pf = IndirectMemoryPrefetcher(degree=1)
+        # Irregular accesses alone (no streaming PC) produce nothing.
+        for i in range(10):
+            assert pf.observe(miss(0x100000 + i * 7919 * 64, pc=0x9)) == []
+
+
+class TestThrottling:
+    def test_gated_when_accuracy_low(self):
+        inner = TaggedNextLinePrefetcher(degree=1)
+        pf = ThrottledPrefetcher(inner, epoch_accesses=100,
+                                 sample_fraction=0.1, accuracy_threshold=0.4)
+        for i in range(10):                 # sampling window
+            pf.observe(miss(0x1000 + i * 4096))
+            pf.record_useless()             # all prefetches useless
+        pf.observe(miss(0x100000))          # first post-sample access decides
+        assert pf.currently_gated
+        assert pf.observe(miss(0x200000)) == []
+
+    def test_not_gated_when_accuracy_high(self):
+        inner = TaggedNextLinePrefetcher(degree=1)
+        pf = ThrottledPrefetcher(inner, epoch_accesses=100,
+                                 sample_fraction=0.1, accuracy_threshold=0.4)
+        for i in range(10):
+            pf.observe(miss(0x1000 + i * 64))
+            pf.record_useful()
+        pf.observe(miss(0x100000))
+        assert not pf.currently_gated
+        assert pf.observe(miss(0x200000)) != []
+
+    def test_gate_resets_each_epoch(self):
+        inner = TaggedNextLinePrefetcher(degree=1)
+        pf = ThrottledPrefetcher(inner, epoch_accesses=20, sample_fraction=0.1)
+        for i in range(5):
+            pf.observe(miss(0x1000 + i * 4096))
+            pf.record_useless()
+        for i in range(40):
+            pf.observe(miss(0x50000 + i * 4096))
+        assert pf.epochs_completed >= 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            ThrottledPrefetcher(NullPrefetcher(), epoch_accesses=0)
+        with pytest.raises(ValueError):
+            ThrottledPrefetcher(NullPrefetcher(), sample_fraction=0.0)

@@ -1,0 +1,147 @@
+"""Unit tests for the TAGE and D2D/Ideal baseline predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.d2d import D2DConfig, DirectToDataPredictor, IdealPredictor
+from repro.core.tage import (
+    TAGEConfig,
+    TAGELevelPredictor,
+    make_tage_2kb,
+    make_tage_8kb,
+)
+from repro.memory.block import Level
+
+
+class TestTAGEConfig:
+    def test_storage_variants(self):
+        assert make_tage_2kb().storage_bits() == 2048 * 8
+        assert make_tage_8kb().storage_bits() == 8192 * 8
+
+    def test_bigger_tables_for_bigger_budget(self):
+        small = TAGEConfig(storage_bytes=2048)
+        large = TAGEConfig(storage_bytes=8192)
+        assert large.entries_per_table > small.entries_per_table
+
+    def test_history_lengths_are_geometric_and_increasing(self):
+        lengths = TAGEConfig(num_tagged_tables=4, min_history=4,
+                             max_history=64).history_lengths()
+        assert len(lengths) == 4
+        assert lengths == sorted(lengths)
+        assert lengths[0] == 4 and lengths[-1] == 64
+
+    def test_energy_scales_with_storage(self):
+        assert (make_tage_8kb().energy_per_prediction_nj()
+                > make_tage_2kb().energy_per_prediction_nj())
+
+    def test_names(self):
+        assert make_tage_2kb().name == "TAGE-2KB"
+        assert make_tage_8kb().name == "TAGE-8KB"
+
+
+class TestTAGELearning:
+    def test_learns_repeated_block_location(self):
+        predictor = make_tage_8kb()
+        block = 0x1234 * 64
+        for _ in range(8):
+            prediction = predictor.predict(block)
+            predictor.train(block, 0, prediction, Level.MEM)
+        assert Level.MEM in predictor.predict(block).levels
+
+    def test_base_table_learns_global_popularity(self):
+        predictor = make_tage_2kb()
+        for i in range(300):
+            block = (0x8000 + i) * 64
+            prediction = predictor.predict(block)
+            predictor.train(block, 0, prediction, Level.MEM)
+        # A brand-new block should now be predicted from popularity counters.
+        prediction = predictor.predict(0x900000 * 64)
+        assert Level.MEM in prediction.levels
+
+    def test_sequential_fallback_variant(self):
+        predictor = TAGELevelPredictor(TAGEConfig(base_table_fallback=False))
+        prediction = predictor.predict(0xABC0)
+        assert prediction.levels == (Level.L2,)
+        assert prediction.source == "tage-miss"
+
+    def test_allocation_on_misprediction(self):
+        predictor = make_tage_2kb()
+        block = 0x77 * 64
+        prediction = predictor.predict(block)
+        predictor.train(block, 0, prediction, Level.MEM)
+        assert predictor.allocations >= 0  # allocation only when wrong
+        prediction = predictor.predict(block)
+        predictor.train(block, 0, prediction, Level.L2)
+        assert predictor.allocations >= 1
+
+    def test_prefetch_coordination_updates_matching_entries(self):
+        predictor = make_tage_8kb()
+        block = 0x4242 * 64
+        for _ in range(4):
+            prediction = predictor.predict(block)
+            predictor.train(block, 0, prediction, Level.MEM)
+        before = predictor.stats.updates
+        predictor.on_fill(block, Level.L3, from_prefetch=True)
+        assert predictor.stats.updates >= before
+
+    def test_dirty_eviction_counts_as_move_down(self):
+        predictor = make_tage_8kb()
+        predictor.on_eviction(0x40, Level.L2, dirty=False)  # ignored
+        predictor.on_eviction(0x40, Level.L2, dirty=True)   # -> L3 nudge
+        # No exception and history/statistics stay consistent.
+        assert predictor.stats.predictions == 0
+
+
+class TestD2D:
+    def test_tracks_exact_location(self):
+        predictor = DirectToDataPredictor()
+        assert predictor.predict(0x40).levels == (Level.MEM,)
+        predictor.on_fill(0x40, Level.L2)
+        assert predictor.predict(0x40).levels == (Level.L2,)
+        predictor.on_eviction(0x40, Level.L2, dirty=False)
+        assert predictor.predict(0x40).levels == (Level.MEM,)
+
+    def test_clean_evictions_tracked_unlike_locmap(self):
+        predictor = DirectToDataPredictor()
+        predictor.on_fill(0x80, Level.L3)
+        predictor.on_fill(0x80, Level.L2)
+        predictor.on_eviction(0x80, Level.L2, dirty=False)
+        # Still cached in the LLC.
+        assert predictor.predict(0x80).levels == (Level.L3,)
+
+    def test_never_mispredicts_when_tracking_is_complete(self):
+        predictor = DirectToDataPredictor()
+        blocks = [i * 64 for i in range(64)]
+        for block in blocks[:32]:
+            predictor.on_fill(block, Level.L2)
+        for block in blocks:
+            expected = Level.L2 if block < 32 * 64 else Level.MEM
+            prediction = predictor.predict(block)
+            outcome = predictor.train(block, 0, prediction, expected)
+            assert prediction.levels == (expected,)
+        assert predictor.stats.accuracy == 1.0
+
+    def test_hub_energy_grows_with_miss_ratio(self):
+        config = D2DConfig(hub_bytes=4096)
+        predictor = DirectToDataPredictor(config)
+        # Scattered pages: many Hub misses -> higher per-prediction energy.
+        for i in range(2000):
+            predictor.predict(i * 8192)
+        scattered = predictor.energy_per_prediction_nj()
+        dense = DirectToDataPredictor(config)
+        for _ in range(2000):
+            dense.predict(0x1000)
+        assert scattered > dense.energy_per_prediction_nj()
+
+    def test_zero_prediction_latency(self):
+        assert DirectToDataPredictor().prediction_latency == 0
+        assert DirectToDataPredictor().storage_bits() == 4096 * 8
+
+
+class TestIdealPredictor:
+    def test_is_free_and_sequential(self):
+        predictor = IdealPredictor()
+        assert predictor.prediction_latency == 0
+        assert predictor.predict(0x40).is_sequential
+        assert predictor.energy_per_prediction_nj() == 0.0
