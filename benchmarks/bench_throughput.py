@@ -1,0 +1,187 @@
+"""End-to-end simulation throughput: serial vs. engine-parallel.
+
+This benchmark measures how fast the reproduction can push memory accesses
+through full systems — the quantity that bounds every figure's simulation
+budget — and writes a machine-readable ``BENCH_throughput.json`` at the
+repository root so future PRs have a performance trajectory to regress
+against.
+
+Three configurations are timed on the Figure 10-12 grid (the highlighted
+applications x the six compared systems):
+
+* ``legacy_serial`` — the pre-engine driver shape: one
+  :class:`SimulatedSystem` per (application, system) with the trace
+  regenerated for every system (what ``run_predictor_comparison`` did before
+  the engine existed);
+* ``engine_serial`` — the engine's deterministic serial path with the shared
+  trace cache (each application trace generated once for all six systems);
+* ``engine_parallel`` — the same jobs fanned out over ``max(2, REPRO_JOBS)``
+  worker processes.
+
+Per-system end-to-end throughput is also reported for the baseline and
+``lp`` systems alone.  The benchmark asserts that parallel execution
+reproduces serial results bit-identically; wall-clock speedups are recorded
+in the JSON rather than asserted, because they depend on the host's core
+count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.sim.engine import SimulationEngine, TRACE_CACHE, expand_grid
+from repro.sim.system import SimulatedSystem
+from repro.sim.config import SystemConfig
+from repro.workloads import HIGHLIGHTED_APPLICATIONS, build_workload
+
+from conftest import BENCH_ACCESSES, BENCH_WARMUP, COMPARED_SYSTEMS, save_result
+
+#: Worker processes for the parallel measurement (>= 2 so the pool is real).
+PARALLEL_JOBS = max(2, int(os.environ.get("REPRO_JOBS", "0") or 0))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _grid_accesses() -> int:
+    """Total demand accesses one full grid pass simulates (incl. warm-up)."""
+    return (len(HIGHLIGHTED_APPLICATIONS) * len(COMPARED_SYSTEMS)
+            * (BENCH_ACCESSES + BENCH_WARMUP))
+
+
+def _run_legacy_serial():
+    """The pre-engine driver: fresh system + fresh trace per grid cell."""
+    results = {}
+    for app in HIGHLIGHTED_APPLICATIONS:
+        per_system = {}
+        for name in COMPARED_SYSTEMS:
+            system = SimulatedSystem(
+                SystemConfig.paper_single_core().with_predictor(name))
+            per_system[name] = system.run_workload(
+                build_workload(app), BENCH_ACCESSES, seed=0,
+                warmup_accesses=BENCH_WARMUP)
+        results[app] = per_system
+    return results
+
+
+def _run_engine(jobs: int):
+    engine = SimulationEngine(jobs=jobs)
+    return engine.run_grid(list(HIGHLIGHTED_APPLICATIONS), COMPARED_SYSTEMS,
+                           num_accesses=BENCH_ACCESSES,
+                           warmup_accesses=BENCH_WARMUP, seed=0)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _per_system_throughput(predictor: str) -> float:
+    """End-to-end accesses/second of one system across all applications."""
+    jobs = expand_grid(list(HIGHLIGHTED_APPLICATIONS), (predictor,),
+                       num_accesses=BENCH_ACCESSES,
+                       warmup_accesses=BENCH_WARMUP)
+    engine = SimulationEngine(jobs=1)
+    start = time.perf_counter()
+    engine.run(jobs)
+    elapsed = time.perf_counter() - start
+    total = len(jobs) * (BENCH_ACCESSES + BENCH_WARMUP)
+    return total / elapsed
+
+
+def _assert_identical(serial, parallel):
+    for app, per_system in serial.items():
+        for name, result in per_system.items():
+            other = parallel[app][name]
+            assert other.ipc == result.ipc, (app, name)
+            assert other.cache_hierarchy_energy_nj == \
+                result.cache_hierarchy_energy_nj, (app, name)
+            assert other.hierarchy_stats.l1_hits == \
+                result.hierarchy_stats.l1_hits, (app, name)
+            assert other.hierarchy_stats.total_demand_latency == \
+                result.hierarchy_stats.total_demand_latency, (app, name)
+
+
+def test_throughput(benchmark):
+    grid_accesses = _grid_accesses()
+
+    legacy, legacy_seconds = benchmark.pedantic(
+        lambda: _timed(_run_legacy_serial), rounds=1, iterations=1)
+
+    TRACE_CACHE.clear()
+    serial, serial_seconds = _timed(lambda: _run_engine(jobs=1))
+    parallel, parallel_seconds = _timed(lambda: _run_engine(PARALLEL_JOBS))
+
+    # The engine's parallel path must reproduce serial results bit-for-bit
+    # (and both must agree with the legacy driver, which shares every
+    # simulation ingredient with the engine path).
+    _assert_identical(serial, parallel)
+    _assert_identical(legacy, serial)
+
+    baseline_aps = _per_system_throughput("baseline")
+    lp_aps = _per_system_throughput("lp")
+
+    report = {
+        "schema": "repro-bench-throughput/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "applications": len(HIGHLIGHTED_APPLICATIONS),
+            "systems": list(COMPARED_SYSTEMS),
+            "accesses_per_app": BENCH_ACCESSES,
+            "warmup_per_app": BENCH_WARMUP,
+            "grid_accesses": grid_accesses,
+            "parallel_jobs": PARALLEL_JOBS,
+        },
+        "grid": {
+            "legacy_serial": {
+                "seconds": legacy_seconds,
+                "accesses_per_second": grid_accesses / legacy_seconds,
+            },
+            "engine_serial": {
+                "seconds": serial_seconds,
+                "accesses_per_second": grid_accesses / serial_seconds,
+            },
+            "engine_parallel": {
+                "seconds": parallel_seconds,
+                "accesses_per_second": grid_accesses / parallel_seconds,
+            },
+        },
+        "per_system_accesses_per_second": {
+            "baseline": baseline_aps,
+            "lp": lp_aps,
+        },
+        "speedups": {
+            "engine_serial_vs_legacy": legacy_seconds / serial_seconds,
+            "engine_parallel_vs_legacy": legacy_seconds / parallel_seconds,
+            "engine_parallel_vs_serial": serial_seconds / parallel_seconds,
+        },
+        "identical_results": True,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = ["Simulation throughput (accesses/second, higher is better)", ""]
+    for key, entry in report["grid"].items():
+        lines.append(f"{key:18s}: {entry['accesses_per_second']:10,.0f}/s "
+                     f"({entry['seconds']:.2f}s)")
+    lines.append(f"baseline system   : {baseline_aps:10,.0f}/s")
+    lines.append(f"lp system         : {lp_aps:10,.0f}/s")
+    lines.append("")
+    for key, value in report["speedups"].items():
+        lines.append(f"{key}: {value:.2f}x")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("throughput", text)
+
+    # Qualitative guarantees that must hold on any host: the trace cache
+    # can only help, and both systems must sustain real throughput.
+    assert report["speedups"]["engine_serial_vs_legacy"] > 0.9
+    assert baseline_aps > 0 and lp_aps > 0

@@ -5,11 +5,15 @@ it runs the relevant simulations, prints the same rows/series the paper plots,
 writes them to ``benchmarks/results/`` and asserts the qualitative shape
 (who wins, roughly by how much) that the reproduction is expected to preserve.
 
-Simulation volume is controlled with two environment variables so the suite
-can be scaled up for higher-fidelity runs:
+Simulation volume is controlled with environment variables so the suite can
+be scaled up for higher-fidelity runs:
 
 * ``REPRO_BENCH_ACCESSES`` — measured accesses per application (default 4000)
 * ``REPRO_BENCH_WARMUP`` — warm-up accesses per application (default 1200)
+* ``REPRO_JOBS`` — worker processes for the simulation engine (default 1);
+  the session fixtures fan the (21 application x 6 system) and (mix x
+  predictor) grids out over the :class:`repro.sim.SimulationEngine`, whose
+  parallel results are bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -22,9 +26,9 @@ import pytest
 
 from repro.cpu.ooo_core import geometric_mean
 from repro.sim.config import SystemConfig
-from repro.sim.multicore import run_mix_comparison
-from repro.sim.system import SimulationResult, run_predictor_comparison
-from repro.workloads import HIGHLIGHTED_APPLICATIONS, MIXES, build_workload
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import SimulationResult
+from repro.workloads import HIGHLIGHTED_APPLICATIONS, MIXES
 
 #: Number of measured accesses per application per system.
 BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "4000"))
@@ -55,25 +59,22 @@ def geomean(values: Sequence[float]) -> float:
 def single_core_results() -> Dict[str, Dict[str, SimulationResult]]:
     """Run the 21 highlighted applications on all six compared systems.
 
-    This is the data behind Figures 7, 8, 9, 10, 11 and 12; computing it once
-    per benchmark session keeps the whole suite fast.
+    This is the data behind Figures 7, 8, 9, 10, 11 and 12; the whole
+    (21 application x 6 system) grid runs through the simulation engine once
+    per benchmark session — each application trace is generated a single
+    time and shared by all six systems, and the 126 jobs fan out over
+    ``REPRO_JOBS`` worker processes when configured.
     """
-    results: Dict[str, Dict[str, SimulationResult]] = {}
-    for app in HIGHLIGHTED_APPLICATIONS:
-        results[app] = run_predictor_comparison(
-            build_workload(app), num_accesses=BENCH_ACCESSES,
-            predictors=COMPARED_SYSTEMS, seed=0,
-            warmup_accesses=BENCH_WARMUP)
-    return results
+    engine = SimulationEngine()
+    return engine.run_grid(list(HIGHLIGHTED_APPLICATIONS), COMPARED_SYSTEMS,
+                           num_accesses=BENCH_ACCESSES,
+                           warmup_accesses=BENCH_WARMUP, seed=0)
 
 
 @pytest.fixture(scope="session")
 def multicore_results():
     """Run the Table II mixes under the baseline, LP and Ideal systems."""
-    results = {}
-    for mix in MIXES:
-        results[mix] = run_mix_comparison(
-            mix, accesses_per_core=BENCH_MIX_ACCESSES,
-            predictors=("baseline", "lp", "ideal"), seed=0,
-            config=SystemConfig.paper_multi_core())
-    return results
+    engine = SimulationEngine()
+    return engine.run_mix_grid(list(MIXES), ("baseline", "lp", "ideal"),
+                               accesses_per_core=BENCH_MIX_ACCESSES, seed=0,
+                               config=SystemConfig.paper_multi_core())

@@ -10,7 +10,9 @@ The package is organised as:
 * :mod:`repro.cpu` — the out-of-order core timing model.
 * :mod:`repro.energy` — per-access energy accounting.
 * :mod:`repro.workloads` — synthetic traces for every evaluated application.
-* :mod:`repro.sim` — system assembly and single/multi-core drivers.
+* :mod:`repro.sim` — system assembly, single/multi-core drivers, and the
+  batched/parallel :mod:`simulation engine <repro.sim.engine>` (trace cache +
+  ``REPRO_JOBS`` worker fan-out) the drivers run on.
 * :mod:`repro.analysis` — Figure-1 classification and report formatting.
 
 Quick start::
@@ -44,8 +46,11 @@ from .memory import (
 from .sim import (
     MultiCoreSystem,
     SimulatedSystem,
+    SimulationEngine,
+    SimulationJob,
     SimulationResult,
     SystemConfig,
+    TraceCache,
     build_system,
     run_predictor_comparison,
 )
@@ -69,8 +74,11 @@ __all__ = [
     "SequentialPredictor",
     "SharedMemorySystem",
     "SimulatedSystem",
+    "SimulationEngine",
+    "SimulationJob",
     "SimulationResult",
     "SystemConfig",
+    "TraceCache",
     "TAGELevelPredictor",
     "build_system",
     "build_workload",

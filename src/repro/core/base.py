@@ -22,6 +22,9 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..memory.block import Level, PREDICTABLE_LEVELS
 
+#: Levels of a degenerate (sequential) prediction, shared on the hot path.
+_SEQUENTIAL_LEVELS = (Level.L2,)
+
 
 class PredictionOutcome(enum.Enum):
     """Classification of one level prediction against the actual location.
@@ -85,8 +88,16 @@ class Prediction:
 
     @staticmethod
     def sequential() -> "Prediction":
-        """A prediction equivalent to the baseline level-by-level lookup."""
-        return Prediction(levels=(Level.L2,), source="sequential")
+        """A prediction equivalent to the baseline level-by-level lookup.
+
+        Returns a shared immutable instance: the baseline consults it on
+        every L1 miss and the object never varies.
+        """
+        return _SEQUENTIAL_PREDICTION
+
+
+#: Shared frozen instance returned by :meth:`Prediction.sequential`.
+_SEQUENTIAL_PREDICTION = Prediction(levels=(Level.L2,), source="sequential")
 
 
 def classify_prediction(prediction: Prediction, actual: Level) -> PredictionOutcome:
@@ -134,20 +145,22 @@ class PredictorStats:
 
     def record(self, prediction: Prediction, outcome: PredictionOutcome,
                actual: Level) -> None:
+        levels = prediction.levels
+        used_pld = prediction.used_pld
         self.predictions += 1
         self.outcomes[outcome] += 1
-        if prediction.is_multi_way:
+        if len(levels) > 1:
             self.multi_way_predictions += 1
-        if prediction.used_pld:
+        if used_pld:
             self.pld_predictions += 1
-            if actual not in (prediction.levels or ()):
+            if actual not in levels:
                 self.pld_mispredictions += 1
         if prediction.metadata_hit:
             self.metadata_hits += 1
-        elif prediction.used_pld:
+        elif used_pld:
             self.metadata_misses += 1
-        key = tuple(prediction.levels)
-        self.level_histogram[key] = self.level_histogram.get(key, 0) + 1
+        histogram = self.level_histogram
+        histogram[levels] = histogram.get(levels, 0) + 1
 
     # ------------------------------------------------------------------
     # Derived ratios (Figure 7 / 8 style)
@@ -223,7 +236,16 @@ class LevelPredictor(ABC):
     def train(self, block_addr: int, pc: int, prediction: Prediction,
               actual: Level) -> PredictionOutcome:
         """Record the actual location and return the outcome classification."""
-        outcome = classify_prediction(prediction, actual)
+        # Inline classify_prediction (one call per L1 miss).
+        if actual is Level.L1:
+            raise ValueError("level prediction is only consulted on L1 misses")
+        levels = prediction.levels or _SEQUENTIAL_LEVELS
+        if Level.L2 in levels:
+            outcome = (PredictionOutcome.SEQUENTIAL if actual is Level.L2
+                       else PredictionOutcome.LOST_OPPORTUNITY)
+        else:
+            outcome = (PredictionOutcome.HARMFUL if actual is Level.L2
+                       else PredictionOutcome.SKIP)
         self.stats.record(prediction, outcome, actual)
         self._learn(block_addr, pc, prediction, actual)
         return outcome

@@ -25,10 +25,21 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..energy.model import EnergyParameters
-from ..memory.block import Level
+from ..memory.block import Level, PREDICTABLE_LEVELS
 from .base import LevelPredictor, Prediction
 from .locmap import LocMap
 from .pld import PLDConfig, PopularLevelsDetector
+
+#: Shared frozen predictions for the metadata-hit path (one per stored level)
+#: and a memo for PLD level combinations — predict() runs on every L1 miss
+#: and the Prediction value space is tiny, so nothing is allocated per call.
+_LOCMAP_PREDICTIONS = {
+    level: Prediction(levels=(level,), metadata_hit=True, source="locmap")
+    for level in PREDICTABLE_LEVELS
+}
+_LOCMAP_MEM_WITH_L3 = Prediction(levels=(Level.L3, Level.MEM),
+                                 metadata_hit=True, source="locmap")
+_PLD_PREDICTIONS: dict = {}
 
 
 @dataclass
@@ -79,15 +90,17 @@ class CacheLevelPredictor(LevelPredictor):
     def predict(self, block_addr: int, pc: int = 0) -> Prediction:
         stored = self.locmap.query(block_addr)
         if stored is not None:
-            levels = (stored,)
             if (stored is Level.MEM
                     and self.config.predict_l3_and_mem_from_locmap_mem):
-                levels = (Level.L3, Level.MEM)
-            return Prediction(levels=levels, metadata_hit=True,
-                              source="locmap")
+                return _LOCMAP_MEM_WITH_L3
+            return _LOCMAP_PREDICTIONS[stored]
         levels = self.pld.predict()
-        return Prediction(levels=levels, used_pld=True, metadata_hit=False,
-                          source="pld")
+        prediction = _PLD_PREDICTIONS.get(levels)
+        if prediction is None:
+            prediction = Prediction(levels=levels, used_pld=True,
+                                    metadata_hit=False, source="pld")
+            _PLD_PREDICTIONS[levels] = prediction
+        return prediction
 
     # ------------------------------------------------------------------
     # Updates from the hierarchy

@@ -37,6 +37,7 @@ BLOCKS_PER_LOCMAP_ENTRY = (DEFAULT_BLOCK_SIZE * 8) // BITS_PER_BLOCK
 #: Encoding of levels into the 2-bit metadata field.
 _LEVEL_TO_CODE = {Level.L2: 1, Level.L3: 2, Level.MEM: 0}
 _CODE_TO_LEVEL = {code: level for level, code in _LEVEL_TO_CODE.items()}
+_MEM_CODE = _LEVEL_TO_CODE[Level.MEM]
 
 
 def locmap_block_address(physical_address: int, base_address: int = 0) -> int:
@@ -77,6 +78,9 @@ class MetadataCache:
     blocks, which is why even a 2 KiB metadata cache reaches ~95 % hit ratio
     (Section V.A): 32 LocMap blocks cover 32 x 256 x 64 B = 512 KiB of data.
     """
+
+    __slots__ = ("size_bytes", "associativity", "block_size", "num_sets",
+                 "_sets", "stats")
 
     def __init__(self, size_bytes: int = 2048, associativity: int = 2,
                  block_size: int = DEFAULT_BLOCK_SIZE) -> None:
@@ -140,6 +144,10 @@ class LocMap:
         base_address: Base physical address of the reserved LocMap region.
     """
 
+    __slots__ = ("block_size", "base_address", "metadata_cache", "_table",
+                 "updates_applied", "prefetch_updates_skipped",
+                 "locmap_fetches_from_memory")
+
     def __init__(self, metadata_cache_bytes: int = 2048,
                  metadata_associativity: int = 2,
                  block_size: int = DEFAULT_BLOCK_SIZE,
@@ -174,14 +182,22 @@ class LocMap:
         Returns the stored level on a metadata cache hit, or ``None`` on a
         metadata cache miss.  A miss triggers a (long-latency, off the
         critical path) fetch of the LocMap block from memory so subsequent
-        queries to the same region hit.
+        queries to the same region hit.  The metadata-cache probe is inlined:
+        this runs on every L1 miss of the LP system.
         """
-        locmap_block = self.locmap_block_of(address)
-        if self.metadata_cache.lookup(locmap_block):
-            return self._stored_level(address)
+        locmap_block = self.base_address + (address >> 14)
+        cache = self.metadata_cache
+        entries = cache._sets[locmap_block % cache.num_sets]
+        stats = cache.stats
+        if locmap_block in entries:
+            entries.move_to_end(locmap_block)
+            stats.hits += 1
+            code = self._table.get(address // self.block_size, _MEM_CODE)
+            return _CODE_TO_LEVEL[code]
+        stats.misses += 1
         # Metadata miss: fetch the LocMap block through the data hierarchy.
         self.locmap_fetches_from_memory += 1
-        self.metadata_cache.fill(locmap_block)
+        cache.fill(locmap_block)
         return None
 
     def peek(self, address: int) -> Level:
@@ -204,16 +220,22 @@ class LocMap:
         (Section III.C), to avoid the off-chip traffic aggressive prefetchers
         would otherwise generate.  Returns True when the update was applied.
         """
-        if level not in _LEVEL_TO_CODE:
+        code = _LEVEL_TO_CODE.get(level)
+        if code is None:
             raise ValueError(f"LocMap cannot record level {level}")
-        locmap_block = self.locmap_block_of(address)
-        if from_prefetch and not self.metadata_cache.contains(locmap_block):
-            self.prefetch_updates_skipped += 1
-            return False
-        self._apply(address, level)
-        if not from_prefetch:
-            # Demand updates also warm the metadata cache for the region.
-            self.metadata_cache.fill(locmap_block)
+        locmap_block = self.base_address + (address >> 14)
+        cache = self.metadata_cache
+        if from_prefetch:
+            if locmap_block not in cache._sets[locmap_block % cache.num_sets]:
+                self.prefetch_updates_skipped += 1
+                return False
+            self._table[address // self.block_size] = code
+            self.updates_applied += 1
+            return True
+        self._table[address // self.block_size] = code
+        self.updates_applied += 1
+        # Demand updates also warm the metadata cache for the region.
+        cache.fill(locmap_block)
         return True
 
     def record_eviction(self, address: int, from_level: Level,

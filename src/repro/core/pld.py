@@ -49,13 +49,35 @@ class PLDConfig:
     decrement_on_other: int = 1
 
 
+#: Shared result tuples for every level subset predict() can return,
+#: already in hierarchy (closest-to-furthest) order.
+_L2_ONLY = (Level.L2,)
+_L3_ONLY = (Level.L3,)
+_MEM_ONLY = (Level.MEM,)
+_L2_L3 = (Level.L2, Level.L3)
+_L2_MEM = (Level.L2, Level.MEM)
+_L3_MEM = (Level.L3, Level.MEM)
+_ALL = (Level.L2, Level.L3, Level.MEM)
+
+
 class PopularLevelsDetector:
-    """Counter-based popular-level predictor used on metadata cache misses."""
+    """Counter-based popular-level predictor used on metadata cache misses.
+
+    The three counters live as plain integer attributes (not a dict):
+    :meth:`record_hit` runs on every L1 miss of the LP system, and the dict
+    iteration showed up in simulation profiles.
+    """
+
+    __slots__ = ("config", "_max_value", "_decrement", "_l2", "_l3", "_mem",
+                 "updates", "predictions", "multi_way_predictions")
 
     def __init__(self, config: PLDConfig | None = None) -> None:
         self.config = config or PLDConfig()
         self._max_value = (1 << self.config.counter_bits) - 1
-        self._counters: Dict[Level, int] = {level: 0 for level in PREDICTABLE_LEVELS}
+        self._decrement = self.config.decrement_on_other
+        self._l2 = 0
+        self._l3 = 0
+        self._mem = 0
         self.updates = 0
         self.predictions = 0
         self.multi_way_predictions = 0
@@ -67,16 +89,22 @@ class PopularLevelsDetector:
         """Update the counters after a demand access resolved at ``level``."""
         if level is Level.L1:
             return
-        if level not in self._counters:
+        decrement = self._decrement
+        if level is Level.L2:
+            self._l2 = min(self._l2 + 1, self._max_value)
+            self._l3 = l3 if (l3 := self._l3 - decrement) > 0 else 0
+            self._mem = mem if (mem := self._mem - decrement) > 0 else 0
+        elif level is Level.L3:
+            self._l3 = min(self._l3 + 1, self._max_value)
+            self._l2 = l2 if (l2 := self._l2 - decrement) > 0 else 0
+            self._mem = mem if (mem := self._mem - decrement) > 0 else 0
+        elif level is Level.MEM:
+            self._mem = min(self._mem + 1, self._max_value)
+            self._l2 = l2 if (l2 := self._l2 - decrement) > 0 else 0
+            self._l3 = l3 if (l3 := self._l3 - decrement) > 0 else 0
+        else:  # pragma: no cover - Level has no other members
             raise ValueError(f"PLD does not track level {level}")
         self.updates += 1
-        for tracked in self._counters:
-            if tracked is level:
-                self._counters[tracked] = min(self._counters[tracked] + 1,
-                                              self._max_value)
-            else:
-                self._counters[tracked] = max(
-                    self._counters[tracked] - self.config.decrement_on_other, 0)
 
     # ------------------------------------------------------------------
     # Prediction
@@ -88,37 +116,47 @@ class PopularLevelsDetector:
         the conservative sequential choice, L2.
         """
         self.predictions += 1
-        total = sum(self._counters.values())
+        l2, l3, mem = self._l2, self._l3, self._mem
+        total = l2 + l3 + mem
         if total == 0:
-            return (Level.L2,)
+            return _L2_ONLY
 
-        ranked: List[Tuple[Level, int]] = sorted(
-            self._counters.items(), key=lambda item: (-item[1], int(item[0])))
+        # Rank descending by count, ties broken toward the closer level
+        # (plain tuple comparison, no lambda).
+        ranked = sorted(((-l2, 2, _L2_ONLY), (-l3, 3, _L3_ONLY),
+                         (-mem, 4, _MEM_ONLY)))
         threshold = self.config.confidence_threshold * total
 
-        selected: List[Level] = []
+        mask = 0
         accumulated = 0
-        for level, count in ranked:
-            selected.append(level)
-            accumulated += count
+        for negated, order, _ in ranked:
+            mask |= 1 << order
+            accumulated -= negated
             if accumulated >= threshold:
                 break
-        if len(selected) > 1:
-            self.multi_way_predictions += 1
+        if mask == 1 << ranked[0][1]:
+            return ranked[0][2]
+        self.multi_way_predictions += 1
         # Report targets in hierarchy order so the hierarchy knows which
         # levels are being probed in parallel.
-        return tuple(sorted(selected, key=int))
+        if mask == 0b01100:
+            return _L2_L3
+        if mask == 0b10100:
+            return _L2_MEM
+        if mask == 0b11000:
+            return _L3_MEM
+        return _ALL
 
     # ------------------------------------------------------------------
     # Introspection / reporting
     # ------------------------------------------------------------------
     def counters(self) -> Dict[Level, int]:
         """A copy of the current counter values."""
-        return dict(self._counters)
+        return {Level.L2: self._l2, Level.L3: self._l3, Level.MEM: self._mem}
 
     def storage_bits(self) -> int:
         """Three counters of ``counter_bits`` bits each (96 bits total)."""
-        return self.config.counter_bits * len(self._counters)
+        return self.config.counter_bits * 3
 
     @property
     def multi_way_fraction(self) -> float:
@@ -127,8 +165,9 @@ class PopularLevelsDetector:
         return self.multi_way_predictions / self.predictions
 
     def reset(self) -> None:
-        for level in self._counters:
-            self._counters[level] = 0
+        self._l2 = 0
+        self._l3 = 0
+        self._mem = 0
         self.updates = 0
         self.predictions = 0
         self.multi_way_predictions = 0

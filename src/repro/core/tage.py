@@ -32,6 +32,12 @@ from ..energy.model import EnergyParameters
 from ..memory.block import Level, PREDICTABLE_LEVELS
 from .base import LevelPredictor, Prediction
 
+#: 2-bit level-outcome encoding pushed into the global history register.
+_HISTORY_CODES = {Level.L2: 0b01, Level.L3: 0b10, Level.MEM: 0b11}
+
+#: Shared tuple for the no-information fallback (sequential traversal).
+_SEQUENTIAL_LEVELS = (Level.L2,)
+
 
 @dataclass
 class TAGEConfig:
@@ -83,12 +89,26 @@ class TAGEConfig:
         return lengths
 
 
-@dataclass
+@dataclass(slots=True)
 class _TAGEEntry:
     tag: int
     counters: Dict[Level, int] = field(
         default_factory=lambda: {level: 0 for level in PREDICTABLE_LEVELS})
     useful: int = 0
+
+
+#: Memoized results of :meth:`TAGELevelPredictor._counters_to_levels`,
+#: keyed by a bitmask of the selected levels (the value space is tiny).
+_LEVEL_SETS: Dict[int, Tuple[Level, ...]] = {}
+
+
+def _levels_from_mask(mask: int) -> Tuple[Level, ...]:
+    levels = _LEVEL_SETS.get(mask)
+    if levels is None:
+        levels = tuple(level for level in PREDICTABLE_LEVELS
+                       if mask & (1 << int(level)))
+        _LEVEL_SETS[mask] = levels
+    return levels
 
 
 class TAGELevelPredictor(LevelPredictor):
@@ -112,6 +132,12 @@ class TAGELevelPredictor(LevelPredictor):
         self._history_lengths = self.config.history_lengths()
         self._history = 0  # Global level-outcome history register.
         self._history_bits = 2 * max(self._history_lengths)
+        # Folded-history values per length, recomputed only when the global
+        # history register changes (predict/on_fill hash with the same
+        # history many times between pushes).
+        self._folded_cache: Dict[int, int] = {}
+        self._folded_per_table: Optional[List[int]] = None
+        self._tag_mask = (1 << self.config.tag_bits) - 1
         self._entries = entries
         # Bookkeeping for training: which table/index provided the prediction.
         self._last_provider: Dict[int, Tuple[int, int]] = {}
@@ -123,12 +149,25 @@ class TAGELevelPredictor(LevelPredictor):
     # Hashing
     # ------------------------------------------------------------------
     def _folded_history(self, length: int) -> int:
+        cached = self._folded_cache.get(length)
+        if cached is not None:
+            return cached
         mask = (1 << (2 * length)) - 1
         history = self._history & mask
         folded = 0
         while history:
             folded ^= history & 0xFFFF
             history >>= 16
+        self._folded_cache[length] = folded
+        return folded
+
+    def _folded_all(self) -> List[int]:
+        """Folded history per tagged table, cached until the history moves."""
+        folded = self._folded_per_table
+        if folded is None:
+            folded = [self._folded_history(length)
+                      for length in self._history_lengths]
+            self._folded_per_table = folded
         return folded
 
     def _index(self, block_addr: int, table: int) -> int:
@@ -151,28 +190,44 @@ class TAGELevelPredictor(LevelPredictor):
     # ------------------------------------------------------------------
     def _counters_to_levels(self, counters: Dict[Level, int]) -> Tuple[Level, ...]:
         """The Popular-Levels heuristic applied to one entry's counters."""
-        total = sum(counters.values())
+        # Rank the three counters descending (level order breaks ties) using
+        # plain tuple comparison — no lambda and no second sort; the selected
+        # set is returned as a memoized tuple keyed by its level bitmask.
+        l2 = counters[Level.L2]
+        l3 = counters[Level.L3]
+        mem = counters[Level.MEM]
+        total = l2 + l3 + mem
         if total == 0:
-            return (Level.L2,)
-        ranked = sorted(counters.items(), key=lambda item: (-item[1], int(item[0])))
+            return _SEQUENTIAL_LEVELS
+        ranked = sorted(((-l2, 2, Level.L2), (-l3, 3, Level.L3),
+                         (-mem, 4, Level.MEM)))
         threshold = self.config.confidence_threshold * total
-        selected: List[Level] = []
+        mask = 0
         accumulated = 0
-        for level, count in ranked:
-            selected.append(level)
-            accumulated += count
+        for negated_count, _, level in ranked:
+            mask |= 1 << int(level)
+            accumulated -= negated_count
             if accumulated >= threshold:
                 break
-        return tuple(sorted(selected, key=int))
+        return _levels_from_mask(mask)
 
     def predict(self, block_addr: int, pc: int = 0) -> Prediction:
         provider: Optional[Tuple[int, int]] = None
         counters: Optional[Dict[Level, int]] = None
-        # Longest-history matching table provides the prediction.
+        # Longest-history matching table provides the prediction.  The index
+        # and tag hashes are inlined (this loop runs on every L1 miss).
+        folded_all = self._folded_all()
+        tables = self._tables
+        entries = self._entries
+        tag_mask = self._tag_mask
+        block = block_addr >> 6
+        block_hash = block ^ (block >> 7)
         for table in range(self.config.num_tagged_tables - 1, -1, -1):
-            index = self._index(block_addr, table)
-            entry = self._tables[table][index]
-            if entry is not None and entry.tag == self._tag(block_addr, table):
+            folded = folded_all[table]
+            index = (block_hash ^ (folded * 0x9E3779B1)) % entries
+            entry = tables[table][index]
+            if entry is not None and entry.tag == (
+                    (block >> 3) ^ (folded >> 2) ^ (table * 0x5BD1)) & tag_mask:
                 provider = (table, index)
                 counters = entry.counters
                 break
@@ -204,9 +259,11 @@ class TAGELevelPredictor(LevelPredictor):
         self._push_history(actual)
 
     def _push_history(self, actual: Level) -> None:
-        code = {Level.L2: 0b01, Level.L3: 0b10, Level.MEM: 0b11}[actual]
+        code = _HISTORY_CODES[actual]
         self._history = ((self._history << 2) | code) & (
             (1 << self._history_bits) - 1)
+        self._folded_cache.clear()
+        self._folded_per_table = None
 
     def _update_entry(self, block_addr: int, actual: Level,
                       correct: bool) -> None:
@@ -261,10 +318,18 @@ class TAGELevelPredictor(LevelPredictor):
         # follow still crowd out demand history.
         max_counter = (1 << self.config.counter_bits) - 1
         updated = False
+        folded_all = self._folded_all()
+        tables = self._tables
+        entries = self._entries
+        tag_mask = self._tag_mask
+        block = block_addr >> 6
+        block_hash = block ^ (block >> 7)
         for table in range(self.config.num_tagged_tables):
-            index = self._index(block_addr, table)
-            entry = self._tables[table][index]
-            if entry is None or entry.tag != self._tag(block_addr, table):
+            folded = folded_all[table]
+            index = (block_hash ^ (folded * 0x9E3779B1)) % entries
+            entry = tables[table][index]
+            if entry is None or entry.tag != (
+                    (block >> 3) ^ (folded >> 2) ^ (table * 0x5BD1)) & tag_mask:
                 continue
             counters = entry.counters
             for tracked in counters:

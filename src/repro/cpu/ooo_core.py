@@ -127,28 +127,36 @@ class OutOfOrderCore:
         last_completion = 0.0
         ideal_cycles = 0.0
 
+        # Hot loop: bind everything to locals (this runs once per access).
+        fetch_width = cfg.fetch_width
+        min_cycles = cfg.min_instruction_cycles
+        popleft = outstanding.popleft
+        push = outstanding.append
+
         for access, result in zip(accesses, results):
             # Front-end: the non-memory instructions ahead of this access plus
             # the memory instruction itself, fetched at the commit width.
-            front_end = max(
-                (access.non_memory_instructions + 1) / cfg.fetch_width,
-                cfg.min_instruction_cycles)
+            front_end = (access.non_memory_instructions + 1) / fetch_width
+            if front_end < min_cycles:
+                front_end = min_cycles
             issue_cycle = current_cycle + front_end
             ideal_cycles += front_end
 
             # Dependence: pointer-chasing loads wait for the producing load.
-            if access.depends_on_previous:
-                issue_cycle = max(issue_cycle, last_completion)
+            if access.depends_on_previous and last_completion > issue_cycle:
+                issue_cycle = last_completion
 
             # Window limit: retire the oldest in-flight loads that finished;
             # if the window is still full, stall until the oldest completes.
             while outstanding and outstanding[0] <= issue_cycle:
-                outstanding.popleft()
+                popleft()
             if len(outstanding) >= window:
-                issue_cycle = max(issue_cycle, outstanding.popleft())
+                oldest = popleft()
+                if oldest > issue_cycle:
+                    issue_cycle = oldest
 
             completion = issue_cycle + result.latency
-            outstanding.append(completion)
+            push(completion)
             last_completion = completion
             current_cycle = issue_cycle
 

@@ -76,7 +76,7 @@ class EnergyParameters:
         return self.dram_access_nj
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyAccount:
     """Accumulates energy by category so figures can show stacked breakdowns.
 

@@ -97,7 +97,7 @@ class EvictionInfo:
     state: CoherenceState
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache hit/miss counters, split by demand and prefetch traffic."""
 
@@ -128,8 +128,8 @@ class CacheStats:
         return self.demand_misses / total if total else 0.0
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        for f in self.__dataclass_fields__:
+            setattr(self, f, 0)
 
 
 class Cache:
@@ -144,10 +144,16 @@ class Cache:
       by the oracle/ideal predictors).
     """
 
+    __slots__ = ("config", "name", "_num_sets", "_associativity", "_lines",
+                 "_tag_to_way", "_all_valid", "_block_shift", "_set_mask",
+                 "_tag_shift", "_addr_mask", "_policy", "_lru_timestamps",
+                 "mshrs", "stats", "_clock")
+
     def __init__(self, config: CacheConfig, name: Optional[str] = None) -> None:
         self.config = config
         self.name = name or config.level.name
         self._num_sets = config.num_sets
+        self._associativity = config.associativity
         self._lines: List[List[Optional[CacheLine]]] = [
             [None] * config.associativity for _ in range(self._num_sets)
         ]
@@ -160,9 +166,30 @@ class Cache:
         # Shared all-valid flag list used on the common fast path where every
         # way in the set already holds a valid line.
         self._all_valid = [True] * config.associativity
+        # Precomputed shift/mask address decomposition for the (universal in
+        # practice) power-of-two geometries; ``_block_shift < 0`` selects the
+        # general divide/modulo fallback.
+        block_size = config.block_size
+        if (block_size & (block_size - 1)) == 0 \
+                and (self._num_sets & (self._num_sets - 1)) == 0:
+            self._block_shift = block_size.bit_length() - 1
+            self._set_mask = self._num_sets - 1
+            self._tag_shift = self._block_shift + self._num_sets.bit_length() - 1
+            self._addr_mask = ~(block_size - 1)
+        else:  # pragma: no cover - no paper configuration is non-power-of-two
+            self._block_shift = -1
+            self._set_mask = 0
+            self._tag_shift = 0
+            self._addr_mask = 0
         self._policy: ReplacementPolicy = make_replacement_policy(
             config.replacement, self._num_sets, config.associativity
         )
+        # LRU (the paper's policy everywhere) is special-cased on the hot
+        # paths: its timestamp update is two list indexings, far cheaper
+        # inlined than as a method call per touch.
+        from .replacement import LRUPolicy
+        self._lru_timestamps = (self._policy._timestamps
+                                if type(self._policy) is LRUPolicy else None)
         self.mshrs = MSHRFile(
             config.mshr_entries, demand_reserve_fraction=config.mshr_demand_reserve
         )
@@ -173,10 +200,20 @@ class Cache:
     # Address decomposition
     # ------------------------------------------------------------------
     def set_index(self, block_addr: int) -> int:
+        if self._block_shift >= 0:
+            return (block_addr >> self._block_shift) & self._set_mask
         return (block_addr // self.config.block_size) % self._num_sets
 
     def tag_of(self, block_addr: int) -> int:
+        if self._block_shift >= 0:
+            return block_addr >> self._tag_shift
         return block_addr // (self.config.block_size * self._num_sets)
+
+    def block_of(self, address: int) -> int:
+        """Block-aligned address of ``address`` (precomputed mask)."""
+        if self._block_shift >= 0:
+            return address & self._addr_mask
+        return block_address(address, self.config.block_size)
 
     # ------------------------------------------------------------------
     # Probing
@@ -189,13 +226,22 @@ class Cache:
 
     def contains(self, address: int) -> bool:
         """Probe for a block without updating replacement state."""
-        block_addr = block_address(address, self.config.block_size)
-        _, way = self._find(block_addr)
+        return self.contains_block(self.block_of(address))
+
+    def contains_block(self, block_addr: int) -> bool:
+        """:meth:`contains` for a pre-aligned block address (hot path)."""
+        if self._block_shift >= 0:
+            return (block_addr >> self._tag_shift) in self._tag_to_way[
+                (block_addr >> self._block_shift) & self._set_mask]
+        set_index, way = self._find(block_addr)
         return way is not None
 
     def get_line(self, address: int) -> Optional[CacheLine]:
         """Return the resident line for ``address`` (no side effects)."""
-        block_addr = block_address(address, self.config.block_size)
+        return self.peek_line(self.block_of(address))
+
+    def peek_line(self, block_addr: int) -> Optional[CacheLine]:
+        """:meth:`get_line` for a pre-aligned block address (hot path)."""
         set_index, way = self._find(block_addr)
         if way is None:
             return None
@@ -213,34 +259,56 @@ class Cache:
         line dirty for stores, and clears the prefetched bit (the prefetch has
         proven useful).
         """
+        hit, _ = self.access_block(self.block_of(address), access_type)
+        return hit
+
+    def access_block(
+        self, block_addr: int, access_type: AccessType = AccessType.LOAD
+    ) -> Tuple[bool, bool]:
+        """:meth:`lookup` for a pre-aligned block address (hot path).
+
+        Returns ``(hit, was_prefetched)`` where ``was_prefetched`` reports
+        whether the line's prefetched bit was set *before* this access cleared
+        it — the signal the hierarchy feeds back to the prefetcher's accuracy
+        accounting.
+        """
         self._clock += 1
-        block_addr = block_address(address, self.config.block_size)
-        set_index, way = self._find(block_addr)
-        hit = way is not None
-        if hit:
+        stats = self.stats
+        if self._block_shift >= 0:
+            set_index = (block_addr >> self._block_shift) & self._set_mask
+            way = self._tag_to_way[set_index].get(block_addr >> self._tag_shift)
+        else:
+            set_index, way = self._find(block_addr)
+        was_prefetched = False
+        if way is not None:
             line = self._lines[set_index][way]
             line.last_touch = self._clock
-            self._policy.on_access(set_index, way)
+            lru = self._lru_timestamps
+            if lru is not None:
+                policy = self._policy
+                policy._clock += 1
+                lru[set_index][way] = policy._clock
+            else:
+                self._policy.on_access(set_index, way)
             if access_type is AccessType.STORE:
                 line.dirty = True
                 line.state = CoherenceState.MODIFIED
-            if line.prefetched and access_type.is_demand:
-                line.prefetched = False
-                self.stats.prefetched_lines_used += 1
-        self._record_lookup(access_type, hit)
-        return hit
-
-    def _record_lookup(self, access_type: AccessType, hit: bool) -> None:
+            if line.prefetched:
+                was_prefetched = True
+                if (access_type is AccessType.LOAD
+                        or access_type is AccessType.STORE):
+                    line.prefetched = False
+                    stats.prefetched_lines_used += 1
+            if access_type is AccessType.PREFETCH:
+                stats.prefetch_hits += 1
+            else:
+                stats.demand_hits += 1
+            return True, was_prefetched
         if access_type is AccessType.PREFETCH:
-            if hit:
-                self.stats.prefetch_hits += 1
-            else:
-                self.stats.prefetch_misses += 1
+            stats.prefetch_misses += 1
         else:
-            if hit:
-                self.stats.demand_hits += 1
-            else:
-                self.stats.demand_misses += 1
+            stats.demand_misses += 1
+        return False, False
 
     def fill(
         self,
@@ -254,59 +322,129 @@ class Cache:
         Returns information about the evicted line (or ``None`` when an
         invalid way was available or the block was already resident).
         """
+        return self.fill_block(self.block_of(address), access_type,
+                               dirty=dirty, state=state)
+
+    def fill_block(
+        self,
+        block_addr: int,
+        access_type: AccessType = AccessType.LOAD,
+        dirty: bool = False,
+        state: CoherenceState = CoherenceState.EXCLUSIVE,
+    ) -> Optional[EvictionInfo]:
+        """:meth:`fill` for a pre-aligned block address (hot path).
+
+        Evicted :class:`CacheLine` objects are recycled in place for the new
+        block — per-access allocation on the fill path is limited to the
+        :class:`EvictionInfo` snapshot of the victim.
+        """
         self._clock += 1
-        block_addr = block_address(address, self.config.block_size)
-        set_index, way = self._find(block_addr)
+        clock = self._clock
+        if self._block_shift >= 0:
+            set_index = (block_addr >> self._block_shift) & self._set_mask
+            tag = block_addr >> self._tag_shift
+        else:
+            set_index = self.set_index(block_addr)
+            tag = self.tag_of(block_addr)
+        tag_to_way = self._tag_to_way[set_index]
+        lines = self._lines[set_index]
+        way = tag_to_way.get(tag)
+        lru = self._lru_timestamps
         if way is not None:
             # Already resident (e.g. a prefetch raced a demand fill); refresh.
-            line = self._lines[set_index][way]
+            line = lines[way]
             line.dirty = line.dirty or dirty
-            line.last_touch = self._clock
-            self._policy.on_access(set_index, way)
+            line.last_touch = clock
+            if lru is not None:
+                policy = self._policy
+                policy._clock += 1
+                lru[set_index][way] = policy._clock
+            else:
+                self._policy.on_access(set_index, way)
             return None
 
-        lines = self._lines[set_index]
-        if len(self._tag_to_way[set_index]) == self.config.associativity:
-            valid_flags = self._all_valid
+        stats = self.stats
+        if len(tag_to_way) == self._associativity:
+            if lru is not None:
+                stamps = lru[set_index]
+                victim_way = stamps.index(min(stamps))
+            else:
+                victim_way = self._policy.victim(set_index, self._all_valid)
         else:
-            valid_flags = [line is not None and line.valid for line in lines]
-        victim_way = self._policy.victim(set_index, valid_flags)
+            # At least one way is invalid and every policy prefers the first
+            # invalid way, so skip the policy (and the flag-list allocation).
+            victim_way = 0
+            for way, line in enumerate(lines):
+                if line is None or line.state is CoherenceState.INVALID:
+                    victim_way = way
+                    break
         victim = lines[victim_way]
         eviction: Optional[EvictionInfo] = None
-        if victim is not None and victim.valid:
+        if victim is not None and victim.state is not CoherenceState.INVALID:
             eviction = EvictionInfo(
                 block_addr=victim.block_addr,
                 dirty=victim.dirty,
                 prefetched_unused=victim.prefetched,
                 state=victim.state,
             )
-            self.stats.evictions += 1
+            stats.evictions += 1
             if victim.dirty:
-                self.stats.dirty_evictions += 1
+                stats.dirty_evictions += 1
             if victim.prefetched:
-                self.stats.prefetched_lines_evicted_unused += 1
-            self._tag_to_way[set_index].pop(victim.tag, None)
-
-        new_line = CacheLine(
-            tag=self.tag_of(block_addr),
-            block_addr=block_addr,
-            state=state,
-            dirty=dirty,
-            prefetched=access_type is AccessType.PREFETCH,
-            last_touch=self._clock,
-            inserted_at=self._clock,
-        )
-        lines[victim_way] = new_line
-        self._tag_to_way[set_index][new_line.tag] = victim_way
-        self._policy.on_fill(set_index, victim_way)
-        self.stats.fills += 1
+                stats.prefetched_lines_evicted_unused += 1
+            tag_to_way.pop(victim.tag, None)
+            # Recycle the victim line object for the incoming block.
+            victim.tag = tag
+            victim.block_addr = block_addr
+            victim.state = state
+            victim.dirty = dirty
+            victim.prefetched = access_type is AccessType.PREFETCH
+            victim.last_touch = clock
+            victim.inserted_at = clock
+        else:
+            lines[victim_way] = CacheLine(
+                tag=tag,
+                block_addr=block_addr,
+                state=state,
+                dirty=dirty,
+                prefetched=access_type is AccessType.PREFETCH,
+                last_touch=clock,
+                inserted_at=clock,
+            )
+        tag_to_way[tag] = victim_way
+        if lru is not None:
+            policy = self._policy
+            policy._clock += 1
+            lru[set_index][victim_way] = policy._clock
+        else:
+            self._policy.on_fill(set_index, victim_way)
+        stats.fills += 1
         if access_type is AccessType.PREFETCH:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         return eviction
+
+    def prefetch_install(self, block_addr: int
+                         ) -> Tuple[bool, Optional[EvictionInfo]]:
+        """Install a prefetched block unless it is already resident.
+
+        Unlike :meth:`fill_block` with ``AccessType.PREFETCH``, a resident
+        block is left completely untouched (no replacement-state refresh), the
+        behaviour the hierarchy's prefetch-issue path requires.  Returns
+        ``(installed, eviction)``.
+        """
+        if self._block_shift >= 0:
+            set_index = (block_addr >> self._block_shift) & self._set_mask
+            tag = block_addr >> self._tag_shift
+        else:
+            set_index = self.set_index(block_addr)
+            tag = self.tag_of(block_addr)
+        if tag in self._tag_to_way[set_index]:
+            return False, None
+        return True, self.fill_block(block_addr, AccessType.PREFETCH)
 
     def invalidate(self, address: int) -> Optional[EvictionInfo]:
         """Remove a block (coherence invalidation or inclusion victim)."""
-        block_addr = block_address(address, self.config.block_size)
+        block_addr = self.block_of(address)
         set_index, way = self._find(block_addr)
         if way is None:
             return None

@@ -30,7 +30,7 @@ from .coherence import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Tracking state for one block."""
 
@@ -66,6 +66,8 @@ class DirectoryStats:
 class Directory:
     """Full-map directory keyed by block address."""
 
+    __slots__ = ("num_cores", "_entries", "stats")
+
     def __init__(self, num_cores: int = 1) -> None:
         if num_cores <= 0:
             raise ValueError("directory needs at least one core")
@@ -96,6 +98,26 @@ class Directory:
         entry = self._entries.get(block_addr)
         return entry.owner if entry else None
 
+    def remote_holder(self, block_addr: int,
+                      exclude_core: int) -> Optional[int]:
+        """Lowest-numbered core other than ``exclude_core`` holding the block.
+
+        Allocation-free equivalent of ``min(holders(b) - {core})`` used on the
+        per-access location path.
+        """
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            return None
+        best: Optional[int] = None
+        for core in entry.sharers:
+            if core != exclude_core and (best is None or core < best):
+                best = core
+        owner = entry.owner
+        if owner is not None and owner != exclude_core \
+                and (best is None or owner < best):
+            best = owner
+        return best
+
     # ------------------------------------------------------------------
     # Coherence transactions
     # ------------------------------------------------------------------
@@ -104,7 +126,10 @@ class Directory:
     ) -> CoherenceDecision:
         """Apply a coherence request and return the resulting decision."""
         self.stats.lookups += 1
-        entry = self._entries.setdefault(block_addr, DirectoryEntry())
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[block_addr] = entry
 
         if request is BusRequest.GET_SHARED:
             self.stats.reads += 1
@@ -177,7 +202,13 @@ class Directory:
     def record_private_fill(self, block_addr: int, core: int,
                             dirty: bool = False) -> None:
         """Track that ``core`` now holds the block in its private caches."""
-        entry = self._entries.setdefault(block_addr, DirectoryEntry())
+        entry = self._entries.get(block_addr)
+        if entry is None:
+            # Avoid dict.setdefault here: its default argument would build a
+            # DirectoryEntry (and its sharer set) on every call, present or
+            # not, and this runs once per fill.
+            entry = DirectoryEntry()
+            self._entries[block_addr] = entry
         entry.sharers.add(core)
         if dirty:
             entry.owner = core

@@ -19,7 +19,7 @@ with the core-to-memory frequency ratio (4 GHz core vs 1200 MHz DRAM clock).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -88,11 +88,17 @@ class DRAMStats:
 class DRAMModel:
     """Open-page DRAM channel with per-bank row-buffer state."""
 
+    __slots__ = ("config", "_ratio", "_num_banks", "_open_row",
+                 "_bank_free_at", "stats", "_now")
+
     def __init__(self, config: DRAMConfig | None = None) -> None:
         self.config = config or DRAMConfig()
-        # Per-bank open row and the core-cycle time the bank becomes free.
-        self._open_row: Dict[int, int] = {}
-        self._bank_free_at: Dict[int, float] = {}
+        self._ratio = self.config.core_cycles_per_dram_cycle
+        self._num_banks = self.config.num_banks * self.config.num_ranks
+        # Per-bank open row and the core-cycle time the bank becomes free,
+        # indexed by bank id (lists beat dicts for this dense, small space).
+        self._open_row: List[Optional[int]] = [None] * self._num_banks
+        self._bank_free_at: List[float] = [0.0] * self._num_banks
         self.stats = DRAMStats()
         self._now = 0.0
 
@@ -121,30 +127,34 @@ class DRAMModel:
                 internal monotonically advancing clock is used.
         """
         cfg = self.config
+        ratio = self._ratio
         if current_cycle is None:
             # Without an external clock, requests are assumed to arrive at the
             # channel's peak burst rate (one 64 B transfer per burst window),
             # which is the densest request stream a real core could sustain.
-            self._now += cfg.burst_cycles * cfg.core_cycles_per_dram_cycle
+            self._now += cfg.burst_cycles * ratio
             current_cycle = self._now
         else:
             self._now = max(self._now, current_cycle)
 
-        bank, row = self.map_address(address)
-        ratio = cfg.core_cycles_per_dram_cycle
+        row_index = address // cfg.row_size_bytes
+        banks = self._num_banks
+        bank = row_index % banks
+        row = row_index // banks
 
-        open_row = self._open_row.get(bank)
+        stats = self.stats
+        open_row = self._open_row[bank]
         if open_row is None:
             # Bank closed: activate then read/write.
             dram_cycles = cfg.trcd + cfg.cas_latency + cfg.burst_cycles
-            self.stats.row_misses += 1
+            stats.row_misses += 1
         elif open_row == row:
             dram_cycles = cfg.cas_latency + cfg.burst_cycles
-            self.stats.row_hits += 1
+            stats.row_hits += 1
         else:
             # Row conflict: precharge, activate, access.
             dram_cycles = cfg.trp + cfg.trcd + cfg.cas_latency + cfg.burst_cycles
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
         self._open_row[bank] = row
 
         access_core_cycles = dram_cycles * ratio
@@ -154,7 +164,7 @@ class DRAMModel:
         # because the functional front end has no issue backpressure — without
         # the bound a memory-bound trace would accumulate unbounded queueing
         # delay that no real (ROB-limited) core could generate.
-        free_at = self._bank_free_at.get(bank, 0.0)
+        free_at = self._bank_free_at[bank]
         queue_delay = min(max(0.0, free_at - current_cycle),
                           access_core_cycles * cfg.max_queue_fraction)
         finish = current_cycle + queue_delay + access_core_cycles
@@ -168,10 +178,10 @@ class DRAMModel:
         )
 
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        self.stats.total_latency_core_cycles += latency
+            stats.reads += 1
+        stats.total_latency_core_cycles += latency
         return latency
 
     def idle_latency(self) -> float:

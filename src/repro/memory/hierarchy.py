@@ -58,6 +58,50 @@ from .tlb import TLBHierarchy
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from ..core.base import LevelPredictor, Prediction
 
+# Lazily bound references to repro.core.base types (a module-scope import
+# would be circular: repro.core imports Level from this package).  Bound once
+# by the first CoreMemoryHierarchy construction instead of re-importing on
+# every access() call, which showed up in profiles.
+_Prediction = None
+_HARMFUL = None
+#: Per-level singletons for the Ideal system's oracle predictions.
+_IDEAL_PREDICTIONS: Dict[Level, "Prediction"] = {}
+
+#: Module-level bindings of the hot enum members (LOAD_GLOBAL is cheaper
+#: than the two-step attribute chain in the per-access paths).
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+_L1 = Level.L1
+_L2 = Level.L2
+_L3 = Level.L3
+_MEM = Level.MEM
+
+#: Shared per-access tuples (avoid re-allocating on every access).
+_LOOKED_L1 = (Level.L1,)
+_NO_LEVELS: tuple = ()
+_BYPASSED_L2 = (Level.L2,)
+_BYPASSED_L3 = (Level.L3,)
+_BYPASSED_L2_L3 = (Level.L2, Level.L3)
+#: The six fixed shapes of the post-L1 lookup path (see _timed_path).
+_PATH_L2 = (Level.L2,)
+_PATH_L3 = (Level.L3,)
+_PATH_L2_L3 = (Level.L2, Level.L3)
+_PATH_L3_MEM = (Level.L3, Level.MEM)
+_PATH_L2_L3_MEM = (Level.L2, Level.L3, Level.MEM)
+_PATH_RECOVERY = (Level.L3, Level.L2)
+
+
+def _bind_core_types() -> None:
+    global _Prediction, _HARMFUL
+    if _Prediction is None:
+        from ..core.base import Prediction, PredictionOutcome
+
+        _Prediction = Prediction
+        _HARMFUL = PredictionOutcome.HARMFUL
+        for level in (Level.L2, Level.L3, Level.MEM):
+            _IDEAL_PREDICTIONS[level] = Prediction(levels=(level,),
+                                                   source="ideal")
+
 
 @dataclass
 class HierarchyConfig:
@@ -117,7 +161,7 @@ class HierarchyConfig:
         return config
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Per-core counters for latency, misses and prediction behaviour."""
 
@@ -164,8 +208,8 @@ class HierarchyStats:
         return self.miss_latency / misses if misses else 0.0
 
     def reset(self) -> None:
-        for name, value in vars(self).items():
-            setattr(self, name, 0.0 if isinstance(value, float) else 0)
+        for name, f in self.__dataclass_fields__.items():
+            setattr(self, name, 0.0 if isinstance(f.default, float) else 0)
 
 
 class SharedMemorySystem:
@@ -209,6 +253,21 @@ class CoreMemoryHierarchy:
         core_id: This core's index in the directory.
     """
 
+    __slots__ = (
+        "config", "shared", "predictor", "l1", "l2", "tlb",
+        "l1_prefetcher", "l2_prefetcher", "interconnect", "energy", "stats",
+        "core_id", "_block_size", "_block_mask",
+        "_l1_hit_latency", "_l1_miss_detect", "_l2_hit_latency",
+        "_l2_miss_detect", "_l3_hit_latency", "_l3_tag_latency",
+        "_port_penalty", "_memory_speculative", "_ideal_miss_latency",
+        "_ic_l1_l2", "_ic_l2_llc", "_ic_llc_mem",
+        "_tlb_nj", "_l1_nj", "_tlb_l1_nj", "_l2_nj", "_l3_nj", "_l3_tag_nj",
+        "_dram_nj", "_bus_nj", "_directory_nj", "_prefetch_budget",
+        "_l1_hit_result", "_pf_access",
+        "_inflight_misses", "_inflight_miss_count", "_recent_prefetches",
+        "_recent_prefetch_count", "_prefetches_this_access",
+    )
+
     def __init__(
         self,
         config: Optional[HierarchyConfig] = None,
@@ -223,6 +282,7 @@ class CoreMemoryHierarchy:
         # the predictor interface needs Level from this package.
         from ..core.base import SequentialPredictor
 
+        _bind_core_types()
         self.config = config or HierarchyConfig.paper_single_core()
         self.shared = shared or SharedMemorySystem(self.config, num_cores=1)
         self.predictor = predictor or SequentialPredictor()
@@ -237,6 +297,50 @@ class CoreMemoryHierarchy:
         self.stats = HierarchyStats()
         self.core_id = core_id
         self._block_size = self.config.l1.block_size
+        # Hot-path precomputation: block mask (power-of-two line sizes),
+        # per-level latencies as floats and per-structure energies, so
+        # access() performs no repeated config/dataclass attribute chains.
+        bs = self._block_size
+        self._block_mask = ~(bs - 1) if (bs & (bs - 1)) == 0 else None
+        cfg = self.config
+        self._l1_hit_latency = float(cfg.l1.hit_latency)
+        self._l1_miss_detect = float(cfg.l1.miss_detect_latency)
+        self._l2_hit_latency = float(cfg.l2.hit_latency)
+        self._l2_miss_detect = float(cfg.l2.miss_detect_latency)
+        self._l3_hit_latency = float(cfg.l3.hit_latency)
+        self._l3_tag_latency = float(cfg.l3.tag_latency)
+        self._port_penalty = cfg.parallel_port_penalty
+        self._memory_speculative = cfg.memory_speculative_launch
+        self._ideal_miss_latency = cfg.ideal_miss_latency
+        # Interconnect hop latencies are constant per instance (contention
+        # depends only on active_cores); precompute them and bump the
+        # transfer counters inline instead of calling per hop.
+        ic_cfg = self.interconnect.config
+        contention = (self.interconnect.active_cores - 1) \
+            * ic_cfg.contention_per_extra_core
+        self._ic_l1_l2 = float(ic_cfg.l1_to_l2)
+        self._ic_l2_llc = ic_cfg.l2_to_llc + contention
+        self._ic_llc_mem = ic_cfg.llc_to_memory + contention
+        params = self.shared.energy_params
+        self._tlb_nj = params.tlb_access_nj
+        self._l1_nj = params.l1_access_nj
+        self._tlb_l1_nj = params.tlb_access_nj + params.l1_access_nj
+        self._l2_nj = params.l2_access_nj
+        self._l3_nj = params.llc_tag_access_nj + params.llc_data_access_nj
+        self._l3_tag_nj = params.llc_tag_access_nj
+        self._dram_nj = params.dram_access_nj
+        self._bus_nj = params.bus_transfer_nj
+        self._directory_nj = params.directory_access_nj
+        self._prefetch_budget = (1.0 - cfg.l2.mshr_demand_reserve) \
+            * cfg.l2.mshr_entries
+        # Shared result object for the overwhelmingly common outcome: an L1
+        # hit with a first-level TLB hit (translation latency 0).  The object
+        # is read-only by every consumer (the core model reads .latency).
+        self._l1_hit_result = AccessResult(Level.L1, self._l1_hit_latency,
+                                           _LOOKED_L1)
+        # One mutable PrefetchAccess record reused for every prefetcher
+        # observation; no prefetcher retains the record past _generate().
+        self._pf_access = PrefetchAccess(0, 0, False, True)
         self._inflight_misses: Deque[bool] = deque(
             maxlen=self.config.prefetch_inflight_window)
         self._inflight_miss_count = 0
@@ -252,122 +356,141 @@ class CoreMemoryHierarchy:
     # ==================================================================
     def access(self, access: MemoryAccess) -> AccessResult:
         """Service one demand memory access and return its outcome."""
-        from ..core.base import PredictionOutcome
-
-        if not access.access_type.is_demand:
+        atype = access.access_type
+        if atype is not _LOAD and atype is not _STORE:
             raise ValueError("access() only services demand loads and stores")
-        self.stats.demand_accesses += 1
-        if access.is_load:
-            self.stats.loads += 1
+        stats = self.stats
+        stats.demand_accesses += 1
+        if atype is _LOAD:
+            stats.loads += 1
         else:
-            self.stats.stores += 1
+            stats.stores += 1
 
-        block = block_address(access.address, self._block_size)
-        translation = self.tlb.translate(access.address)
-        self.energy.charge("hierarchy", self.shared.energy_params.tlb_access_nj)
+        address = access.address
+        mask = self._block_mask
+        block = (address & mask) if mask is not None \
+            else block_address(address, self._block_size)
+        translation_latency = self.tlb.translate_latency(address)
 
         # ------------------------------------------------------------------
         # L1 lookup (the level predictor never targets L1).
         # ------------------------------------------------------------------
-        l1_was_prefetched = self._line_is_prefetched(self.l1, block)
-        l1_hit = self.l1.lookup(access.address, access.access_type)
-        self.energy.charge_cache_lookup(Level.L1)
+        l1 = self.l1
+        l1_hit, l1_was_prefetched = l1.access_block(block, atype)
+        self.energy.charge("hierarchy", self._tlb_l1_nj)
         self._train_l1_prefetcher(access, l1_hit)
+
+        # Inlined _note_inflight (once per access, both branches).
+        inflight = self._inflight_misses
+        if len(inflight) == inflight.maxlen and inflight[0]:
+            self._inflight_miss_count -= 1
+        inflight.append(not l1_hit)
+        if not l1_hit:
+            self._inflight_miss_count += 1
+        recent = self._recent_prefetches
+        prefetches = self._prefetches_this_access
+        if len(recent) == recent.maxlen:
+            self._recent_prefetch_count -= recent[0]
+        recent.append(prefetches)
+        if prefetches:
+            self._recent_prefetch_count += prefetches
+            self._prefetches_this_access = 0
 
         if l1_hit:
             if l1_was_prefetched:
                 self.l1_prefetcher.record_useful()
-            latency = float(self.config.l1.hit_latency) + translation.latency
-            self.stats.l1_hits += 1
-            self.stats.total_demand_latency += latency
-            self._note_inflight(False)
-            return AccessResult(hit_level=Level.L1, latency=latency,
-                                levels_looked_up=(Level.L1,))
-        self._note_inflight(True)
+            stats.l1_hits += 1
+            if translation_latency == 0:
+                stats.total_demand_latency += self._l1_hit_latency
+                return self._l1_hit_result
+            latency = self._l1_hit_latency + translation_latency
+            stats.total_demand_latency += latency
+            return AccessResult(_L1, latency, _LOOKED_L1)
 
         # ------------------------------------------------------------------
         # L1 miss: consult the level predictor, find the block, time the path.
         # ------------------------------------------------------------------
-        latency = float(self.config.l1.miss_detect_latency) + translation.latency
-        self.l1.mshrs.allocate(block, access.access_type)
+        latency = self._l1_miss_detect + translation_latency
+        l1.mshrs.allocate(block, atype)
 
+        predictor = self.predictor
         actual, remote_core = self._locate(block)
-        if self.config.ideal_miss_latency:
+        if self._ideal_miss_latency:
             # The paper's Ideal system: a perfect, zero-cost level prediction
             # on every L1 miss — the request goes straight to the level that
             # holds the block with no predictor latency and no wasted lookups.
-            from ..core.base import Prediction
-            prediction = Prediction(levels=(actual,), source="ideal")
+            prediction = _IDEAL_PREDICTIONS[actual]
         else:
-            prediction = self.predictor.predict(block, access.pc)
-            latency += self.predictor.prediction_latency
+            prediction = predictor.predict(block, access.pc)
+            latency += predictor.prediction_latency
             self.energy.charge_predictor(
-                self.predictor.energy_per_prediction_nj())
-        self.stats.predictions += 1
+                predictor.energy_per_prediction_nj())
+        stats.predictions += 1
 
-        outcome = self.predictor.train(block, access.pc, prediction, actual)
-        self.predictor.on_hit(actual)
+        outcome = predictor.train(block, access.pc, prediction, actual)
+        predictor.on_hit(actual)
 
         path_latency, looked_up, recovered = self._timed_path(
-            prediction, actual, access, remote_core)
+            prediction, actual, access, remote_core, block)
         latency += path_latency
         if recovered:
-            self.stats.recoveries += 1
+            stats.recoveries += 1
 
-        self._account_hit_level(actual, remote_core)
+        # Inlined _account_hit_level (once per miss).
+        if actual is _L2:
+            stats.l2_hits += 1
+        elif actual is _L3:
+            stats.l3_hits += 1
+            if remote_core is not None:
+                stats.remote_cache_hits += 1
+        else:
+            stats.memory_accesses += 1
         self._fill_on_response(block, access, actual)
-        self.l1.mshrs.release(block)
+        l1.mshrs.release(block)
 
-        self.stats.total_demand_latency += latency
-        self.stats.miss_latency += latency
+        stats.total_demand_latency += latency
+        stats.miss_latency += latency
         return AccessResult(
-            hit_level=actual,
-            latency=latency,
-            levels_looked_up=tuple(looked_up),
-            bypassed_levels=self._bypassed(prediction, actual),
-            predicted_levels=tuple(prediction.levels),
-            misprediction=outcome is PredictionOutcome.HARMFUL,
-            used_pld=prediction.used_pld,
+            actual,
+            latency,
+            looked_up,
+            self._bypassed(prediction, actual),
+            prediction.levels,
+            outcome is _HARMFUL,
+            prediction.used_pld,
         )
 
     def run_trace(self, accesses) -> List[AccessResult]:
         """Convenience helper: service an iterable of accesses."""
-        return [self.access(access) for access in accesses]
+        service = self.access
+        return [service(access) for access in accesses]
 
     # ==================================================================
     # Location and classification helpers
     # ==================================================================
     def _locate(self, block: int) -> Tuple[Level, Optional[int]]:
         """Find where the block currently resides (after the L1 miss)."""
-        if self.l2.contains(block):
+        if self.l2.contains_block(block):
             return Level.L2, None
-        if self.shared.l3.contains(block):
+        if self.shared.l3.contains_block(block):
             return Level.L3, None
-        remote_holders = self.shared.directory.holders(block) - {self.core_id}
-        if remote_holders:
+        remote = self.shared.directory.remote_holder(block, self.core_id)
+        if remote is not None:
             # Supplied by another core's private cache through the directory;
             # classified as an LLC-level hit for prediction purposes.
-            return Level.L3, min(remote_holders)
+            return Level.L3, remote
         return Level.MEM, None
-
-    def _account_hit_level(self, actual: Level, remote_core: Optional[int]) -> None:
-        if actual is Level.L2:
-            self.stats.l2_hits += 1
-        elif actual is Level.L3:
-            self.stats.l3_hits += 1
-            if remote_core is not None:
-                self.stats.remote_cache_hits += 1
-        else:
-            self.stats.memory_accesses += 1
 
     @staticmethod
     def _bypassed(prediction: Prediction, actual: Level) -> Tuple[Level, ...]:
-        bypassed = []
-        levels = prediction.levels or (Level.L2,)
-        for level in (Level.L2, Level.L3):
-            if level not in levels and level.closer_than(actual):
-                bypassed.append(level)
-        return tuple(bypassed)
+        levels = prediction.levels or _BYPASSED_L2
+        l2_bypassed = Level.L2 not in levels and Level.L2 < actual
+        l3_bypassed = Level.L3 not in levels and Level.L3 < actual
+        if l2_bypassed:
+            return _BYPASSED_L2_L3 if l3_bypassed else _BYPASSED_L2
+        if l3_bypassed:
+            return _BYPASSED_L3
+        return _NO_LEVELS
 
     # ==================================================================
     # Timing
@@ -378,127 +501,129 @@ class CoreMemoryHierarchy:
         actual: Level,
         access: MemoryAccess,
         remote_core: Optional[int],
-    ) -> Tuple[float, List[Level], bool]:
-        """Latency of the L2-and-beyond path, levels probed, recovery flag."""
-        cfg = self.config
-        levels = prediction.levels or (Level.L2,)
+        block: int,
+    ) -> Tuple[float, Tuple[Level, ...], bool]:
+        """Latency of the L2-and-beyond path, levels probed, recovery flag.
+
+        The probed-level sequence is one of six fixed shapes, so shared
+        tuples are returned instead of building a list per miss.
+        """
+        levels = prediction.levels or _BYPASSED_L2
         probe_l2 = Level.L2 in levels
         probe_l3 = Level.L3 in levels
         probe_mem = Level.MEM in levels
-        looked_up: List[Level] = []
-        recovered = False
+        charge = self.energy.charge
+        atype = access.access_type
 
         # Port-pressure penalty when more than one on-chip cache is probed in
         # parallel (multi-way predictions, Section V.A / V.C).
-        cache_probes = sum(1 for lvl in levels if lvl.is_cache)
-        port_penalty = cfg.parallel_port_penalty * max(0, cache_probes - 1)
+        cache_probes = probe_l2 + probe_l3 + (Level.L1 in levels)
         if cache_probes > 1:
+            port_penalty = self._port_penalty * (cache_probes - 1)
             self.stats.parallel_cache_probes += 1
+        else:
+            port_penalty = 0.0
 
-        latency = self.interconnect.l1_to_l2_latency()
-        self.energy.charge_bus()
+        # "hierarchy"-category energy is accumulated locally and charged once
+        # per path (one dict update instead of four-six).
+        interconnect = self.interconnect
+        interconnect.transfers += 1
+        latency = self._ic_l1_l2
+        hierarchy_nj = self._bus_nj
         # An MSHR entry is allocated at L2 even when it is bypassed, so the
         # fill path can deposit the block on the way back (Section III.E).
-        self.l2.mshrs.allocate(block_address(access.address, self._block_size),
-                               access.access_type)
+        l2_mshrs = self.l2.mshrs
+        l2_mshrs.allocate(block, atype)
 
         # ---------------- L2 stage ----------------
         if probe_l2:
-            looked_up.append(Level.L2)
-            self.l2.lookup(access.address, access.access_type)
-            self.energy.charge_cache_lookup(Level.L2)
+            self.l2.access_block(block, atype)
+            hierarchy_nj += self._l2_nj
             if actual is Level.L2:
-                latency += cfg.l2.hit_latency + port_penalty
+                latency += self._l2_hit_latency + port_penalty
+                charge("hierarchy", hierarchy_nj)
                 self._train_l2_prefetcher(access, hit=True)
-                self._release_l2_mshr(access)
-                return latency, looked_up, recovered
+                l2_mshrs.release(block)
+                return latency, _PATH_L2, False
             if not (probe_l3 or probe_mem):
                 # Sequential fallback: wait for the L2 miss before forwarding.
-                latency += cfg.l2.miss_detect_latency
+                latency += self._l2_miss_detect
         else:
             if actual is Level.L2:
                 # Harmful misprediction: L2 held the block but was bypassed.
-                latency += self._recover_to_l2(access, looked_up)
+                charge("hierarchy", hierarchy_nj)
+                latency += self._recover_to_l2(access, block)
                 latency += port_penalty
                 self._train_l2_prefetcher(access, hit=True)
-                self._release_l2_mshr(access)
-                return latency, looked_up, True
+                l2_mshrs.release(block)
+                return latency, _PATH_RECOVERY, True
 
         # ---------------- LLC / directory stage ----------------
-        latency += self.interconnect.l2_to_llc_latency()
-        self.energy.charge_bus()
-        looked_up.append(Level.L3)
-        self.energy.charge_directory()
+        interconnect.transfers += 1
+        latency += self._ic_l2_llc
+        hierarchy_nj += self._bus_nj + self._directory_nj
 
         if actual is Level.L3:
-            self.shared.l3.lookup(access.address, access.access_type)
-            self.energy.charge_cache_lookup(Level.L3)
-            llc_latency = float(cfg.l3.hit_latency)
+            self.shared.l3.access_block(block, atype)
+            hierarchy_nj += self._l3_nj
+            llc_latency = self._l3_hit_latency
             if remote_core is not None:
                 # Data forwarded from another core's private cache.
-                llc_latency = (cfg.l3.tag_latency
+                llc_latency = (self._l3_tag_latency
                                + self.interconnect.cache_to_cache_latency())
-            if probe_mem and cfg.memory_speculative_launch:
+            if probe_mem and self._memory_speculative:
                 # A speculative DRAM access was launched and must be cancelled
                 # by the return-path address-matching logic: energy, no time.
-                self.energy.charge("dram",
-                                   self.shared.energy_params.dram_access_nj)
+                charge("dram", self._dram_nj)
                 self.stats.cancelled_dram_launches += 1
             latency += llc_latency + port_penalty
+            charge("hierarchy", hierarchy_nj)
             self._train_llc_prefetcher(access, hit=True)
-            self._release_l2_mshr(access)
-            return latency, looked_up, recovered
+            l2_mshrs.release(block)
+            return latency, (_PATH_L2_L3 if probe_l2 else _PATH_L3), False
 
         # Block is in main memory.
-        self.shared.l3.lookup(access.address, access.access_type)
-        self.energy.charge_cache_lookup(Level.L3, tag_only=True)
+        self.shared.l3.access_block(block, atype)
+        hierarchy_nj += self._l3_tag_nj
+        charge("hierarchy", hierarchy_nj)
         self._train_llc_prefetcher(access, hit=False)
-        looked_up.append(Level.MEM)
         dram_latency = self.shared.dram.access(access.address)
-        self.energy.charge("dram", self.shared.energy_params.dram_access_nj)
-        hop_to_memory = self.interconnect.llc_to_memory_latency()
+        charge("dram", self._dram_nj)
+        interconnect.transfers += 1
+        hop_to_memory = self._ic_llc_mem
 
-        if probe_mem and cfg.memory_speculative_launch:
+        if probe_mem and self._memory_speculative:
             # DRAM access launched in parallel with the directory/tag check;
             # the response is released once the check confirms the block is
             # uncached, so the tag latency is hidden behind DRAM.
             self.stats.speculative_dram_launches += 1
-            latency += max(float(cfg.l3.tag_latency),
+            latency += max(self._l3_tag_latency,
                            hop_to_memory + dram_latency)
         else:
-            latency += cfg.l3.tag_latency + hop_to_memory + dram_latency
+            latency += self._l3_tag_latency + hop_to_memory + dram_latency
         latency += port_penalty
-        self._release_l2_mshr(access)
-        return latency, looked_up, recovered
+        l2_mshrs.release(block)
+        return latency, (_PATH_L2_L3_MEM if probe_l2 else _PATH_L3_MEM), False
 
-    def _recover_to_l2(self, access: MemoryAccess,
-                       looked_up: List[Level]) -> float:
+    def _recover_to_l2(self, access: MemoryAccess, block: int) -> float:
         """Misprediction recovery: directory re-issues the request to L2."""
+        charge = self.energy.charge
         latency = self.interconnect.l2_to_llc_latency()
-        self.energy.charge_bus()
-        looked_up.append(Level.L3)
+        charge("hierarchy", self._bus_nj)
         # The collocated directory is consulted during the LLC tag access.
-        latency += self.config.l3.tag_latency
-        self.energy.charge_cache_lookup(Level.L3, tag_only=True)
-        self.energy.charge_directory()
-        self.shared.directory.detect_bypass_misprediction(
-            block_address(access.address, self._block_size), self.core_id)
+        latency += self._l3_tag_latency
+        charge("hierarchy", self._l3_tag_nj)
+        charge("hierarchy", self._directory_nj)
+        self.shared.directory.detect_bypass_misprediction(block, self.core_id)
         # Recovery transaction back to L2, then the L2 access itself.
         latency += self.interconnect.recovery_latency()
-        self.energy.charge_recovery(
-            self.shared.energy_params.bus_transfer_nj
-            + self.shared.energy_params.directory_access_nj)
-        looked_up.append(Level.L2)
-        self.l2.lookup(access.address, access.access_type)
-        self.energy.charge_cache_lookup(Level.L2)
-        latency += self.config.l2.hit_latency
+        self.energy.charge_recovery(self._bus_nj + self._directory_nj)
+        self.l2.access_block(block, access.access_type)
+        charge("hierarchy", self._l2_nj)
+        latency += self._l2_hit_latency
         # Deallocate MSHR entries allocated past the actual level.
-        self.shared.l3.mshrs.force_release(
-            block_address(access.address, self._block_size))
+        self.shared.l3.mshrs.force_release(block)
         return latency
-
-    def _release_l2_mshr(self, access: MemoryAccess) -> None:
-        self.l2.mshrs.release(block_address(access.address, self._block_size))
 
     # ==================================================================
     # Data movement (fills, evictions, writebacks)
@@ -506,21 +631,25 @@ class CoreMemoryHierarchy:
     def _fill_on_response(self, block: int, access: MemoryAccess,
                           actual: Level) -> None:
         """Move the block up the hierarchy after the response returns."""
-        dirty = access.is_store
+        atype = access.access_type
+        dirty = atype is AccessType.STORE
         state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
+        predictor = self.predictor
 
         if actual is Level.MEM:
             # Memory fills also populate the (non-inclusive) LLC.
-            l3_eviction = self.shared.l3.fill(block, access.access_type,
-                                              dirty=False, state=state)
-            self._handle_l3_eviction(l3_eviction)
-            self.predictor.on_fill(block, Level.L3)
+            l3_eviction = self.shared.l3.fill_block(block, atype,
+                                                    dirty=False, state=state)
+            if l3_eviction is not None:
+                self._handle_l3_eviction(l3_eviction)
+            predictor.on_fill(block, Level.L3)
 
-        if actual in (Level.MEM, Level.L3):
-            l2_eviction = self.l2.fill(block, access.access_type,
-                                       dirty=dirty, state=state)
-            self._handle_l2_eviction(l2_eviction)
-            self.predictor.on_fill(block, Level.L2)
+        if actual is Level.MEM or actual is Level.L3:
+            l2_eviction = self.l2.fill_block(block, atype,
+                                             dirty=dirty, state=state)
+            if l2_eviction is not None:
+                self._handle_l2_eviction(l2_eviction)
+            predictor.on_fill(block, Level.L2)
             self.shared.directory.record_private_fill(block, self.core_id,
                                                       dirty=dirty)
         elif actual is Level.L2:
@@ -528,13 +657,14 @@ class CoreMemoryHierarchy:
             # the predictor's location metadata is refreshed with the truth
             # (this is what repairs stale LocMap entries left by unrecorded
             # prefetch fills).
-            self.predictor.on_fill(block, Level.L2)
+            predictor.on_fill(block, Level.L2)
             if dirty:
                 self.l2.mark_dirty(block)
 
-        l1_eviction = self.l1.fill(access.address, access.access_type,
-                                   dirty=dirty, state=state)
-        self._handle_l1_eviction(l1_eviction)
+        l1_eviction = self.l1.fill_block(block, atype,
+                                         dirty=dirty, state=state)
+        if l1_eviction is not None:
+            self._handle_l1_eviction(l1_eviction)
 
     def _handle_l1_eviction(self, eviction: Optional[EvictionInfo]) -> None:
         if eviction is None:
@@ -558,10 +688,10 @@ class CoreMemoryHierarchy:
                                    dirty=eviction.dirty)
         if eviction.dirty:
             # Dirty victims are written back into the non-inclusive LLC.
-            l3_eviction = self.shared.l3.fill(
+            l3_eviction = self.shared.l3.fill_block(
                 eviction.block_addr, AccessType.WRITEBACK, dirty=True,
                 state=CoherenceState.MODIFIED)
-            self.energy.charge_cache_lookup(Level.L3)
+            self.energy.charge("hierarchy", self._l3_nj)
             self._handle_l3_eviction(l3_eviction)
 
     def _handle_l3_eviction(self, eviction: Optional[EvictionInfo]) -> None:
@@ -574,95 +704,90 @@ class CoreMemoryHierarchy:
     # ==================================================================
     # Prefetching
     # ==================================================================
-    def _line_is_prefetched(self, cache: Cache, block: int) -> bool:
-        line = cache.get_line(block)
-        return line is not None and line.prefetched
-
-    def _note_inflight(self, missed: bool) -> None:
-        """Track recent demand-miss density (MSHR-pressure approximation)."""
-        if len(self._inflight_misses) == self._inflight_misses.maxlen:
-            if self._inflight_misses[0]:
-                self._inflight_miss_count -= 1
-        self._inflight_misses.append(missed)
-        if missed:
-            self._inflight_miss_count += 1
-        if len(self._recent_prefetches) == self._recent_prefetches.maxlen:
-            self._recent_prefetch_count -= self._recent_prefetches[0]
-        self._recent_prefetches.append(self._prefetches_this_access)
-        self._recent_prefetch_count += self._prefetches_this_access
-        self._prefetches_this_access = 0
-
-    def _prefetch_mshr_pressure(self) -> bool:
-        """Approximate the 25 %-MSHR-reservation throttle (Section IV.A).
-
-        The functional model retires each access before the next begins, so
-        true MSHR occupancy is not observable.  Instead the prefetch *issue
-        rate* over the last ``prefetch_inflight_window`` demand accesses is
-        bounded by the non-reserved share of the L2 MSHR entries: once that
-        many prefetches are outstanding in the window, further prefetches are
-        dropped, exactly the behaviour the reservation produces under load.
-        """
-        prefetch_budget = (1.0 - self.config.l2.mshr_demand_reserve) \
-            * self.config.l2.mshr_entries
-        return (self._recent_prefetch_count + self._prefetches_this_access
-                >= prefetch_budget)
+    def _observe_record(self, access: MemoryAccess,
+                        hit: bool) -> PrefetchAccess:
+        """Fill the shared PrefetchAccess record for one observation."""
+        record = self._pf_access
+        record.address = access.address
+        record.pc = access.pc
+        record.hit = hit
+        record.is_load = access.access_type is _LOAD
+        return record
 
     def _train_l1_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
-        candidates = self.l1_prefetcher.observe(PrefetchAccess(
-            address=access.address, pc=access.pc, hit=hit,
-            is_load=access.is_load))
+        candidates = self.l1_prefetcher.observe(
+            self._observe_record(access, hit))
         for address in candidates:
-            self._issue_prefetch(address, Level.L1)
+            self._issue_prefetch(address, _L1)
 
     def _train_l2_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
-        candidates = self.l2_prefetcher.observe(PrefetchAccess(
-            address=access.address, pc=access.pc, hit=hit,
-            is_load=access.is_load))
+        candidates = self.l2_prefetcher.observe(
+            self._observe_record(access, hit))
         for address in candidates:
-            self._issue_prefetch(address, Level.L2)
+            self._issue_prefetch(address, _L2)
 
     def _train_llc_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
         # The L2 prefetcher trains on L1 misses (accesses that reach L2) and
         # the LLC prefetcher on L2 misses; an access that gets here missed L2.
-        self._train_l2_prefetcher(access, hit=False)
-        candidates = self.shared.llc_prefetcher.observe(PrefetchAccess(
-            address=access.address, pc=access.pc, hit=hit,
-            is_load=access.is_load))
+        record = self._observe_record(access, False)
+        candidates = self.l2_prefetcher.observe(record)
         for address in candidates:
-            self._issue_prefetch(address, Level.L3)
+            self._issue_prefetch(address, _L2)
+        record = self._observe_record(access, hit)
+        candidates = self.shared.llc_prefetcher.observe(record)
+        for address in candidates:
+            self._issue_prefetch(address, _L3)
 
     def _issue_prefetch(self, address: int, level: Level) -> None:
-        """Install a prefetched block at ``level`` (and maintain inclusion)."""
-        if self._prefetch_mshr_pressure():
+        """Install a prefetched block at ``level`` (and maintain inclusion).
+
+        The gate below approximates the 25 %-MSHR-reservation throttle
+        (Section IV.A): the functional model retires each access before the
+        next begins, so true MSHR occupancy is not observable; instead the
+        prefetch *issue rate* over the last ``prefetch_inflight_window``
+        demand accesses (tracked by the inlined window bookkeeping in
+        :meth:`access`) is bounded by the non-reserved share of the L2 MSHR
+        entries — the behaviour the reservation produces under load.
+        """
+        if (self._recent_prefetch_count + self._prefetches_this_access
+                >= self._prefetch_budget):
             self.stats.prefetches_dropped_mshr += 1
             return
-        block = block_address(address, self._block_size)
+        mask = self._block_mask
+        block = (address & mask) if mask is not None \
+            else block_address(address, self._block_size)
         self.stats.prefetches_issued += 1
         self._prefetches_this_access += 1
         if level is Level.L1:
-            if self.l1.contains(block):
+            if self.l1.contains_block(block):
                 return
             # L1/L2 are inclusive: the prefetched block is installed in both.
-            l2_eviction = self.l2.fill(block, AccessType.PREFETCH)
-            self._handle_l2_eviction(l2_eviction)
-            l1_eviction = self.l1.fill(block, AccessType.PREFETCH)
-            self._handle_l1_eviction(l1_eviction)
+            l2_eviction = self.l2.fill_block(block, AccessType.PREFETCH)
+            if l2_eviction is not None:
+                self._handle_l2_eviction(l2_eviction)
+            l1_eviction = self.l1.fill_block(block, AccessType.PREFETCH)
+            if l1_eviction is not None:
+                self._handle_l1_eviction(l1_eviction)
             self.predictor.on_fill(block, Level.L2, from_prefetch=True)
             self.shared.directory.record_private_fill(block, self.core_id)
+            self.energy.charge("hierarchy", self._l1_nj)
         elif level is Level.L2:
-            if self.l2.contains(block):
+            installed, l2_eviction = self.l2.prefetch_install(block)
+            if not installed:
                 return
-            l2_eviction = self.l2.fill(block, AccessType.PREFETCH)
-            self._handle_l2_eviction(l2_eviction)
+            if l2_eviction is not None:
+                self._handle_l2_eviction(l2_eviction)
             self.predictor.on_fill(block, Level.L2, from_prefetch=True)
             self.shared.directory.record_private_fill(block, self.core_id)
+            self.energy.charge("hierarchy", self._l2_nj)
         else:
-            if self.shared.l3.contains(block):
+            installed, l3_eviction = self.shared.l3.prefetch_install(block)
+            if not installed:
                 return
-            l3_eviction = self.shared.l3.fill(block, AccessType.PREFETCH)
-            self._handle_l3_eviction(l3_eviction)
+            if l3_eviction is not None:
+                self._handle_l3_eviction(l3_eviction)
             self.predictor.on_fill(block, Level.L3, from_prefetch=True)
-        self.energy.charge_cache_lookup(level if level.is_cache else Level.L3)
+            self.energy.charge("hierarchy", self._l3_nj)
 
     # ==================================================================
     # Reporting

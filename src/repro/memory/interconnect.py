@@ -39,6 +39,9 @@ class InterconnectConfig:
 class Interconnect:
     """Latency calculator for hops between hierarchy levels."""
 
+    __slots__ = ("config", "active_cores", "transfers",
+                 "recovery_transactions")
+
     def __init__(self, config: InterconnectConfig | None = None,
                  active_cores: int = 1) -> None:
         self.config = config or InterconnectConfig()

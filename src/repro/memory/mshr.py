@@ -50,6 +50,11 @@ class MSHRFile:
             ``capacity * (1 - demand_reserve_fraction)``.
     """
 
+    __slots__ = ("capacity", "demand_reserve_fraction", "_prefetch_limit",
+                 "_entries", "_freelist", "_clock", "allocations",
+                 "coalesces", "demand_rejections", "prefetch_rejections",
+                 "forced_deallocations")
+
     def __init__(self, capacity: int, demand_reserve_fraction: float = 0.0) -> None:
         if capacity <= 0:
             raise ValueError("MSHR capacity must be positive")
@@ -57,7 +62,11 @@ class MSHRFile:
             raise ValueError("demand_reserve_fraction must be in [0, 1)")
         self.capacity = capacity
         self.demand_reserve_fraction = demand_reserve_fraction
+        self._prefetch_limit = int(capacity * (1.0 - demand_reserve_fraction))
         self._entries: Dict[int, MSHREntry] = {}
+        # Released entry objects are recycled: allocate/release runs once per
+        # simulated miss and entry churn dominates this class's cost.
+        self._freelist: List[MSHREntry] = []
         self._clock = 0
         # Statistics.
         self.allocations = 0
@@ -77,7 +86,7 @@ class MSHRFile:
     @property
     def prefetch_limit(self) -> int:
         """Maximum occupancy at which a prefetch may still allocate."""
-        return int(self.capacity * (1.0 - self.demand_reserve_fraction))
+        return self._prefetch_limit
 
     def is_full(self) -> bool:
         return self.occupancy >= self.capacity
@@ -104,23 +113,31 @@ class MSHRFile:
         access type (structural hazard).  A coalesced request never fails.
         """
         self._clock += 1
-        existing = self._entries.get(block_addr)
+        entries = self._entries
+        existing = entries.get(block_addr)
         if existing is not None:
             existing.coalesced += 1
             self.coalesces += 1
             return existing
-        if not self.has_room_for(access_type):
-            if access_type is AccessType.PREFETCH:
+        is_prefetch = access_type is AccessType.PREFETCH
+        occupancy = len(entries)
+        if is_prefetch:
+            if occupancy >= self._prefetch_limit:
                 self.prefetch_rejections += 1
-            else:
-                self.demand_rejections += 1
+                return None
+        elif occupancy >= self.capacity:
+            self.demand_rejections += 1
             return None
-        entry = MSHREntry(
-            block_addr=block_addr,
-            is_prefetch=access_type is AccessType.PREFETCH,
-            allocated_at=self._clock,
-        )
-        self._entries[block_addr] = entry
+        freelist = self._freelist
+        if freelist:
+            entry = freelist.pop()
+            entry.block_addr = block_addr
+            entry.is_prefetch = is_prefetch
+            entry.allocated_at = self._clock
+            entry.coalesced = 0
+        else:
+            entry = MSHREntry(block_addr, is_prefetch, self._clock)
+        entries[block_addr] = entry
         self.allocations += 1
         return entry
 
@@ -132,7 +149,10 @@ class MSHRFile:
         levels the request never reached.
         """
         entry = self._entries.pop(block_addr, None)
-        return entry is not None
+        if entry is None:
+            return False
+        self._freelist.append(entry)
+        return True
 
     def force_release(self, block_addr: int) -> bool:
         """Release an entry as part of misprediction recovery.

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional, Sequence
 class ReplacementPolicy(ABC):
     """Interface implemented by every replacement policy."""
 
+    __slots__ = ("num_sets", "associativity")
+
     def __init__(self, num_sets: int, associativity: int) -> None:
         if num_sets <= 0:
             raise ValueError("num_sets must be positive")
@@ -49,9 +51,10 @@ class ReplacementPolicy(ABC):
         """Record that a way was invalidated (default: no-op)."""
 
     def _first_invalid(self, valid_ways: Sequence[bool]) -> Optional[int]:
-        for way, valid in enumerate(valid_ways):
-            if not valid:
-                return way
+        # list.index runs at C speed; the common case (every way valid) is a
+        # single containment scan with no Python-level iteration.
+        if False in valid_ways:
+            return valid_ways.index(False)
         return None
 
 
@@ -61,6 +64,8 @@ class LRUPolicy(ReplacementPolicy):
     Recency is tracked with a monotonically increasing logical clock; the
     victim is the valid way with the smallest timestamp.
     """
+
+    __slots__ = ("_clock", "_timestamps")
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
@@ -74,20 +79,23 @@ class LRUPolicy(ReplacementPolicy):
         return self._clock
 
     def on_access(self, set_index: int, way: int) -> None:
-        self._timestamps[set_index][way] = self._tick()
+        self._clock += 1
+        self._timestamps[set_index][way] = self._clock
 
     def on_fill(self, set_index: int, way: int) -> None:
-        self._timestamps[set_index][way] = self._tick()
+        self._clock += 1
+        self._timestamps[set_index][way] = self._clock
 
     def on_invalidate(self, set_index: int, way: int) -> None:
         self._timestamps[set_index][way] = 0
 
     def victim(self, set_index: int, valid_ways: Sequence[bool]) -> int:
-        invalid = self._first_invalid(valid_ways)
-        if invalid is not None:
-            return invalid
+        if False in valid_ways:
+            return valid_ways.index(False)
         stamps = self._timestamps[set_index]
-        return min(range(self.associativity), key=lambda way: stamps[way])
+        # index(min(...)) keeps the original first-minimum tie-break while
+        # running both passes at C speed (no per-way lambda call).
+        return stamps.index(min(stamps))
 
 
 class TreePLRUPolicy(ReplacementPolicy):
@@ -98,6 +106,8 @@ class TreePLRUPolicy(ReplacementPolicy):
     an access flips the bits along the path away from the touched way, and the
     victim is found by following the bits toward the least recently used side.
     """
+
+    __slots__ = ("_bits",)
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)
@@ -150,6 +160,8 @@ class TreePLRUPolicy(ReplacementPolicy):
 class RandomPolicy(ReplacementPolicy):
     """Random replacement with a seeded private RNG for reproducibility."""
 
+    __slots__ = ("_rng",)
+
     def __init__(self, num_sets: int, associativity: int, seed: int = 0) -> None:
         super().__init__(num_sets, associativity)
         self._rng = random.Random(seed)
@@ -176,6 +188,8 @@ class SRRIPPolicy(ReplacementPolicy):
     """
 
     MAX_RRPV = 3
+
+    __slots__ = ("_rrpv",)
 
     def __init__(self, num_sets: int, associativity: int) -> None:
         super().__init__(num_sets, associativity)

@@ -50,6 +50,9 @@ class TLBStats:
 class TLB:
     """A set-associative TLB modelled with per-set LRU ordered dicts."""
 
+    __slots__ = ("config", "name", "_num_sets", "_sets", "_page_shift",
+                 "stats")
+
     def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
         if config.entries <= 0:
             raise ValueError("TLB must have at least one entry")
@@ -59,6 +62,9 @@ class TLB:
         self.name = name
         self._num_sets = max(config.entries // config.associativity, 1)
         self._sets = [OrderedDict() for _ in range(self._num_sets)]
+        page_size = config.page_size
+        self._page_shift = (page_size.bit_length() - 1
+                            if (page_size & (page_size - 1)) == 0 else -1)
         self.stats = TLBStats()
 
     def _set_for(self, page: int) -> OrderedDict:
@@ -66,13 +72,16 @@ class TLB:
 
     def lookup(self, address: int) -> bool:
         """Probe the TLB for the page containing ``address``."""
-        page = address // self.config.page_size
-        entries = self._set_for(page)
+        shift = self._page_shift
+        page = (address >> shift) if shift >= 0 \
+            else address // self.config.page_size
+        entries = self._sets[page % self._num_sets]
+        stats = self.stats
         if page in entries:
             entries.move_to_end(page)
-            self.stats.hits += 1
+            stats.hits += 1
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         return False
 
     def insert(self, address: int) -> None:
@@ -115,6 +124,8 @@ class TLBHierarchy:
             synthetic traces.
     """
 
+    __slots__ = ("l1", "l2", "page_walk_latency", "page_walks")
+
     def __init__(
         self,
         l1_config: Optional[TLBConfig] = None,
@@ -156,6 +167,31 @@ class TLBHierarchy:
             l2_hit=False,
             page_walk=True,
         )
+
+    def translate_latency(self, address: int) -> int:
+        """Latency-only :meth:`translate` for the per-access hot path.
+
+        Identical side effects (lookups, insertions, page-walk count) without
+        allocating a :class:`TranslationResult` per access.  The first-level
+        probe is inlined — it hits for almost every access.
+        """
+        l1 = self.l1
+        shift = l1._page_shift
+        page = (address >> shift) if shift >= 0 \
+            else address // l1.config.page_size
+        entries = l1._sets[page % l1._num_sets]
+        if page in entries:
+            entries.move_to_end(page)
+            l1.stats.hits += 1
+            return 0
+        l1.stats.misses += 1
+        if self.l2.lookup(address):
+            l1.insert(address)
+            return self.l2.config.access_latency
+        self.page_walks += 1
+        self.l2.insert(address)
+        l1.insert(address)
+        return self.l2.config.access_latency + self.page_walk_latency
 
     @property
     def miss_ratio(self) -> float:

@@ -27,7 +27,7 @@ from typing import List, Optional
 from ..memory.block import DEFAULT_BLOCK_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchAccess:
     """One demand access as seen by a prefetcher."""
 
@@ -79,6 +79,18 @@ class Prefetcher(ABC):
             self._train_only(access)
             return []
         candidates = self._generate(access)
+        if not candidates:
+            # Hot path: most demand accesses trigger nothing — avoid the
+            # dedup set/list allocations entirely.
+            return []
+        if len(candidates) == 1:
+            # Single candidate (degree-1 prefetchers): skip the dedup set.
+            address = candidates[0]
+            block = address - (address % self.block_size)
+            if block < 0:
+                return []
+            self.stats.issued += 1
+            return [block]
         unique: List[int] = []
         seen = set()
         for address in candidates:
@@ -117,8 +129,11 @@ class Prefetcher(ABC):
         self.stats.reset()
 
 
+_NO_CANDIDATES: tuple = ()
+
+
 class NullPrefetcher(Prefetcher):
     """A prefetcher that never prefetches (no-prefetch baseline runs)."""
 
     def _generate(self, access: PrefetchAccess) -> List[int]:
-        return []
+        return _NO_CANDIDATES

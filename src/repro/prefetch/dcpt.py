@@ -61,14 +61,15 @@ class DCPTPrefetcher(Prefetcher):
         deltas = entry.deltas
         if len(deltas) < 3:
             return []
-        pair = (deltas[-2], deltas[-1])
+        pair_first = deltas[-2]
+        pair_second = deltas[-1]
         candidates: List[int] = []
         # Search the history (excluding the newest pair itself) for the same
         # consecutive delta pair; on a match replay the deltas that follow.
         for i in range(len(deltas) - 3, -1, -1):
             if i + 1 >= len(deltas) - 1:
                 continue
-            if (deltas[i], deltas[i + 1]) == pair:
+            if deltas[i] == pair_first and deltas[i + 1] == pair_second:
                 address = current_block
                 for delta in deltas[i + 2:]:
                     address += delta * self.block_size
@@ -98,6 +99,8 @@ class DCPTPrefetcher(Prefetcher):
                         candidates.append(
                             block + i * entry.deltas[-1] * self.block_size)
         entry.last_address = block
+        if not candidates:
+            return candidates
 
         # Suppress candidates already prefetched from this entry recently.
         filtered = [c for c in candidates if c != entry.last_prefetch and c > 0]

@@ -14,7 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .base import PrefetchAccess, Prefetcher
+from .base import PrefetchAccess, Prefetcher, _NO_CANDIDATES
 
 
 class TaggedNextLinePrefetcher(Prefetcher):
@@ -49,12 +49,21 @@ class TaggedNextLinePrefetcher(Prefetcher):
             del self._tagged[block]
             triggered = True
         if not triggered:
-            return []
+            return _NO_CANDIDATES
         candidates = []
+        tagged = self._tagged
+        capacity = self._tag_capacity
+        block_size = self.block_size
         for i in range(1, self.degree + 1):
-            target = block + i * self.block_size
+            target = block + i * block_size
             candidates.append(target)
-            self._remember(target)
+            # Inline _remember(): this runs for every issued prefetch.
+            if target in tagged:
+                tagged.move_to_end(target)
+            else:
+                if len(tagged) >= capacity:
+                    tagged.popitem(last=False)
+                tagged[target] = True
         return candidates
 
 

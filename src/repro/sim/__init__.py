@@ -1,6 +1,24 @@
-"""System assembly, configuration and simulation drivers."""
+"""System assembly, configuration and simulation drivers.
+
+The package's execution substrate is :mod:`repro.sim.engine`: a batched
+simulation driver that expands (workload, predictor, config, seed) grids
+into picklable jobs, reuses generated traces through a process-local
+:class:`~repro.sim.engine.TraceCache`, and fans jobs out over worker
+processes when the ``REPRO_JOBS`` environment variable (or an explicit
+``SimulationEngine(jobs=N)``) asks for parallelism.  Serial and parallel
+execution are bit-identical; see the engine module docstring.
+"""
 
 from .config import PREDICTOR_NAMES, SystemConfig, table1_description
+from .engine import (
+    MixJob,
+    SimulationEngine,
+    SimulationJob,
+    TRACE_CACHE,
+    TraceCache,
+    expand_grid,
+    execute_job,
+)
 from .multicore import MultiCoreResult, MultiCoreSystem, run_mix_comparison
 from .stats import (
     MissFilteringRatios,
@@ -21,13 +39,20 @@ from .system import (
 __all__ = [
     "MissFilteringRatios",
     "MissTraceWindow",
+    "MixJob",
     "MultiCoreResult",
     "MultiCoreSystem",
     "PREDICTOR_NAMES",
     "SimulatedSystem",
+    "SimulationEngine",
+    "SimulationJob",
     "SimulationResult",
     "SystemConfig",
+    "TRACE_CACHE",
+    "TraceCache",
     "WindowedMissTracker",
+    "execute_job",
+    "expand_grid",
     "build_system",
     "make_llc_prefetcher",
     "make_predictor",

@@ -1,0 +1,389 @@
+"""Batched, parallel simulation engine.
+
+Every figure in the paper is a grid of *independent* (workload, predictor,
+config, seed) simulations, so throughput — not single-run latency — is what
+limits how much of the design space the reproduction can cover.  This module
+provides the shared substrate the drivers and benchmarks run on:
+
+* :class:`SimulationJob` / :class:`MixJob` — picklable descriptions of one
+  single-core or one multi-core simulation;
+* :func:`expand_grid` — expand (workloads x predictors x seeds) into a job
+  list;
+* :class:`TraceCache` — a process-local LRU cache of generated workload
+  traces, so a six-system comparison generates each (workload, seed, length)
+  trace **once** instead of once per system;
+* :class:`SimulationEngine` — runs a job list either serially (the
+  deterministic fallback) or fanned out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Parallelism
+===========
+
+The worker count comes from, in order: the ``jobs=`` constructor argument,
+the ``REPRO_JOBS`` environment variable, and finally 1 (serial).  Results are
+returned in job order regardless of completion order, and every job builds
+its own fresh system state, so **serial and parallel execution produce
+bit-identical results**: workload traces are derived deterministically from
+(workload name, seed) — see :meth:`repro.workloads.base.Workload.generate` —
+and no mutable state is shared between jobs.
+
+Example::
+
+    engine = SimulationEngine()          # REPRO_JOBS env knob, default serial
+    jobs = expand_grid(HIGHLIGHTED_APPLICATIONS, PREDICTOR_NAMES,
+                       num_accesses=10_000, warmup_accesses=2_000)
+    results = engine.run(jobs)           # List[SimulationResult], job order
+
+Trace cache
+===========
+
+:data:`TRACE_CACHE` is the module-level cache used by the drivers.  Workloads
+named by their suite application name (``"gapbs.bfs"``) are cached under that
+name, so any caller asking for the same (name, accesses, seed, base address,
+thread) tuple receives the *identical* trace list.  Workload objects are
+cached by object identity (the cache keeps the object alive while its traces
+are cached), which makes the cache safe for ad-hoc workloads whose parameters
+are not captured by their name.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..memory.block import MemoryAccess
+from ..workloads.base import ADDRESS_SPACE_STRIDE, Workload
+from ..workloads.mixes import get_mix
+from ..workloads.suite import build_workload
+from .config import SystemConfig
+
+#: Environment variable controlling the default worker-process count.
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+WorkloadSpec = Union[str, Workload]
+
+
+# ======================================================================
+# Trace cache
+# ======================================================================
+class TraceCache:
+    """Process-local LRU cache of generated workload traces.
+
+    Keys are (workload identity, num_accesses, seed, base_address,
+    thread_id).  Suite applications passed by name share one identity per
+    name; :class:`~repro.workloads.base.Workload` objects are keyed by
+    ``id()`` and kept referenced by the cache entry, so an identity is never
+    reused while its traces are cached.
+
+    Repeated lookups return the **same** trace list object — callers must
+    treat cached traces as immutable.
+    """
+
+    def __init__(self, max_traces: int = 128) -> None:
+        if max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        self.max_traces = max_traces
+        # key -> (workload-or-None, trace); OrderedDict gives LRU order.
+        self._traces: "OrderedDict[Tuple, Tuple[Optional[Workload], List[MemoryAccess]]]" = OrderedDict()
+        self._named_workloads: Dict[str, Workload] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def resolve(self, workload: WorkloadSpec) -> Workload:
+        """Return the Workload object for a spec (name or instance)."""
+        if isinstance(workload, str):
+            resolved = self._named_workloads.get(workload)
+            if resolved is None:
+                resolved = build_workload(workload)
+                self._named_workloads[workload] = resolved
+            return resolved
+        return workload
+
+    def _key(self, workload: WorkloadSpec, num_accesses: int, seed: int,
+             base_address: int, thread_id: int) -> Tuple:
+        if isinstance(workload, str):
+            identity: Tuple = ("app", workload)
+        else:
+            identity = ("obj", id(workload))
+        return identity + (num_accesses, seed, base_address, thread_id)
+
+    def get(self, workload: WorkloadSpec, num_accesses: int, seed: int = 0,
+            base_address: int = 0, thread_id: int = 0) -> List[MemoryAccess]:
+        """Return the (cached) trace for the given generation parameters."""
+        key = self._key(workload, num_accesses, seed, base_address, thread_id)
+        entry = self._traces.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._traces.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        resolved = self.resolve(workload)
+        trace = resolved.generate(num_accesses, seed=seed,
+                                  base_address=base_address,
+                                  thread_id=thread_id)
+        # Keep the workload object referenced so an id()-based key can never
+        # be recycled while its trace is cached.
+        self._traces[key] = (None if isinstance(workload, str) else resolved,
+                             trace)
+        if len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def clear(self) -> None:
+        self._traces.clear()
+        self._named_workloads.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: The module-level cache shared by the drivers (one per worker process).
+TRACE_CACHE = TraceCache()
+
+
+# ======================================================================
+# Jobs
+# ======================================================================
+@dataclass(frozen=True)
+class SimulationJob:
+    """One single-core simulation: a workload on one system configuration.
+
+    ``workload`` may be a suite application name (preferred: cheap to pickle
+    and cacheable across jobs) or a Workload object.
+    """
+
+    workload: WorkloadSpec
+    predictor: str
+    num_accesses: int
+    warmup_accesses: int = 0
+    seed: int = 0
+    config: Optional[SystemConfig] = None
+
+
+@dataclass(frozen=True)
+class MixJob:
+    """One multi-core simulation: a Table II mix under one predictor."""
+
+    mix: str
+    predictor: str
+    accesses_per_core: int
+    seed: int = 0
+    config: Optional[SystemConfig] = None
+
+
+Job = Union[SimulationJob, MixJob]
+
+
+def expand_grid(workloads: Sequence[WorkloadSpec],
+                predictors: Sequence[str],
+                num_accesses: int,
+                warmup_accesses: int = 0,
+                seeds: Sequence[int] = (0,),
+                config: Optional[SystemConfig] = None) -> List[SimulationJob]:
+    """Expand (workloads x predictors x seeds) into a flat job list.
+
+    Jobs are ordered workload-major, then seed, then predictor, which keeps
+    all systems of one comparison adjacent (maximising trace-cache locality
+    inside each worker process).
+    """
+    return [
+        SimulationJob(workload=workload, predictor=predictor,
+                      num_accesses=num_accesses,
+                      warmup_accesses=warmup_accesses, seed=seed,
+                      config=config)
+        for workload in workloads
+        for seed in seeds
+        for predictor in predictors
+    ]
+
+
+# ======================================================================
+# Job execution (module-level so ProcessPoolExecutor can pickle it)
+# ======================================================================
+def mix_traces(mix_name: str, accesses_per_core: int, seed: int = 0,
+               trace_cache: Optional[TraceCache] = None
+               ) -> Tuple[List[List[MemoryAccess]], List[str]]:
+    """Per-core traces (and workload names) for a Table II mix, cached.
+
+    Mirrors :func:`repro.workloads.mixes.generate_mix_traces` exactly, but
+    generates each per-core trace through the trace cache.
+    """
+    # Explicit None check: an empty TraceCache has len() == 0 and is falsy.
+    cache = TRACE_CACHE if trace_cache is None else trace_cache
+    mix = get_mix(mix_name)
+    traces: List[List[MemoryAccess]] = []
+    for core, app_name in enumerate(mix.applications):
+        if mix.multithreaded:
+            base = 0
+            core_seed = seed + core + 1
+        else:
+            base = core * ADDRESS_SPACE_STRIDE
+            core_seed = seed
+        traces.append(cache.get(app_name, accesses_per_core, seed=core_seed,
+                                base_address=base, thread_id=core))
+    return traces, list(mix.applications)
+
+
+def execute_job(job: Job, trace_cache: Optional[TraceCache] = None):
+    """Run one job to completion in the current process.
+
+    This is the single entry point used by both the serial fallback and the
+    pool workers; it builds a fresh system, pulls the trace(s) through
+    ``trace_cache`` (the process-local :data:`TRACE_CACHE` by default), and
+    returns the picklable result.
+    """
+    # Imported here, not at module scope: system.py/multicore.py import this
+    # module for their comparison drivers.
+    from .multicore import MultiCoreSystem
+    from .system import SimulatedSystem
+
+    # Explicit None check: an empty TraceCache has len() == 0 and is falsy.
+    cache = TRACE_CACHE if trace_cache is None else trace_cache
+    if isinstance(job, MixJob):
+        base_config = job.config or SystemConfig.paper_multi_core()
+        system = MultiCoreSystem(base_config.with_predictor(job.predictor))
+        traces, names = mix_traces(job.mix, job.accesses_per_core,
+                                   seed=job.seed, trace_cache=cache)
+        return system.run_traces(traces, workload_names=names,
+                                 mix_name=job.mix)
+
+    base_config = job.config or SystemConfig.paper_single_core()
+    system = SimulatedSystem(base_config.with_predictor(job.predictor))
+    workload = cache.resolve(job.workload)
+    total = job.num_accesses + job.warmup_accesses
+    trace = cache.get(job.workload, total, seed=job.seed)
+    if job.warmup_accesses:
+        hierarchy_access = system.hierarchy.access
+        for access in trace[:job.warmup_accesses]:
+            hierarchy_access(access)
+        system.reset_statistics()
+    return system.run_trace(trace[job.warmup_accesses:], workload.name)
+
+
+# ======================================================================
+# Engine
+# ======================================================================
+class SimulationEngine:
+    """Runs simulation jobs serially or across worker processes.
+
+    Args:
+        jobs: Worker-process count.  ``None`` reads ``REPRO_JOBS`` from the
+            environment, defaulting to 1 (serial).  Any value <= 1 selects
+            the deterministic in-process path; parallel execution produces
+            bit-identical results (see the module docstring).
+        trace_cache: Cache used by the serial path (worker processes always
+            use their own process-local :data:`TRACE_CACHE`).
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 trace_cache: Optional[TraceCache] = None) -> None:
+        if jobs is None:
+            env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
+            if env_value:
+                try:
+                    jobs = int(env_value)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{REPRO_JOBS_ENV} must be an integer, got "
+                        f"{env_value!r}") from exc
+            else:
+                jobs = 1
+        self.num_workers = max(1, jobs)
+        # Explicit None check: an empty TraceCache has len() == 0, is falsy.
+        self.trace_cache = TRACE_CACHE if trace_cache is None else trace_cache
+
+    @property
+    def parallel(self) -> bool:
+        return self.num_workers > 1
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job], chunk_align: int = 1) -> List:
+        """Execute every job, returning results in job order.
+
+        Args:
+            jobs: Jobs to run.
+            chunk_align: Round the pool chunk size up to a multiple of this
+                (the grid helpers pass the per-workload system count, so one
+                worker's chunk covers whole comparisons and its trace cache
+                serves every system of each workload it is handed).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.num_workers <= 1 or len(jobs) == 1:
+            cache = self.trace_cache
+            return [execute_job(job, cache) for job in jobs]
+        workers = min(self.num_workers, len(jobs))
+        chunksize = max(1, len(jobs) // (workers * 4))
+        if chunk_align > 1:
+            chunksize = -(-chunksize // chunk_align) * chunk_align
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            # Force a worker to spawn now: fork/spawn being unavailable
+            # (sandboxes, RLIMIT_NPROC) must trigger the serial fallback,
+            # while errors later, mid-run, should propagate loudly instead
+            # of silently discarding completed work.
+            pool.submit(os.getpid).result()
+        except OSError:
+            pool.shutdown(wait=False)
+            cache = self.trace_cache
+            return [execute_job(job, cache) for job in jobs]
+        with pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    def run_grid(self, workloads: Sequence[WorkloadSpec],
+                 predictors: Sequence[str],
+                 num_accesses: int,
+                 warmup_accesses: int = 0,
+                 seed: int = 0,
+                 config: Optional[SystemConfig] = None
+                 ) -> Dict[str, Dict[str, object]]:
+        """Run a (workload x predictor) grid, returning nested dicts.
+
+        The outer key is the workload's display name (the application name
+        for suite workloads), the inner key the predictor name — the shape
+        every figure benchmark consumes.
+        """
+        jobs = expand_grid(workloads, predictors, num_accesses,
+                           warmup_accesses=warmup_accesses, seeds=(seed,),
+                           config=config)
+        results = self.run(jobs, chunk_align=len(predictors))
+        grid: Dict[str, Dict[str, object]] = {}
+        index = 0
+        for workload in workloads:
+            name = workload if isinstance(workload, str) else workload.name
+            per_system: Dict[str, object] = {}
+            for predictor in predictors:
+                per_system[predictor] = results[index]
+                index += 1
+            grid[name] = per_system
+        return grid
+
+    def run_mix_grid(self, mixes: Sequence[str],
+                     predictors: Sequence[str],
+                     accesses_per_core: int,
+                     seed: int = 0,
+                     config: Optional[SystemConfig] = None
+                     ) -> Dict[str, Dict[str, object]]:
+        """Run a (mix x predictor) grid of multi-core simulations."""
+        jobs = [MixJob(mix=mix, predictor=predictor,
+                       accesses_per_core=accesses_per_core, seed=seed,
+                       config=config)
+                for mix in mixes for predictor in predictors]
+        results = self.run(jobs, chunk_align=len(predictors))
+        grid: Dict[str, Dict[str, object]] = {}
+        index = 0
+        for mix in mixes:
+            per_system: Dict[str, object] = {}
+            for predictor in predictors:
+                per_system[predictor] = results[index]
+                index += 1
+            grid[mix] = per_system
+        return grid

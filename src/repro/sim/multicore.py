@@ -21,7 +21,6 @@ from ..core.base import PredictionOutcome
 from ..cpu.ooo_core import ExecutionResult, OutOfOrderCore, geometric_mean
 from ..memory.block import AccessResult, MemoryAccess
 from ..memory.hierarchy import CoreMemoryHierarchy, SharedMemorySystem
-from ..workloads.mixes import generate_mix_traces, get_mix
 from .config import SystemConfig
 from .system import make_llc_prefetcher, make_predictor, _make_private_prefetchers
 
@@ -116,10 +115,11 @@ class MultiCoreSystem:
 
     def run_mix(self, mix_name: str, accesses_per_core: int,
                 seed: int = 0) -> MultiCoreResult:
-        """Run one of the Table II mixes."""
-        mix = get_mix(mix_name)
-        traces = generate_mix_traces(mix_name, accesses_per_core, seed=seed)
-        return self.run_traces(traces, workload_names=list(mix.applications),
+        """Run one of the Table II mixes (traces come from the trace cache)."""
+        from .engine import mix_traces
+
+        traces, names = mix_traces(mix_name, accesses_per_core, seed=seed)
+        return self.run_traces(traces, workload_names=names,
                                mix_name=mix_name)
 
     # ------------------------------------------------------------------
@@ -160,11 +160,18 @@ def run_mix_comparison(mix_name: str, accesses_per_core: int,
                        seed: int = 0,
                        config: Optional[SystemConfig] = None
                        ) -> Dict[str, MultiCoreResult]:
-    """Run one Table II mix under several predictors (same traces)."""
+    """Run one Table II mix under several predictors (same traces).
+
+    Runs on the :mod:`repro.sim.engine`: per-core traces are generated once
+    through the trace cache instead of once per compared system, and the
+    per-predictor jobs parallelise under ``REPRO_JOBS``.
+    """
+    from .engine import MixJob, SimulationEngine
+
     base_config = config or SystemConfig.paper_multi_core()
-    results: Dict[str, MultiCoreResult] = {}
-    for predictor in predictors:
-        system = MultiCoreSystem(base_config.with_predictor(predictor))
-        results[predictor] = system.run_mix(mix_name, accesses_per_core,
-                                            seed=seed)
-    return results
+    jobs = [MixJob(mix=mix_name, predictor=predictor,
+                   accesses_per_core=accesses_per_core, seed=seed,
+                   config=base_config)
+            for predictor in predictors]
+    results = SimulationEngine().run(jobs)
+    return dict(zip(predictors, results))

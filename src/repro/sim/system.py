@@ -207,12 +207,18 @@ def run_predictor_comparison(workload: Workload, num_accesses: int,
     """Run the same workload on several systems (one per predictor).
 
     Every system sees the exact same trace (same seed), which is how the
-    paper's speedup and energy comparisons are defined.
+    paper's speedup and energy comparisons are defined.  The work runs on
+    the :mod:`repro.sim.engine` — the trace is generated once (not once per
+    system) and the jobs fan out over worker processes when ``REPRO_JOBS``
+    asks for them.
     """
+    from .engine import SimulationEngine, SimulationJob
+
     base_config = config or SystemConfig.paper_single_core()
-    results: Dict[str, SimulationResult] = {}
-    for name in predictors:
-        system = SimulatedSystem(base_config.with_predictor(name))
-        results[name] = system.run_workload(workload, num_accesses, seed=seed,
-                                            warmup_accesses=warmup_accesses)
-    return results
+    jobs = [SimulationJob(workload=workload, predictor=name,
+                          num_accesses=num_accesses,
+                          warmup_accesses=warmup_accesses, seed=seed,
+                          config=base_config)
+            for name in predictors]
+    results = SimulationEngine().run(jobs)
+    return dict(zip(predictors, results))

@@ -17,6 +17,7 @@ level prediction helps it — which is what the reproduction must preserve.
 from __future__ import annotations
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
@@ -78,7 +79,13 @@ class Workload(ABC):
         """
         if num_accesses <= 0:
             raise ValueError("num_accesses must be positive")
-        rng = random.Random((seed << 16) ^ hash(self.name) & 0xFFFFFFFF)
+        # crc32 (not hash()) keeps the per-workload seed stable across
+        # interpreter runs and worker processes: str hashing is randomized
+        # per process, which would make traces — and therefore every
+        # simulation result — irreproducible outside a single run and break
+        # the engine's serial == parallel guarantee under spawn.
+        name_seed = zlib.crc32(self.name.encode("utf-8"))
+        rng = random.Random((seed << 16) ^ name_seed)
         trace: List[MemoryAccess] = []
         stream = self._accesses(rng, base_address, thread_id)
         for _ in range(num_accesses):

@@ -6,12 +6,13 @@ import random
 
 import pytest
 
-from repro.memory.block import AccessType, MemoryAccess
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.block import Level
 from repro.memory.hierarchy import CoreMemoryHierarchy, HierarchyConfig
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulatedSystem
+
+from trace_helpers import make_load, make_store  # noqa: F401  (re-export)
 
 
 @pytest.fixture
@@ -45,17 +46,6 @@ def baseline_hierarchy(small_hierarchy_config) -> CoreMemoryHierarchy:
 def lp_system() -> SimulatedSystem:
     """A full paper-configuration system with the proposed level predictor."""
     return SimulatedSystem(SystemConfig.paper_single_core("lp"))
-
-
-def make_load(address: int, pc: int = 0x100,
-              dependent: bool = False) -> MemoryAccess:
-    """Convenience constructor used across test modules."""
-    return MemoryAccess(address=address, access_type=AccessType.LOAD, pc=pc,
-                        depends_on_previous=dependent)
-
-
-def make_store(address: int, pc: int = 0x200) -> MemoryAccess:
-    return MemoryAccess(address=address, access_type=AccessType.STORE, pc=pc)
 
 
 @pytest.fixture

@@ -1,0 +1,183 @@
+"""Tests for the batched/parallel simulation engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import (
+    MixJob,
+    SimulationEngine,
+    SimulationJob,
+    TraceCache,
+    execute_job,
+    expand_grid,
+    mix_traces,
+)
+from repro.sim.system import SimulatedSystem, run_predictor_comparison
+from repro.workloads import build_workload
+
+APPS = ["gapbs.bfs", "605.mcf", "stream"]
+SYSTEMS = ("baseline", "lp", "ideal")
+
+
+def assert_results_identical(first, second):
+    """Two SimulationResults must agree bit-for-bit on every reported metric."""
+    assert first.workload == second.workload
+    assert first.predictor == second.predictor
+    assert first.execution.cycles == second.execution.cycles
+    assert first.execution.instructions == second.execution.instructions
+    assert first.ipc == second.ipc
+    assert first.cache_hierarchy_energy_nj == second.cache_hierarchy_energy_nj
+    assert first.energy_breakdown == second.energy_breakdown
+    for field in ("demand_accesses", "l1_hits", "l2_hits", "l3_hits",
+                  "memory_accesses", "total_demand_latency", "miss_latency",
+                  "predictions", "recoveries"):
+        assert getattr(first.hierarchy_stats, field) == \
+            getattr(second.hierarchy_stats, field), field
+    assert first.predictor_stats.predictions == \
+        second.predictor_stats.predictions
+    assert first.predictor_stats.outcomes == second.predictor_stats.outcomes
+    assert first.metadata_miss_ratio == second.metadata_miss_ratio
+
+
+class TestTraceCache:
+    def test_repeated_key_returns_identical_object(self):
+        cache = TraceCache()
+        first = cache.get("gapbs.bfs", 400, seed=3)
+        second = cache.get("gapbs.bfs", 400, seed=3)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_keys_generate_distinct_traces(self):
+        cache = TraceCache()
+        base = cache.get("stream", 300, seed=0)
+        assert cache.get("stream", 300, seed=1) is not base
+        assert cache.get("stream", 301, seed=0) is not base
+        assert cache.get("stream", 300, seed=0, base_address=1 << 36) is not base
+        assert cache.misses == 4
+
+    def test_workload_objects_cached_by_identity(self):
+        cache = TraceCache()
+        workload = build_workload("gups")
+        twin = build_workload("gups")
+        first = cache.get(workload, 200)
+        assert cache.get(workload, 200) is first
+        # A different object is a different key even with the same name.
+        assert cache.get(twin, 200) is not first
+
+    def test_named_trace_matches_direct_generation(self):
+        cache = TraceCache()
+        cached = cache.get("gapbs.bfs", 250, seed=7)
+        direct = build_workload("gapbs.bfs").generate(250, seed=7)
+        assert cached == direct
+
+    def test_lru_bound(self):
+        cache = TraceCache(max_traces=2)
+        cache.get("stream", 100, seed=0)
+        cache.get("stream", 100, seed=1)
+        cache.get("stream", 100, seed=2)
+        assert len(cache) == 2
+
+
+class TestEngineConfiguration:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert SimulationEngine().num_workers == 1
+        assert not SimulationEngine().parallel
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SimulationEngine().num_workers == 3
+        assert SimulationEngine(jobs=2).num_workers == 2
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            SimulationEngine()
+
+    def test_custom_trace_cache_is_used(self):
+        # Regression: an *empty* TraceCache is falsy (len() == 0), so a
+        # `trace_cache or TRACE_CACHE` default would silently ignore it.
+        cache = TraceCache()
+        engine = SimulationEngine(jobs=1, trace_cache=cache)
+        engine.run(expand_grid(["stream"], ("baseline", "lp"),
+                               num_accesses=200))
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_expand_grid_shape_and_order(self):
+        jobs = expand_grid(APPS, SYSTEMS, num_accesses=100,
+                           warmup_accesses=10, seeds=(0, 1))
+        assert len(jobs) == len(APPS) * len(SYSTEMS) * 2
+        # Workload-major, then seed, then predictor.
+        assert jobs[0].workload == APPS[0]
+        assert jobs[0].predictor == SYSTEMS[0]
+        assert jobs[1].predictor == SYSTEMS[1]
+        assert jobs[len(SYSTEMS)].seed == 1
+
+
+class TestSerialParallelEquivalence:
+    def test_single_core_grid_bit_identical(self):
+        jobs = expand_grid(APPS, SYSTEMS, num_accesses=400,
+                           warmup_accesses=100)
+        serial = SimulationEngine(jobs=1).run(jobs)
+        parallel = SimulationEngine(jobs=2).run(jobs)
+        assert len(serial) == len(parallel) == len(jobs)
+        for first, second in zip(serial, parallel):
+            assert_results_identical(first, second)
+
+    def test_mix_jobs_bit_identical(self):
+        jobs = [MixJob(mix=mix, predictor=predictor, accesses_per_core=200)
+                for mix in ("mix1", "MT1") for predictor in ("baseline", "lp")]
+        serial = SimulationEngine(jobs=1).run(jobs)
+        parallel = SimulationEngine(jobs=2).run(jobs)
+        for first, second in zip(serial, parallel):
+            assert first.mix == second.mix
+            assert first.predictor == second.predictor
+            assert first.aggregate_ipc == second.aggregate_ipc
+            assert first.cache_hierarchy_energy_nj == \
+                second.cache_hierarchy_energy_nj
+            assert first.accuracy_breakdown == second.accuracy_breakdown
+
+    def test_engine_matches_direct_driver(self):
+        """execute_job reproduces SimulatedSystem.run_workload exactly."""
+        workload = build_workload("gapbs.bfs")
+        direct = SimulatedSystem(
+            SystemConfig.paper_single_core("lp")).run_workload(
+            workload, 400, seed=0, warmup_accesses=100)
+        via_engine = execute_job(SimulationJob(
+            workload="gapbs.bfs", predictor="lp", num_accesses=400,
+            warmup_accesses=100, seed=0))
+        assert_results_identical(direct, via_engine)
+
+
+class TestGridHelpers:
+    def test_run_grid_shape(self):
+        grid = SimulationEngine(jobs=1).run_grid(
+            APPS[:2], ("baseline", "lp"), num_accesses=200)
+        assert sorted(grid) == sorted(APPS[:2])
+        for app, per_system in grid.items():
+            assert set(per_system) == {"baseline", "lp"}
+            for predictor, result in per_system.items():
+                assert result.predictor_stats.predictions >= 0
+                assert result.workload == app
+
+    def test_run_predictor_comparison_uses_shared_trace(self):
+        """The public comparison driver returns per-predictor results whose
+        traces came from one generation (identical access streams)."""
+        workload = build_workload("hpcg")
+        results = run_predictor_comparison(workload, 300,
+                                           predictors=("baseline", "lp"))
+        base = results["baseline"].hierarchy_stats
+        lp = results["lp"].hierarchy_stats
+        assert base.demand_accesses == lp.demand_accesses == 300
+        assert base.loads == lp.loads
+
+    def test_mix_traces_cached(self):
+        cache = TraceCache()
+        first, names = mix_traces("mix1", 150, trace_cache=cache)
+        second, _ = mix_traces("mix1", 150, trace_cache=cache)
+        assert names == ["gapbs.bfs", "619.lbm", "nas.lu", "bmt"]
+        for a, b in zip(first, second):
+            assert a is b

@@ -15,7 +15,7 @@ from repro.memory.hierarchy import (
 )
 from repro.prefetch.nextline import TaggedNextLinePrefetcher
 
-from .conftest import make_load, make_store
+from trace_helpers import make_load, make_store
 
 
 def build_hierarchy(config=None, predictor=None, **kwargs) -> CoreMemoryHierarchy:

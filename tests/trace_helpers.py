@@ -1,0 +1,21 @@
+"""Shared access-construction helpers for the reproduction test suite.
+
+Kept in a dedicated module (not ``conftest.py``) so test modules can import
+them absolutely: pytest imports every ``conftest.py`` under the plain module
+name ``conftest``, which collides between ``tests/`` and ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from repro.memory.block import AccessType, MemoryAccess
+
+
+def make_load(address: int, pc: int = 0x100,
+              dependent: bool = False) -> MemoryAccess:
+    """Convenience constructor used across test modules."""
+    return MemoryAccess(address=address, access_type=AccessType.LOAD, pc=pc,
+                        depends_on_previous=dependent)
+
+
+def make_store(address: int, pc: int = 0x200) -> MemoryAccess:
+    return MemoryAccess(address=address, access_type=AccessType.STORE, pc=pc)
