@@ -14,56 +14,63 @@ going from 1 KiB to 2 KiB does not increase energy appreciably, while the
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.sim.config import SystemConfig
-from repro.sim.system import SimulatedSystem
-from repro.workloads import build_workload
+from repro.experiments import (
+    EXPERIMENTS,
+    METADATA_SIZES,
+    SUITE_REPRESENTATIVES,
+    Scale,
+)
+from repro.sim.engine import SimulationEngine
 
 from conftest import BENCH_ACCESSES, BENCH_WARMUP, save_result
 
-SIZES = [1024, 2048, 4096, 8192]
+SIZES = list(METADATA_SIZES)
 
-#: One representative application per suite (as Figure 5 averages per suite).
-SUITE_REPRESENTATIVES = {
-    "SPEC CPU 17": ["605.mcf", "623.xalan"],
-    "NAS": ["nas.cg", "nas.ft"],
-    "GAPBS": ["gapbs.pr", "gapbs.bfs"],
-    "Others": ["gups", "hpcg"],
-}
+#: Display names for the registry's per-suite representatives.
+SUITE_LABELS = {"spec17": "SPEC CPU 17", "nas": "NAS", "gapbs": "GAPBS",
+                "other": "Others"}
 
 
 def _run_size_sweep():
+    """Run the registry's fig05 grid on the engine.
+
+    The job recipe comes from ``repro.experiments`` — the same
+    (application, metadata size, config name) cells ``python -m repro run
+    fig05`` computes, so the benchmark and the CLI share store entries and
+    cannot drift apart.
+    """
+    jobs = EXPERIMENTS["fig05"].jobs(
+        Scale(accesses=BENCH_ACCESSES, warmup=BENCH_WARMUP))
+    results = iter(SimulationEngine().run(jobs, chunk_align=len(SIZES)))
     energies = {}
     for suite, apps in SUITE_REPRESENTATIVES.items():
+        label = SUITE_LABELS[suite]
+        totals = {size: 0.0 for size in SIZES}
+        for _ in apps:
+            for size in SIZES:
+                totals[size] += next(results).cache_hierarchy_energy_nj
         for size in SIZES:
-            total = 0.0
-            for app in apps:
-                config = SystemConfig.paper_single_core("lp")
-                config.metadata_cache_bytes = size
-                system = SimulatedSystem(config)
-                result = system.run_workload(build_workload(app),
-                                             BENCH_ACCESSES, seed=0,
-                                             warmup_accesses=BENCH_WARMUP)
-                total += result.cache_hierarchy_energy_nj
-            energies[(suite, size)] = total / len(apps)
+            energies[(label, size)] = totals[size] / len(apps)
     return energies
 
 
 def test_figure5_metadata_cache_size_energy(benchmark):
     energies = benchmark.pedantic(_run_size_sweep, rounds=1, iterations=1)
 
+    labels = [SUITE_LABELS[suite] for suite in SUITE_REPRESENTATIVES]
     rows = []
     normalized = {}
-    for suite in SUITE_REPRESENTATIVES:
-        base = energies[(suite, 1024)]
-        values = [energies[(suite, size)] / base for size in SIZES]
-        normalized[suite] = dict(zip(SIZES, values))
-        rows.append([suite] + [round(v, 3) for v in values])
+    for label in labels:
+        base = energies[(label, 1024)]
+        values = [energies[(label, size)] / base for size in SIZES]
+        normalized[label] = dict(zip(SIZES, values))
+        rows.append([label] + [round(v, 3) for v in values])
     geo = [1.0] * len(SIZES)
     for i, size in enumerate(SIZES):
         product = 1.0
-        for suite in SUITE_REPRESENTATIVES:
-            product *= normalized[suite][size]
-        geo[i] = product ** (1.0 / len(SUITE_REPRESENTATIVES))
+        for label in labels:
+            product *= normalized[label][size]
+        geo[i] = product ** (1.0 / len(labels))
     rows.append(["G-mean"] + [round(v, 3) for v in geo])
     table = format_table(["suite", "1KB", "2KB", "4KB", "8KB"], rows,
                          title="Figure 5: energy vs metadata cache size "

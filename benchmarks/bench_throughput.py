@@ -18,6 +18,13 @@ applications x the six compared systems):
 * ``engine_parallel`` — the same jobs fanned out over ``max(2, REPRO_JOBS)``
   worker processes.
 
+The grid is then pushed through a fresh content-addressed results store
+(:mod:`repro.sim.store`) twice: the populate pass persists every job, the
+replay pass must serve all of them from disk.  The store hit/miss counters
+and the replay throughput go into ``BENCH_throughput.json`` next to the raw
+engine numbers, so the persistence layer's overhead and payoff are part of
+the recorded performance trajectory.
+
 Per-system end-to-end throughput is also reported for the baseline and
 ``lp`` systems alone.  The benchmark asserts that parallel execution
 reproduces serial results bit-identically; wall-clock speedups are recorded
@@ -30,10 +37,12 @@ from __future__ import annotations
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 from repro.sim.engine import SimulationEngine, TRACE_CACHE, expand_grid
+from repro.sim.store import ResultStore
 from repro.sim.system import SimulatedSystem
 from repro.sim.config import SystemConfig
 from repro.workloads import HIGHLIGHTED_APPLICATIONS, build_workload
@@ -67,11 +76,35 @@ def _run_legacy_serial():
     return results
 
 
-def _run_engine(jobs: int):
-    engine = SimulationEngine(jobs=jobs)
+def _run_engine(jobs: int, store=False):
+    engine = SimulationEngine(jobs=jobs, store=store)
     return engine.run_grid(list(HIGHLIGHTED_APPLICATIONS), COMPARED_SYSTEMS,
                            num_accesses=BENCH_ACCESSES,
                            warmup_accesses=BENCH_WARMUP, seed=0)
+
+
+def _run_store_passes(store_dir: str):
+    """Populate a fresh store with the grid, then replay it from disk."""
+    populate_store = ResultStore(store_dir)
+    populate, populate_seconds = _timed(
+        lambda: _run_engine(jobs=1, store=populate_store))
+    replay_store = ResultStore(store_dir)
+    replay, replay_seconds = _timed(
+        lambda: _run_engine(jobs=1, store=replay_store))
+    report = {
+        "populate": {
+            "seconds": populate_seconds,
+            "hits": populate_store.hits,
+            "misses": populate_store.misses,
+        },
+        "replay": {
+            "seconds": replay_seconds,
+            "hits": replay_store.hits,
+            "misses": replay_store.misses,
+            "accesses_per_second": _grid_accesses() / replay_seconds,
+        },
+    }
+    return populate, replay, report
 
 
 def _timed(fn):
@@ -116,11 +149,22 @@ def test_throughput(benchmark):
     serial, serial_seconds = _timed(lambda: _run_engine(jobs=1))
     parallel, parallel_seconds = _timed(lambda: _run_engine(PARALLEL_JOBS))
 
+    with tempfile.TemporaryDirectory() as store_dir:
+        store_populate, store_replay, store_report = \
+            _run_store_passes(store_dir)
+
     # The engine's parallel path must reproduce serial results bit-for-bit
     # (and both must agree with the legacy driver, which shares every
-    # simulation ingredient with the engine path).
+    # simulation ingredient with the engine path), and a store replay must
+    # reproduce the simulated grid exactly without simulating anything.
     _assert_identical(serial, parallel)
     _assert_identical(legacy, serial)
+    _assert_identical(serial, store_populate)
+    _assert_identical(serial, store_replay)
+    assert store_report["populate"]["hits"] == 0
+    assert store_report["replay"]["misses"] == 0
+    assert store_report["replay"]["hits"] == \
+        store_report["populate"]["misses"]
 
     baseline_aps = _per_system_throughput("baseline")
     lp_aps = _per_system_throughput("lp")
@@ -159,6 +203,7 @@ def test_throughput(benchmark):
             "baseline": baseline_aps,
             "lp": lp_aps,
         },
+        "store": store_report,
         "speedups": {
             "engine_serial_vs_legacy": legacy_seconds / serial_seconds,
             "engine_parallel_vs_legacy": legacy_seconds / parallel_seconds,
@@ -174,6 +219,9 @@ def test_throughput(benchmark):
                      f"({entry['seconds']:.2f}s)")
     lines.append(f"baseline system   : {baseline_aps:10,.0f}/s")
     lines.append(f"lp system         : {lp_aps:10,.0f}/s")
+    replay = store_report["replay"]
+    lines.append(f"store replay      : {replay['accesses_per_second']:10,.0f}/s "
+                 f"({replay['hits']} hits, {replay['misses']} misses)")
     lines.append("")
     for key, value in report["speedups"].items():
         lines.append(f"{key}: {value:.2f}x")

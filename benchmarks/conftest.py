@@ -14,6 +14,11 @@ be scaled up for higher-fidelity runs:
   the session fixtures fan the (21 application x 6 system) and (mix x
   predictor) grids out over the :class:`repro.sim.SimulationEngine`, whose
   parallel results are bit-identical to serial ones.
+* ``REPRO_STORE`` — optional results-store directory (see
+  :mod:`repro.sim.store`); when set, the session grids read previously
+  computed cells through the store instead of resimulating them, so a
+  repeated benchmark session (or one following ``python -m repro run``
+  over the same grid) performs zero redundant simulations.
 """
 
 from __future__ import annotations
@@ -25,6 +30,9 @@ from typing import Dict, Sequence
 import pytest
 
 from repro.cpu.ooo_core import geometric_mean
+# The Figures 10-12 system list comes from the experiment registry, so the
+# benchmarks and ``python -m repro`` can never drift apart on the grid.
+from repro.experiments import COMPARED_SYSTEMS
 from repro.sim.config import SystemConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.system import SimulationResult
@@ -36,9 +44,6 @@ BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "4000"))
 BENCH_WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "1200"))
 #: Accesses per core for the multi-core mixes.
 BENCH_MIX_ACCESSES = int(os.environ.get("REPRO_BENCH_MIX_ACCESSES", "2500"))
-
-#: The systems compared in Figures 10-12 (baseline is the normalisation point).
-COMPARED_SYSTEMS = ("baseline", "tage-2kb", "tage-8kb", "d2d", "lp", "ideal")
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

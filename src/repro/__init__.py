@@ -10,10 +10,13 @@ The package is organised as:
 * :mod:`repro.cpu` — the out-of-order core timing model.
 * :mod:`repro.energy` — per-access energy accounting.
 * :mod:`repro.workloads` — synthetic traces for every evaluated application.
-* :mod:`repro.sim` — system assembly, single/multi-core drivers, and the
+* :mod:`repro.sim` — system assembly, single/multi-core drivers, the
   batched/parallel :mod:`simulation engine <repro.sim.engine>` (trace cache +
-  ``REPRO_JOBS`` worker fan-out) the drivers run on.
+  ``REPRO_JOBS`` worker fan-out) the drivers run on, and the
+  content-addressed :mod:`results store <repro.sim.store>` it reads through.
 * :mod:`repro.analysis` — Figure-1 classification and report formatting.
+* :mod:`repro.experiments` / :mod:`repro.cli` — the declarative figure/table
+  registry and the ``python -m repro`` CLI that runs it through the store.
 
 Quick start::
 

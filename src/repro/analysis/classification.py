@@ -9,7 +9,7 @@ benefit) or outside (sequential lookup already works).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List, Optional
 
 from ..sim.config import SystemConfig
 from ..sim.stats import MissFilteringRatios, miss_filtering_ratios

@@ -1,0 +1,281 @@
+"""``python -m repro`` — run, inspect and clean experiment grids.
+
+Subcommands
+===========
+
+``run <experiment>... [all]``
+    Execute one or more figure/table grids from the registry in
+    :mod:`repro.experiments`.  Jobs already present in the results store
+    are served from disk — re-running a figure performs **zero**
+    simulations, and an interrupted grid resumes from the jobs it already
+    persisted.  ``--force`` recomputes (and refreshes) every job; ``--jobs``
+    fans simulation out over worker processes (same as ``REPRO_JOBS``).
+    Metrics are written to ``<store>/stats/<experiment>.json``; ``--check``
+    compares them against a committed stats file (``GOLDEN_stats.json`` by
+    default) and fails on any difference.
+
+``status``
+    For every experiment: how many of its jobs the store already holds.
+
+``figures``
+    List the available experiments.
+
+``clean``
+    Delete the store file and the stats directory under the store root.
+
+The store root defaults to ``results/`` (git-ignored) and can be moved with
+``--store`` or the ``REPRO_STORE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from .experiments import EXPERIMENTS, Scale
+from .sim.engine import SimulationEngine
+from .sim.store import REPRO_STORE_ENV, ResultStore, try_job_key
+
+#: Default store directory (relative to the working directory).
+DEFAULT_STORE = "results"
+
+#: Default reference file for ``run golden --check``.
+GOLDEN_STATS_FILENAME = "GOLDEN_stats.json"
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, exact float reprs, no whitespace
+    ambiguity.  Two runs producing equal data produce equal bytes."""
+    return json.dumps(value, sort_keys=True, indent=2) + "\n"
+
+
+# ======================================================================
+# run
+# ======================================================================
+class RunReport:
+    """Outcome of one ``repro run`` experiment (also the test-facing API)."""
+
+    def __init__(self, name: str, total_jobs: int, stored: int,
+                 simulated: int, seconds: float, stats: Dict[str, Any],
+                 stats_path: Path) -> None:
+        self.name = name
+        self.total_jobs = total_jobs
+        self.stored = stored
+        self.simulated = simulated
+        self.seconds = seconds
+        self.stats = stats
+        self.stats_path = stats_path
+
+
+def run_experiment(name: str, store: ResultStore, scale: Scale,
+                   jobs: Optional[int] = None,
+                   force: bool = False) -> RunReport:
+    """Run one experiment through the store and persist its metrics."""
+    experiment = EXPERIMENTS[name]
+    engine = SimulationEngine(jobs=jobs, store=store)
+    job_list = experiment.jobs(scale)
+    hits_before, misses_before = store.hits, store.misses
+    start = time.perf_counter()
+    results = engine.run(job_list, force=force)
+    seconds = time.perf_counter() - start
+    stored = store.hits - hits_before
+    simulated = store.misses - misses_before
+    stats = experiment.summarize(results, scale)
+    stats_path = store.root / "stats" / f"{name}.json"
+    stats_path.parent.mkdir(parents=True, exist_ok=True)
+    stats_path.write_text(canonical_json(stats), encoding="utf-8")
+    return RunReport(name, len(job_list), stored, simulated, seconds,
+                     stats, stats_path)
+
+
+def _check_stats(report: RunReport, reference_path: Path) -> int:
+    """Diff an experiment's metrics against a committed reference file."""
+    if not reference_path.is_file():
+        print(f"repro: check failed: reference file {reference_path} "
+              "does not exist", file=sys.stderr)
+        return 1
+    reference = json.loads(reference_path.read_text(encoding="utf-8"))
+    if reference == report.stats:
+        print(f"  check: {report.name} matches {reference_path}")
+        return 0
+    print(f"repro: check failed: {report.name} stats differ from "
+          f"{reference_path}", file=sys.stderr)
+    _print_diff(reference, report.stats)
+    return 1
+
+
+def _print_diff(reference: Any, computed: Any, path: str = "",
+                limit: Optional[List[int]] = None) -> None:
+    """Print the first few leaf-level differences between two stats trees."""
+    if limit is None:
+        limit = [10]
+    if limit[0] <= 0:
+        return
+    if isinstance(reference, dict) and isinstance(computed, dict):
+        for key in sorted(set(reference) | set(computed)):
+            _print_diff(reference.get(key), computed.get(key),
+                        f"{path}/{key}", limit)
+        return
+    if reference != computed:
+        limit[0] -= 1
+        print(f"  {path}: reference={reference!r} computed={computed!r}",
+              file=sys.stderr)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = _resolve_targets(args.experiments)
+    if names is None:
+        return 2
+    if len(names) > 1:
+        if args.stats_out:
+            print("repro: --stats-out targets a single file; run one "
+                  "experiment at a time with it (per-experiment stats are "
+                  "always written under <store>/stats/)", file=sys.stderr)
+            return 2
+        if args.check is not None:
+            print("repro: --check diffs against a single reference file; "
+                  "run the one experiment it belongs to (e.g. 'run golden "
+                  "--check')", file=sys.stderr)
+            return 2
+    store = ResultStore(args.store)
+    scale = Scale(accesses=args.accesses, warmup=args.warmup,
+                  mix_accesses=args.mix_accesses)
+    exit_code = 0
+    for name in names:
+        report = run_experiment(name, store, scale, jobs=args.jobs,
+                                force=args.force)
+        print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
+              f"store, {report.simulated} simulated "
+              f"({report.seconds:.2f}s) -> {report.stats_path}")
+        if args.check is not None:
+            reference = Path(args.check) if args.check else \
+                Path(GOLDEN_STATS_FILENAME)
+            exit_code |= _check_stats(report, reference)
+        if args.stats_out:
+            out = Path(args.stats_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(canonical_json(report.stats), encoding="utf-8")
+            print(f"  stats written to {out}")
+    return exit_code
+
+
+def _resolve_targets(requested: Sequence[str]) -> Optional[List[str]]:
+    if not requested or "all" in requested:
+        return list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        print(f"repro: unknown experiment(s) {', '.join(unknown)}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return None
+    return list(requested)
+
+
+# ======================================================================
+# status / figures / clean
+# ======================================================================
+def cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    scale = Scale(accesses=args.accesses, warmup=args.warmup,
+                  mix_accesses=args.mix_accesses)
+    print(f"store: {store.path} ({len(store)} stored results)")
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        job_list = experiment.jobs(scale)
+        cached = sum(1 for job in job_list if try_job_key(job) in store)
+        marker = "complete" if cached == len(job_list) else (
+            "partial" if cached else "empty")
+        print(f"  {name:<{width}}  {cached:>4}/{len(job_list):<4} jobs "
+              f"stored  [{marker}]")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    del args
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {experiment.title}")
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    removed = len(store)
+    store.clear()
+    stats_dir = store.root / "stats"
+    if stats_dir.is_dir():
+        for path in sorted(stats_dir.glob("*.json")):
+            path.unlink()
+        try:
+            stats_dir.rmdir()
+        except OSError:
+            pass
+    print(f"removed {removed} stored results under {store.root}")
+    return 0
+
+
+# ======================================================================
+# Entry point
+# ======================================================================
+def _add_store_and_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=os.environ.get(REPRO_STORE_ENV) or DEFAULT_STORE,
+        help="results-store directory (default: $REPRO_STORE or "
+             f"'{DEFAULT_STORE}')")
+    parser.add_argument("--accesses", type=int, default=Scale.accesses,
+                        help="measured accesses per single-core job")
+    parser.add_argument("--warmup", type=int, default=Scale.warmup,
+                        help="warm-up accesses per single-core job")
+    parser.add_argument("--mix-accesses", type=int,
+                        default=Scale.mix_accesses,
+                        help="accesses per core of each multi-core job")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's figure/table grids through the "
+                    "content-addressed results store.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run experiment grids (store-cached, resumable)")
+    run_parser.add_argument("experiments", nargs="*",
+                            help="experiment names (see 'figures'), or 'all'")
+    run_parser.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (default: $REPRO_JOBS)")
+    run_parser.add_argument("--force", action="store_true",
+                            help="recompute jobs even when already stored")
+    run_parser.add_argument("--check", nargs="?", const="", default=None,
+                            metavar="FILE",
+                            help="diff computed stats against FILE "
+                                 f"(default {GOLDEN_STATS_FILENAME}) and "
+                                 "fail on mismatch")
+    run_parser.add_argument("--stats-out", default=None, metavar="FILE",
+                            help="also write the stats JSON to FILE")
+    _add_store_and_scale(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    status_parser = subparsers.add_parser(
+        "status", help="show per-experiment store coverage")
+    _add_store_and_scale(status_parser)
+    status_parser.set_defaults(func=cmd_status)
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="list the available experiments")
+    figures_parser.set_defaults(func=cmd_figures)
+
+    clean_parser = subparsers.add_parser(
+        "clean", help="delete the store file and stats directory")
+    _add_store_and_scale(clean_parser)
+    clean_parser.set_defaults(func=cmd_clean)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

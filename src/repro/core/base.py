@@ -18,9 +18,9 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..memory.block import Level, PREDICTABLE_LEVELS
+from ..memory.block import Level
 
 #: Levels of a degenerate (sequential) prediction, shared on the hot path.
 _SEQUENTIAL_LEVELS = (Level.L2,)

@@ -24,10 +24,10 @@ toward one level (Section V.A, Figure 9).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-from ..memory.block import Level, PREDICTABLE_LEVELS
+from ..memory.block import Level
 
 
 @dataclass

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Sequence, Tuple
+from typing import Deque, Iterable, Sequence
 
 from ..memory.block import AccessResult, MemoryAccess
 

@@ -14,8 +14,7 @@ faithfully.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 #: Default cache block (line) size in bytes, as used throughout the paper.
 DEFAULT_BLOCK_SIZE = 64

@@ -19,7 +19,7 @@ Features modelled, matching Table I of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .block import (
     AccessType,

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
-from .block import CoherenceState, Level
+from .block import CoherenceState
 from .coherence import (
     BusRequest,
     CoherenceDecision,

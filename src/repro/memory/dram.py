@@ -18,8 +18,8 @@ with the core-to-memory frequency ratio (4 GHz core vs 1200 MHz DRAM clock).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 
 @dataclass

@@ -17,7 +17,7 @@ The paper uses MSHRs in two additional ways that this module models:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .block import AccessType

@@ -15,7 +15,7 @@ but more accurate prefetches.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List
+from typing import List
 
 from .base import PrefetchAccess, Prefetcher
 

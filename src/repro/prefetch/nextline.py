@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from .base import PrefetchAccess, Prefetcher, _NO_CANDIDATES
 

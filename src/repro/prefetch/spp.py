@@ -14,7 +14,7 @@ lookahead and a global-history bootstrap for new pages).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .base import PrefetchAccess, Prefetcher

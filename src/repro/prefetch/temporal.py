@@ -19,7 +19,7 @@ These cover the remaining comparison points in Figure 3 of the paper:
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .base import PrefetchAccess, Prefetcher
 

@@ -7,6 +7,13 @@ into picklable jobs, reuses generated traces through a process-local
 processes when the ``REPRO_JOBS`` environment variable (or an explicit
 ``SimulationEngine(jobs=N)``) asks for parallelism.  Serial and parallel
 execution are bit-identical; see the engine module docstring.
+
+Results persist through :mod:`repro.sim.store`, a content-addressed store
+the engine reads through when constructed with one (or when the
+``REPRO_STORE`` environment variable names a store directory): stored jobs
+are served from disk, fresh ones are simulated and persisted.  The
+``python -m repro`` CLI (:mod:`repro.cli`) runs whole figure grids on top
+of it.
 """
 
 from .config import PREDICTOR_NAMES, SystemConfig, table1_description
@@ -20,6 +27,15 @@ from .engine import (
     execute_job,
 )
 from .multicore import MultiCoreResult, MultiCoreSystem, run_mix_comparison
+from .store import (
+    ResultStore,
+    UncacheableJobError,
+    default_store,
+    deserialize_result,
+    job_key,
+    job_spec,
+    serialize_result,
+)
 from .stats import (
     MissFilteringRatios,
     MissTraceWindow,
@@ -43,6 +59,7 @@ __all__ = [
     "MultiCoreResult",
     "MultiCoreSystem",
     "PREDICTOR_NAMES",
+    "ResultStore",
     "SimulatedSystem",
     "SimulationEngine",
     "SimulationJob",
@@ -50,9 +67,15 @@ __all__ = [
     "SystemConfig",
     "TRACE_CACHE",
     "TraceCache",
+    "UncacheableJobError",
     "WindowedMissTracker",
+    "default_store",
+    "deserialize_result",
     "execute_job",
     "expand_grid",
+    "job_key",
+    "job_spec",
+    "serialize_result",
     "build_system",
     "make_llc_prefetcher",
     "make_predictor",

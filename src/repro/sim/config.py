@@ -10,7 +10,7 @@ the sensitivity-study variants of Figure 15.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..cpu.ooo_core import CoreConfig
 from ..memory.cache import CacheConfig

@@ -52,6 +52,7 @@ import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..memory.block import MemoryAccess
@@ -59,6 +60,13 @@ from ..workloads.base import ADDRESS_SPACE_STRIDE, Workload
 from ..workloads.mixes import get_mix
 from ..workloads.suite import build_workload
 from .config import SystemConfig
+from .store import (
+    ResultStore,
+    UncacheableJobError,
+    default_store,
+    job_spec,
+    spec_key,
+)
 
 #: Environment variable controlling the default worker-process count.
 REPRO_JOBS_ENV = "REPRO_JOBS"
@@ -279,10 +287,20 @@ class SimulationEngine:
             bit-identical results (see the module docstring).
         trace_cache: Cache used by the serial path (worker processes always
             use their own process-local :data:`TRACE_CACHE`).
+        store: Content-addressed results store the engine reads through
+            (see :mod:`repro.sim.store`).  ``None`` or ``True`` (the
+            default) consults the ``REPRO_STORE`` environment variable;
+            ``False`` disables the store even when the environment names
+            one; a string/Path opens a
+            :class:`~repro.sim.store.ResultStore` at that directory.  With a store attached, :meth:`run` serves
+            previously computed jobs from disk and persists fresh ones —
+            simulations only happen for jobs the store has never seen.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 trace_cache: Optional[TraceCache] = None) -> None:
+                 trace_cache: Optional[TraceCache] = None,
+                 store: Union[None, bool, str, Path, ResultStore] = None
+                 ) -> None:
         if jobs is None:
             env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
             if env_value:
@@ -297,14 +315,30 @@ class SimulationEngine:
         self.num_workers = max(1, jobs)
         # Explicit None check: an empty TraceCache has len() == 0, is falsy.
         self.trace_cache = TRACE_CACHE if trace_cache is None else trace_cache
+        if store is None or store is True:
+            store = default_store()
+        elif store is False:
+            store = None
+        elif isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
 
     @property
     def parallel(self) -> bool:
         return self.num_workers > 1
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[Job], chunk_align: int = 1) -> List:
+    def run(self, jobs: Sequence[Job], chunk_align: int = 1,
+            force: bool = False) -> List:
         """Execute every job, returning results in job order.
+
+        With a store attached, jobs whose key is already stored are served
+        from disk and only the missing ones are simulated.  Fresh results
+        are persisted as they arrive — still in job order, so the store
+        file is deterministic regardless of worker parallelism, but an
+        interrupted grid keeps everything that finished before the
+        interruption and resumes from there.  ``force=True`` recomputes
+        every job and refreshes its store entry.
 
         Args:
             jobs: Jobs to run.
@@ -312,13 +346,51 @@ class SimulationEngine:
                 (the grid helpers pass the per-workload system count, so one
                 worker's chunk covers whole comparisons and its trace cache
                 serves every system of each workload it is handed).
+            force: Recompute (and re-store) jobs even when already stored.
         """
         jobs = list(jobs)
         if not jobs:
             return []
+        if self.store is None:
+            return list(self._iter_execute(jobs, chunk_align))
+
+        specs: List[Optional[dict]] = []
+        keys: List[Optional[str]] = []
+        for job in jobs:
+            try:
+                spec = job_spec(job)
+            except UncacheableJobError:
+                spec = None
+            specs.append(spec)
+            keys.append(None if spec is None else spec_key(spec))
+        results: List = [None] * len(jobs)
+        missing: List[int] = []
+        for index, key in enumerate(keys):
+            cached = None if force else self.store.get(key)
+            if cached is None:
+                missing.append(index)
+            else:
+                results[index] = cached
+        if missing:
+            if force:
+                self.store.misses += len(missing)
+            fresh = self._iter_execute([jobs[i] for i in missing],
+                                       chunk_align)
+            # Persist each fresh result as it arrives (still in job order),
+            # so an interrupted grid keeps its completed jobs on disk.
+            for index, result in zip(missing, fresh):
+                results[index] = result
+                if keys[index] is not None:
+                    self.store.put(keys[index], specs[index], result)
+        return results
+
+    def _iter_execute(self, jobs: List[Job], chunk_align: int = 1):
+        """Yield results for ``jobs`` in order: serial path or process pool."""
         if self.num_workers <= 1 or len(jobs) == 1:
             cache = self.trace_cache
-            return [execute_job(job, cache) for job in jobs]
+            for job in jobs:
+                yield execute_job(job, cache)
+            return
         workers = min(self.num_workers, len(jobs))
         chunksize = max(1, len(jobs) // (workers * 4))
         if chunk_align > 1:
@@ -333,9 +405,11 @@ class SimulationEngine:
         except OSError:
             pool.shutdown(wait=False)
             cache = self.trace_cache
-            return [execute_job(job, cache) for job in jobs]
+            for job in jobs:
+                yield execute_job(job, cache)
+            return
         with pool:
-            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+            yield from pool.map(execute_job, jobs, chunksize=chunksize)
 
     # ------------------------------------------------------------------
     def run_grid(self, workloads: Sequence[WorkloadSpec],

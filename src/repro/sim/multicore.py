@@ -14,7 +14,7 @@ single-core runs; the figures report the geometric-mean speedup across cores
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.base import PredictionOutcome
@@ -164,7 +164,9 @@ def run_mix_comparison(mix_name: str, accesses_per_core: int,
 
     Runs on the :mod:`repro.sim.engine`: per-core traces are generated once
     through the trace cache instead of once per compared system, and the
-    per-predictor jobs parallelise under ``REPRO_JOBS``.
+    per-predictor jobs parallelise under ``REPRO_JOBS``.  When
+    ``REPRO_STORE`` names a results store, stored (mix, predictor) cells
+    are served from it instead of being resimulated.
     """
     from .engine import MixJob, SimulationEngine
 

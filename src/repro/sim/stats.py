@@ -10,8 +10,8 @@ These helpers compute the two characterisation views of Section II:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from ..memory.block import AccessResult, Level, MemoryAccess
 from ..memory.hierarchy import CoreMemoryHierarchy

@@ -1,0 +1,460 @@
+"""Content-addressed experiment results store.
+
+Every figure in the paper is a grid of deterministic simulations, so a
+(workload spec, system config, predictor, seed, access counts) tuple fully
+determines its :class:`~repro.sim.system.SimulationResult`.  This module
+turns that determinism into persistence:
+
+* :func:`job_spec` — a canonical, JSON-able description of one engine job
+  (:class:`~repro.sim.engine.SimulationJob` or
+  :class:`~repro.sim.engine.MixJob`), including the fully resolved system
+  configuration and, for mixes, the resolved per-core application list;
+* :func:`job_key` — the SHA-256 of that canonical description.  Keys are
+  stable across processes and interpreter runs (no ``hash()``, no ``id()``),
+  so a store written by one run is readable by every later one;
+* :func:`serialize_result` / :func:`deserialize_result` — exact round-trip
+  encoding of simulation results (JSON ``repr`` round-trips floats
+  bit-for-bit, so a deserialized result compares equal to the original);
+* :class:`ResultStore` — JSON-lines persistence (``<root>/store.jsonl``)
+  with an in-memory index, append-on-put writes and hit/miss counters.
+
+Jobs whose workload cannot be fingerprinted deterministically (an ad-hoc
+:class:`~repro.workloads.base.Workload` carrying state the canonicalizer
+does not understand) raise :class:`UncacheableJobError`; the engine runs
+such jobs directly, bypassing the store.
+
+The engine consults a store when given one explicitly or when the
+``REPRO_STORE`` environment variable names a store directory (see
+:func:`default_store`); ``python -m repro`` defaults to ``results/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.base import PredictionOutcome, PredictorStats
+from ..core.recovery import RecoverySummary
+from ..cpu.ooo_core import ExecutionResult
+from ..memory.block import Level
+from ..memory.hierarchy import HierarchyStats
+from ..workloads.base import Workload
+from ..workloads.mixes import get_mix
+from .config import SystemConfig
+from .multicore import MultiCoreResult
+from .system import SimulationResult
+
+#: Environment variable naming the default store directory ("" disables).
+REPRO_STORE_ENV = "REPRO_STORE"
+
+#: Bumped whenever the canonical job spec or result encoding changes shape;
+#: part of every job key, so incompatible stores never serve stale results.
+STORE_SCHEMA = "repro-store/1"
+
+
+class UncacheableJobError(ValueError):
+    """The job's workload cannot be fingerprinted deterministically."""
+
+
+# ======================================================================
+# Canonical job specs and keys
+# ======================================================================
+def _canonical(value: Any) -> Any:
+    """Reduce a config/workload value to deterministic JSON-able data.
+
+    Handles the types the configuration tree is built from: primitives,
+    enums, dataclasses, lists/tuples and string-keyed dicts.  Anything else
+    raises :class:`UncacheableJobError` — silently guessing would risk two
+    different experiments sharing one key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Workload):
+        return {
+            "__workload__": type(value).__name__,
+            "state": {name: _canonical(attr)
+                      for name, attr in sorted(vars(value).items())},
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {f.name: _canonical(getattr(value, f.name))
+                       for f in dataclasses.fields(value)},
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        if not all(isinstance(key, str) for key in value):
+            raise UncacheableJobError(
+                f"cannot fingerprint dict with non-string keys: {value!r}")
+        return {key: _canonical(value[key]) for key in sorted(value)}
+    raise UncacheableJobError(
+        f"cannot fingerprint {type(value).__name__!r} value {value!r}")
+
+
+#: Memoized name-spec fingerprints: the suite registry is immutable within
+#: a process, and grids fingerprint the same ~21 applications per job.
+_NAME_FINGERPRINTS: Dict[str, Any] = {}
+
+
+def _workload_fingerprint(workload: Union[str, Workload]) -> Any:
+    """Hash a workload spec by the full state of its trace generator.
+
+    Name specs are resolved through the suite registry first, so
+    ``"gapbs.pr"`` and ``build_workload("gapbs.pr")`` address the same
+    store entry — and retuning an application's registry parameters
+    automatically invalidates its cached results.
+    """
+    if isinstance(workload, str):
+        fingerprint = _NAME_FINGERPRINTS.get(workload)
+        if fingerprint is None:
+            from ..workloads.suite import build_workload
+            fingerprint = _canonical(build_workload(workload))
+            _NAME_FINGERPRINTS[workload] = fingerprint
+        return fingerprint
+    return _canonical(workload)
+
+
+def job_spec(job: Any) -> Dict[str, Any]:
+    """The canonical description of one engine job.
+
+    The spec captures everything :func:`repro.sim.engine.execute_job` reads:
+    the workload (or resolved mix composition), the predictor, the access
+    counts, the seed and the fully resolved system configuration —
+    ``config=None`` resolves to the same paper default the executor uses, so
+    it hashes identically to an explicitly passed default.
+    """
+    # Imported here to avoid a cycle (engine imports this module's store).
+    from .engine import MixJob, SimulationJob
+
+    if isinstance(job, SimulationJob):
+        config = job.config or SystemConfig.paper_single_core()
+        return {
+            "schema": STORE_SCHEMA,
+            "kind": "single",
+            "workload": _workload_fingerprint(job.workload),
+            "predictor": job.predictor,
+            "num_accesses": job.num_accesses,
+            "warmup_accesses": job.warmup_accesses,
+            "seed": job.seed,
+            "config": _canonical(config),
+        }
+    if isinstance(job, MixJob):
+        config = job.config or SystemConfig.paper_multi_core()
+        mix = get_mix(job.mix)
+        return {
+            "schema": STORE_SCHEMA,
+            "kind": "mix",
+            "mix": job.mix,
+            # Full per-core generator state, not just names: retuning a
+            # registry application must invalidate the mixes containing it
+            # exactly like it invalidates its single-core cells.
+            "applications": [_workload_fingerprint(app)
+                             for app in mix.applications],
+            "multithreaded": mix.multithreaded,
+            "predictor": job.predictor,
+            "accesses_per_core": job.accesses_per_core,
+            "seed": job.seed,
+            "config": _canonical(config),
+        }
+    raise UncacheableJobError(f"unknown job type {type(job).__name__!r}")
+
+
+def spec_key(spec: Dict[str, Any]) -> str:
+    """SHA-256 of an already-built canonical spec (hex)."""
+    payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def job_key(job: Any) -> str:
+    """SHA-256 of the canonical job spec (hex, stable across processes)."""
+    return spec_key(job_spec(job))
+
+
+def try_job_key(job: Any) -> Optional[str]:
+    """:func:`job_key`, or ``None`` for jobs the store cannot address."""
+    try:
+        return job_key(job)
+    except UncacheableJobError:
+        return None
+
+
+# ======================================================================
+# Result serialization (exact round-trip)
+# ======================================================================
+def _execution_to_dict(execution: ExecutionResult) -> Dict[str, Any]:
+    return {
+        "cycles": execution.cycles,
+        "instructions": execution.instructions,
+        "memory_accesses": execution.memory_accesses,
+        "stall_cycles": execution.stall_cycles,
+    }
+
+
+def _execution_from_dict(data: Dict[str, Any]) -> ExecutionResult:
+    return ExecutionResult(**data)
+
+
+def _hierarchy_stats_to_dict(stats: HierarchyStats) -> Dict[str, Any]:
+    return {f.name: getattr(stats, f.name)
+            for f in dataclasses.fields(HierarchyStats)}
+
+
+def _predictor_stats_to_dict(stats: PredictorStats) -> Dict[str, Any]:
+    return {
+        "predictions": stats.predictions,
+        "outcomes": {outcome.name: count
+                     for outcome, count in stats.outcomes.items()},
+        "multi_way_predictions": stats.multi_way_predictions,
+        "pld_predictions": stats.pld_predictions,
+        "pld_mispredictions": stats.pld_mispredictions,
+        "metadata_hits": stats.metadata_hits,
+        "metadata_misses": stats.metadata_misses,
+        "level_histogram": {
+            "+".join(level.name for level in levels): count
+            for levels, count in stats.level_histogram.items()
+        },
+        "updates": stats.updates,
+    }
+
+
+def _predictor_stats_from_dict(data: Dict[str, Any]) -> PredictorStats:
+    stats = PredictorStats()
+    stats.predictions = data["predictions"]
+    stats.outcomes = {outcome: data["outcomes"].get(outcome.name, 0)
+                      for outcome in PredictionOutcome}
+    stats.multi_way_predictions = data["multi_way_predictions"]
+    stats.pld_predictions = data["pld_predictions"]
+    stats.pld_mispredictions = data["pld_mispredictions"]
+    stats.metadata_hits = data["metadata_hits"]
+    stats.metadata_misses = data["metadata_misses"]
+    stats.level_histogram = {
+        tuple(Level[name] for name in key.split("+")): count
+        for key, count in data["level_histogram"].items()
+    }
+    stats.updates = data["updates"]
+    return stats
+
+
+def _recovery_to_dict(recovery: RecoverySummary) -> Dict[str, Any]:
+    return {f.name: getattr(recovery, f.name)
+            for f in dataclasses.fields(RecoverySummary)}
+
+
+def serialize_result(result: Union[SimulationResult, MultiCoreResult]
+                     ) -> Dict[str, Any]:
+    """Encode a simulation result as JSON-able data.
+
+    The encoding is exact: floats survive JSON unchanged (shortest-repr
+    round-trip), so ``deserialize_result(serialize_result(r)) == r``.
+    """
+    if isinstance(result, SimulationResult):
+        return {
+            "kind": "single",
+            "workload": result.workload,
+            "system": result.system,
+            "predictor": result.predictor,
+            "execution": _execution_to_dict(result.execution),
+            "hierarchy_stats": _hierarchy_stats_to_dict(
+                result.hierarchy_stats),
+            "predictor_stats": _predictor_stats_to_dict(
+                result.predictor_stats),
+            "energy_breakdown": dict(result.energy_breakdown),
+            "cache_hierarchy_energy_nj": result.cache_hierarchy_energy_nj,
+            "recovery": _recovery_to_dict(result.recovery),
+            "metadata_miss_ratio": result.metadata_miss_ratio,
+            "pld_misprediction_ratio": result.pld_misprediction_ratio,
+        }
+    if isinstance(result, MultiCoreResult):
+        return {
+            "kind": "mix",
+            "mix": result.mix,
+            "predictor": result.predictor,
+            "per_core_execution": [_execution_to_dict(execution)
+                                   for execution in result.per_core_execution],
+            "per_core_workloads": list(result.per_core_workloads),
+            "accuracy_breakdown": dict(result.accuracy_breakdown),
+            "cache_hierarchy_energy_nj": result.cache_hierarchy_energy_nj,
+            "total_predictions": result.total_predictions,
+            "total_recoveries": result.total_recoveries,
+        }
+    raise TypeError(f"cannot serialize {type(result).__name__!r}")
+
+
+def deserialize_result(data: Dict[str, Any]
+                       ) -> Union[SimulationResult, MultiCoreResult]:
+    """Rebuild the result object encoded by :func:`serialize_result`."""
+    kind = data["kind"]
+    if kind == "single":
+        return SimulationResult(
+            workload=data["workload"],
+            system=data["system"],
+            predictor=data["predictor"],
+            execution=_execution_from_dict(data["execution"]),
+            hierarchy_stats=HierarchyStats(**data["hierarchy_stats"]),
+            predictor_stats=_predictor_stats_from_dict(
+                data["predictor_stats"]),
+            energy_breakdown=dict(data["energy_breakdown"]),
+            cache_hierarchy_energy_nj=data["cache_hierarchy_energy_nj"],
+            recovery=RecoverySummary(**data["recovery"]),
+            metadata_miss_ratio=data["metadata_miss_ratio"],
+            pld_misprediction_ratio=data["pld_misprediction_ratio"],
+        )
+    if kind == "mix":
+        return MultiCoreResult(
+            mix=data["mix"],
+            predictor=data["predictor"],
+            per_core_execution=[_execution_from_dict(execution)
+                                for execution in data["per_core_execution"]],
+            per_core_workloads=list(data["per_core_workloads"]),
+            accuracy_breakdown=dict(data["accuracy_breakdown"]),
+            cache_hierarchy_energy_nj=data["cache_hierarchy_energy_nj"],
+            total_predictions=data["total_predictions"],
+            total_recoveries=data["total_recoveries"],
+        )
+    raise ValueError(f"unknown result kind {kind!r}")
+
+
+# ======================================================================
+# The store
+# ======================================================================
+class ResultStore:
+    """JSON-lines results store under one directory.
+
+    Layout::
+
+        <root>/store.jsonl   one {"key", "spec", "result"} object per line
+        <root>/stats/        per-experiment metric summaries (CLI-written)
+
+    Entries are appended in job order, so two runs over the same job list
+    produce byte-identical store files regardless of worker parallelism —
+    the property the CI determinism job checks.  Re-putting a key appends a
+    new line; the newest line wins on reload (how ``--force`` refreshes
+    results without rewriting history).
+    """
+
+    STORE_FILENAME = "store.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.path = self.root / self.STORE_FILENAME
+        self._index: Dict[str, Dict[str, Any]] = {}
+        # Good prefix to rewrite before the next append when the file ends
+        # in a torn partial line (run killed mid-append).  Repairing lazily
+        # keeps reads (status, --check) strictly read-only.
+        self._pending_repair: Optional[str] = None
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        for line_number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                if all(not rest.strip() for rest in lines[line_number:]):
+                    # A partial trailing line is what a run killed
+                    # mid-append leaves behind; ignore it (losing only the
+                    # interrupted job) and repair the file on next write.
+                    print(f"repro.store: ignoring partial trailing line "
+                          f"{line_number} of {self.path} (interrupted "
+                          f"write; repaired on next write)",
+                          file=sys.stderr)
+                    good = "\n".join(lines[:line_number - 1])
+                    self._pending_repair = good + ("\n" if good else "")
+                    return
+                raise ValueError(
+                    f"{self.path}:{line_number}: corrupt store line "
+                    f"({exc})") from exc
+            self._index[entry["key"]] = entry["result"]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: Optional[str]) -> bool:
+        return key is not None and key in self._index
+
+    def get(self, key: Optional[str]
+            ) -> Optional[Union[SimulationResult, MultiCoreResult]]:
+        """Return the stored result for ``key``, counting hits/misses."""
+        if key is not None:
+            encoded = self._index.get(key)
+            if encoded is not None:
+                self.hits += 1
+                return deserialize_result(encoded)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, spec: Dict[str, Any],
+            result: Union[SimulationResult, MultiCoreResult]) -> None:
+        """Persist one result, appending to the JSON-lines file."""
+        encoded = serialize_result(result)
+        line = json.dumps({"key": key, "spec": spec, "result": encoded},
+                          sort_keys=True, separators=(",", ":"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self._pending_repair is not None:
+            # Drop the torn trailing line left by an interrupted run
+            # before appending, so the new entry starts on a clean line.
+            self.path.write_text(self._pending_repair, encoding="utf-8")
+            self._pending_repair = None
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self._index[key] = encoded
+
+    def keys(self) -> List[str]:
+        return list(self._index)
+
+    def clear(self) -> None:
+        """Delete the persisted store file and reset in-memory state."""
+        if self.path.is_file():
+            self.path.unlink()
+        self._index.clear()
+        self._pending_repair = None
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache of environment-default stores, keyed by resolved
+#: path: drivers construct one SimulationEngine per comparison, and each
+#: engine must not re-read the whole store file.
+_DEFAULT_STORES: Dict[str, ResultStore] = {}
+
+
+def default_store() -> Optional[ResultStore]:
+    """The store named by ``REPRO_STORE``, or ``None`` when unset/empty.
+
+    This is the opt-in hook the drivers and benchmark fixtures read
+    through: exporting ``REPRO_STORE=results`` makes every
+    :class:`~repro.sim.engine.SimulationEngine` (and therefore
+    ``run_predictor_comparison`` / ``run_mix_comparison`` and the figure
+    benchmarks) serve repeated grids from disk instead of recomputing.
+
+    The returned store is memoized per resolved path, so the many engines
+    one benchmark session constructs share a single loaded index instead
+    of re-parsing ``store.jsonl`` each time.
+    """
+    root = os.environ.get(REPRO_STORE_ENV, "").strip()
+    if not root:
+        return None
+    resolved = str(Path(root).resolve())
+    store = _DEFAULT_STORES.get(resolved)
+    if store is None:
+        store = ResultStore(root)
+        _DEFAULT_STORES[resolved] = store
+    return store

@@ -10,7 +10,7 @@ workload trace through the hierarchy and the core model and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.base import LevelPredictor, PredictorStats, SequentialPredictor
@@ -210,7 +210,9 @@ def run_predictor_comparison(workload: Workload, num_accesses: int,
     paper's speedup and energy comparisons are defined.  The work runs on
     the :mod:`repro.sim.engine` — the trace is generated once (not once per
     system) and the jobs fan out over worker processes when ``REPRO_JOBS``
-    asks for them.
+    asks for them.  When ``REPRO_STORE`` names a results store, previously
+    computed (workload, system, seed, accesses) cells are read from it
+    instead of being resimulated (see :mod:`repro.sim.store`).
     """
     from .engine import SimulationEngine, SimulationJob
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 import zlib
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from ..memory.block import AccessType, DEFAULT_BLOCK_SIZE, MemoryAccess

@@ -27,9 +27,9 @@ and 2 of the paper:
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from ..memory.block import DEFAULT_BLOCK_SIZE, MemoryAccess
+from ..memory.block import MemoryAccess
 from .base import Workload, WorkloadProfile, make_access
 
 

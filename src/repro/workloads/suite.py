@@ -14,7 +14,7 @@ signature; DESIGN.md documents this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from .base import Workload, WorkloadProfile
 from .generators import (

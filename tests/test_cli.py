@@ -1,0 +1,171 @@
+"""Tests for the ``python -m repro`` experiment CLI.
+
+Exercises the acceptance path end to end: running a figure grid populates
+the store, re-running it performs zero simulations, ``--force`` recomputes,
+``status``/``figures``/``clean`` behave, and the golden experiment's
+metrics match the committed ``GOLDEN_stats.json`` bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import canonical_json, main, run_experiment
+from repro.experiments import EXPERIMENTS, GOLDEN_SCALE, Scale
+from repro.sim.store import ResultStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: A tiny scale so CLI tests stay fast (the golden grid ignores it anyway).
+TINY = Scale(accesses=120, warmup=40, mix_accesses=80)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_store(monkeypatch):
+    """CLI tests must not pick up an ambient REPRO_STORE."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
+# ======================================================================
+# run
+# ======================================================================
+class TestRun:
+    def test_second_run_does_zero_simulations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_experiment("fig13", store, TINY)
+        assert first.simulated == first.total_jobs > 0
+        assert first.stored == 0
+
+        store = ResultStore(tmp_path)
+        second = run_experiment("fig13", store, TINY)
+        assert second.simulated == 0
+        assert second.stored == second.total_jobs
+        assert second.stats == first.stats
+
+    def test_force_recomputes_every_job(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_experiment("fig13", store, TINY)
+        forced = run_experiment("fig13", store, TINY, force=True)
+        assert forced.simulated == forced.total_jobs
+        assert forced.stats == first.stats
+
+    def test_stats_file_is_written_canonically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = run_experiment("fig13", store, TINY)
+        assert report.stats_path == tmp_path / "stats" / "fig13.json"
+        text = report.stats_path.read_text()
+        assert text == canonical_json(report.stats)
+        assert json.loads(text) == report.stats
+
+    def test_experiments_share_stored_grid_cells(self, tmp_path):
+        """Figures over the same grid cost nothing after the first run."""
+        store = ResultStore(tmp_path)
+        run_experiment("fig13", store, TINY)
+        report = run_experiment("fig14", store, TINY)
+        assert report.simulated == 0
+        assert report.stored == report.total_jobs
+
+    def test_main_run_reports_store_usage(self, tmp_path, capsys):
+        args = ["run", "fig13", "--store", str(tmp_path),
+                "--accesses", "120", "--warmup", "40",
+                "--mix-accesses", "80"]
+        assert main(args) == 0
+        assert "0 from store" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "0 simulated" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_experiment(self, tmp_path, capsys):
+        code = main(["run", "nope", "--store", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_main_rejects_stats_out_with_multiple_experiments(
+            self, tmp_path, capsys):
+        code = main(["run", "fig13", "fig14", "--store", str(tmp_path),
+                     "--stats-out", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "--stats-out" in capsys.readouterr().err
+        assert not (tmp_path / "out.json").exists()
+
+    def test_main_rejects_check_with_multiple_experiments(
+            self, tmp_path, capsys):
+        code = main(["run", "fig13", "golden", "--store", str(tmp_path),
+                     "--check"])
+        assert code == 2
+        assert "--check" in capsys.readouterr().err
+
+
+# ======================================================================
+# golden
+# ======================================================================
+class TestGolden:
+    def test_golden_ignores_cli_scale(self, tmp_path):
+        report = run_experiment("golden", ResultStore(tmp_path), TINY)
+        assert report.stats["scale"] == {
+            "accesses": GOLDEN_SCALE.accesses,
+            "warmup": GOLDEN_SCALE.warmup,
+            "mix_accesses": GOLDEN_SCALE.mix_accesses,
+        }
+
+    def test_golden_matches_committed_stats_bit_for_bit(self, tmp_path):
+        """The committed golden fingerprint is reproducible on this host.
+
+        This is the in-repo half of the CI determinism job: any behavioural
+        change to the simulator, the workload generators or the predictors
+        shows up as a diff against GOLDEN_stats.json and must be committed
+        deliberately (python -m repro run golden --stats-out
+        GOLDEN_stats.json).
+        """
+        committed = json.loads(
+            (REPO_ROOT / "GOLDEN_stats.json").read_text())
+        report = run_experiment("golden", ResultStore(tmp_path), TINY)
+        assert report.stats == committed
+
+    def test_main_check_flag_passes_against_committed_stats(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        code = main(["run", "golden", "--store", str(tmp_path), "--check"])
+        assert code == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_main_check_flag_fails_on_mismatch(self, tmp_path, capsys):
+        reference = tmp_path / "ref.json"
+        reference.write_text('{"schema": "other"}\n')
+        code = main(["run", "golden", "--store", str(tmp_path / "s"),
+                     "--check", str(reference)])
+        assert code == 1
+        assert "differ" in capsys.readouterr().err
+
+
+# ======================================================================
+# status / figures / clean
+# ======================================================================
+class TestInspection:
+    def test_figures_lists_every_experiment(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_status_tracks_store_coverage(self, tmp_path, capsys):
+        args = ["--store", str(tmp_path), "--accesses", "120",
+                "--warmup", "40", "--mix-accesses", "80"]
+        assert main(["status"] + args) == 0
+        assert "complete" not in capsys.readouterr().out
+
+        run_experiment("fig13", ResultStore(tmp_path), TINY)
+        assert main(["status"] + args) == 0
+        out = capsys.readouterr().out
+        assert any("fig13" in line and "complete" in line
+                   for line in out.splitlines())
+
+    def test_clean_removes_store_and_stats(self, tmp_path, capsys):
+        run_experiment("fig13", ResultStore(tmp_path), TINY)
+        assert (tmp_path / "store.jsonl").is_file()
+        assert main(["clean", "--store", str(tmp_path)]) == 0
+        assert not (tmp_path / "store.jsonl").exists()
+        assert not (tmp_path / "stats").exists()
+        assert "removed" in capsys.readouterr().out

@@ -1,0 +1,289 @@
+"""Tests for the content-addressed results store (`repro.sim.store`).
+
+Covers the properties the CI determinism job relies on: job keys stable
+across processes, exact result round-trips, resume after a partially
+persisted grid, and the engine's read-through/force semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import MixJob, SimulationEngine, SimulationJob
+from repro.sim.store import (
+    ResultStore,
+    UncacheableJobError,
+    deserialize_result,
+    job_key,
+    job_spec,
+    serialize_result,
+    try_job_key,
+)
+from repro.workloads import build_workload
+from repro.workloads.base import Workload
+
+SINGLE_JOB = SimulationJob(workload="gapbs.pr", predictor="lp",
+                           num_accesses=200, warmup_accesses=50, seed=0)
+MIX_JOB = MixJob(mix="mix1", predictor="lp", accesses_per_core=120, seed=0)
+
+
+def small_grid(num_accesses: int = 200) -> list:
+    return [SimulationJob(workload=app, predictor=predictor,
+                          num_accesses=num_accesses, warmup_accesses=50,
+                          seed=0)
+            for app in ("gapbs.pr", "gups")
+            for predictor in ("baseline", "lp")]
+
+
+# ======================================================================
+# Job keys
+# ======================================================================
+class TestJobKeys:
+    def test_key_is_deterministic_within_process(self):
+        assert job_key(SINGLE_JOB) == job_key(SINGLE_JOB)
+        assert job_key(MIX_JOB) == job_key(MIX_JOB)
+
+    def test_key_is_stable_across_processes(self):
+        """A fresh interpreter computes the same key (no hash()/id() use)."""
+        script = (
+            "from repro.sim.engine import SimulationJob, MixJob\n"
+            "from repro.sim.store import job_key\n"
+            "print(job_key(SimulationJob(workload='gapbs.pr',"
+            " predictor='lp', num_accesses=200, warmup_accesses=50,"
+            " seed=0)))\n"
+            "print(job_key(MixJob(mix='mix1', predictor='lp',"
+            " accesses_per_core=120, seed=0)))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        output = subprocess.run(
+            [sys.executable, "-c", script], check=True, text=True,
+            capture_output=True, env=env,
+        ).stdout.split()
+        assert output == [job_key(SINGLE_JOB), job_key(MIX_JOB)]
+
+    def test_key_distinguishes_every_spec_dimension(self):
+        base = SINGLE_JOB
+        variants = [
+            SimulationJob(workload="gups", predictor="lp", num_accesses=200,
+                          warmup_accesses=50, seed=0),
+            SimulationJob(workload="gapbs.pr", predictor="d2d",
+                          num_accesses=200, warmup_accesses=50, seed=0),
+            SimulationJob(workload="gapbs.pr", predictor="lp",
+                          num_accesses=300, warmup_accesses=50, seed=0),
+            SimulationJob(workload="gapbs.pr", predictor="lp",
+                          num_accesses=200, warmup_accesses=60, seed=0),
+            SimulationJob(workload="gapbs.pr", predictor="lp",
+                          num_accesses=200, warmup_accesses=50, seed=7),
+            SimulationJob(workload="gapbs.pr", predictor="lp",
+                          num_accesses=200, warmup_accesses=50, seed=0,
+                          config=SystemConfig.paper_multi_core()),
+        ]
+        keys = {job_key(job) for job in variants}
+        assert len(keys) == len(variants)
+        assert job_key(base) not in keys
+
+    def test_default_config_hashes_like_explicit_default(self):
+        explicit = SimulationJob(
+            workload="gapbs.pr", predictor="lp", num_accesses=200,
+            warmup_accesses=50, seed=0,
+            config=SystemConfig.paper_single_core())
+        assert job_key(SINGLE_JOB) == job_key(explicit)
+
+    def test_name_spec_hashes_like_built_workload(self):
+        built = SimulationJob(workload=build_workload("gapbs.pr"),
+                              predictor="lp", num_accesses=200,
+                              warmup_accesses=50, seed=0)
+        assert job_key(SINGLE_JOB) == job_key(built)
+
+    def test_mix_spec_captures_composition(self):
+        spec = job_spec(MIX_JOB)
+        names = [app["state"]["name"] for app in spec["applications"]]
+        assert names == ["gapbs.bfs", "619.lbm", "nas.lu", "bmt"]
+        assert spec["multithreaded"] is False
+        # Per-core entries carry full generator state, so retuning a
+        # registry application invalidates the mixes containing it.
+        assert all(set(app) == {"__workload__", "state"}
+                   for app in spec["applications"])
+
+    def test_uncacheable_workload_is_rejected_not_mishashed(self):
+        class AdHoc(Workload):
+            def __init__(self):
+                super().__init__("ad-hoc")
+                self.generator = lambda: None  # not fingerprintable
+
+            def _accesses(self, rng, base_address, thread_id):
+                raise NotImplementedError
+
+        job = SimulationJob(workload=AdHoc(), predictor="lp",
+                            num_accesses=10)
+        with pytest.raises(UncacheableJobError):
+            job_key(job)
+        assert try_job_key(job) is None
+
+
+# ======================================================================
+# Result serialization
+# ======================================================================
+class TestRoundTrip:
+    def test_single_core_result_roundtrips_exactly(self):
+        result = SimulationEngine(jobs=1, store=False).run([SINGLE_JOB])[0]
+        encoded = json.loads(json.dumps(serialize_result(result)))
+        assert deserialize_result(encoded) == result
+
+    def test_mix_result_roundtrips_exactly(self):
+        result = SimulationEngine(jobs=1, store=False).run([MIX_JOB])[0]
+        encoded = json.loads(json.dumps(serialize_result(result)))
+        assert deserialize_result(encoded) == result
+
+
+# ======================================================================
+# Store persistence and engine read-through
+# ======================================================================
+class TestResultStore:
+    def test_store_round_trip_across_instances(self, tmp_path):
+        result = SimulationEngine(jobs=1, store=False).run([SINGLE_JOB])[0]
+        store = ResultStore(tmp_path)
+        key = job_key(SINGLE_JOB)
+        store.put(key, job_spec(SINGLE_JOB), result)
+        assert key in store
+
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.get(key) == result
+        assert reloaded.hits == 1 and reloaded.misses == 0
+
+    def test_engine_serves_second_run_entirely_from_store(self, tmp_path):
+        jobs = small_grid()
+        store = ResultStore(tmp_path)
+        first = SimulationEngine(jobs=1, store=store).run(jobs)
+        assert store.misses == len(jobs) and store.hits == 0
+
+        store = ResultStore(tmp_path)
+        second = SimulationEngine(jobs=1, store=store).run(jobs)
+        assert store.hits == len(jobs) and store.misses == 0
+        assert second == first
+
+    def test_interrupted_grid_keeps_completed_jobs(self, tmp_path):
+        """Results are persisted as they finish, not after the whole grid."""
+        jobs = small_grid()[:2] + [
+            SimulationJob(workload="gapbs.pr", predictor="bogus",
+                          num_accesses=50)]
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="unknown predictor"):
+            SimulationEngine(jobs=1, store=store).run(jobs)
+        assert len(ResultStore(tmp_path)) == 2
+
+        store = ResultStore(tmp_path)
+        SimulationEngine(jobs=1, store=store).run(small_grid())
+        assert store.hits == 2
+
+    def test_store_true_opts_into_environment_default(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        engine = SimulationEngine(jobs=1, store=True)
+        assert engine.store is not None
+        monkeypatch.delenv("REPRO_STORE")
+        assert SimulationEngine(jobs=1, store=True).store is None
+
+    def test_partial_grid_resumes_from_stored_jobs(self, tmp_path):
+        jobs = small_grid()
+        store = ResultStore(tmp_path)
+        SimulationEngine(jobs=1, store=store).run(jobs[:2])
+
+        store = ResultStore(tmp_path)
+        results = SimulationEngine(jobs=1, store=store).run(jobs)
+        assert store.hits == 2 and store.misses == len(jobs) - 2
+        assert results == SimulationEngine(jobs=1, store=False).run(jobs)
+
+    def test_force_recomputes_and_refreshes_entries(self, tmp_path):
+        jobs = small_grid()
+        store = ResultStore(tmp_path)
+        first = SimulationEngine(jobs=1, store=store).run(jobs)
+
+        store = ResultStore(tmp_path)
+        forced = SimulationEngine(jobs=1, store=store).run(jobs, force=True)
+        assert store.hits == 0 and store.misses == len(jobs)
+        assert forced == first
+        # Forced entries are appended; newest wins on reload.
+        assert len(ResultStore(tmp_path)) == len(jobs)
+        lines = (tmp_path / "store.jsonl").read_text().splitlines()
+        assert len(lines) == 2 * len(jobs)
+
+    def test_uncacheable_jobs_bypass_the_store(self, tmp_path):
+        workload = build_workload("gups")
+        workload.marker = lambda: None  # make it unfingerprintable
+        job = SimulationJob(workload=workload, predictor="lp",
+                            num_accesses=100)
+        store = ResultStore(tmp_path)
+        results = SimulationEngine(jobs=1, store=store).run([job])
+        assert results[0].workload == "gups"
+        assert len(store) == 0
+
+    def test_store_file_is_deterministic_across_runs(self, tmp_path):
+        jobs = small_grid()
+        SimulationEngine(jobs=1, store=tmp_path / "a").run(jobs)
+        SimulationEngine(jobs=1, store=tmp_path / "b").run(jobs)
+        assert (tmp_path / "a" / "store.jsonl").read_bytes() == \
+            (tmp_path / "b" / "store.jsonl").read_bytes()
+
+    def test_partial_trailing_line_is_tolerated_then_repaired(
+            self, tmp_path, capsys):
+        """A run killed mid-append must not brick the store."""
+        result = SimulationEngine(jobs=1, store=False).run([SINGLE_JOB])[0]
+        store = ResultStore(tmp_path)
+        store.put(job_key(SINGLE_JOB), job_spec(SINGLE_JOB), result)
+        with store.path.open("a") as handle:
+            handle.write('{"key": "trunc')  # interrupted append
+
+        recovered = ResultStore(tmp_path)
+        assert len(recovered) == 1
+        assert recovered.get(job_key(SINGLE_JOB)) == result
+        assert "partial trailing line" in capsys.readouterr().err
+        # Loading is strictly read-only: the torn tail is still on disk.
+        assert recovered.path.read_text().endswith('{"key": "trunc')
+
+        # The next write repairs the tail before appending.
+        recovered.put("other-key", {"spec": 0}, result)
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 2
+        assert capsys.readouterr().err == ""
+
+    def test_default_store_is_memoized_per_path(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "memo"))
+        first = SimulationEngine(jobs=1).store
+        second = SimulationEngine(jobs=1).store
+        assert first is second and first is not None
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('not json\n{"key": "abc", "result": {}}\n')
+        with pytest.raises(ValueError, match="corrupt store line"):
+            ResultStore(tmp_path)
+
+    def test_clear_removes_persisted_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SimulationEngine(jobs=1, store=store).run([SINGLE_JOB])
+        assert store.path.is_file()
+        store.clear()
+        assert not store.path.is_file()
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_env_default_store_wires_drivers_through(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        engine = SimulationEngine(jobs=1)
+        assert engine.store is not None
+        engine.run([SINGLE_JOB])
+        assert (tmp_path / "env-store" / "store.jsonl").is_file()
+
+        monkeypatch.setenv("REPRO_STORE", "")
+        assert SimulationEngine(jobs=1).store is None
