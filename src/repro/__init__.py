@@ -9,6 +9,9 @@ The package is organised as:
 * :mod:`repro.prefetch` — the baseline prefetch scheme and the Figure-3 sweep.
 * :mod:`repro.cpu` — the out-of-order core timing model.
 * :mod:`repro.energy` — per-access energy accounting.
+* :mod:`repro.trace` — the columnar, numpy-backed trace substrate
+  (:class:`~repro.trace.TraceBuffer`) every layer above generates into,
+  replays from, and persists as ``.npz`` trace-cache files.
 * :mod:`repro.workloads` — synthetic traces for every evaluated application.
 * :mod:`repro.sim` — system assembly, single/multi-core drivers, the
   batched/parallel :mod:`simulation engine <repro.sim.engine>` (trace cache +
@@ -57,6 +60,7 @@ from .sim import (
     build_system,
     run_predictor_comparison,
 )
+from .trace import TraceBuffer
 from .workloads import HIGHLIGHTED_APPLICATIONS, build_workload
 
 __version__ = "1.0.0"
@@ -81,6 +85,7 @@ __all__ = [
     "SimulationJob",
     "SimulationResult",
     "SystemConfig",
+    "TraceBuffer",
     "TraceCache",
     "TAGELevelPredictor",
     "build_system",

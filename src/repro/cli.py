@@ -14,6 +14,16 @@ Subcommands
     compares them against a committed stats file (``GOLDEN_stats.json`` by
     default) and fails on any difference.
 
+    Trace generation reads through the on-disk trace cache: buffers spill
+    to ``<store>/traces/*.npz`` (override with ``--trace-dir`` or the
+    ``REPRO_TRACE_DIR`` environment variable; ``--trace-dir ''`` disables),
+    so a warm run loads packed columns instead of regenerating streams.
+
+``trace <workload>``
+    Inspect a registered workload's generated trace: footprint, unique
+    blocks/pages, read/write mix and the packed buffer size.  ``--save``
+    writes the buffer to an ``.npz`` file.
+
 ``status``
     For every experiment: how many of its jobs the store already holds.
 
@@ -37,9 +47,16 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
+from contextlib import contextmanager
+
 from .experiments import EXPERIMENTS, Scale
 from .sim.engine import SimulationEngine
-from .sim.store import REPRO_STORE_ENV, ResultStore, try_job_key
+from .sim.store import (
+    REPRO_STORE_ENV,
+    REPRO_TRACE_DIR_ENV,
+    ResultStore,
+    try_job_key,
+)
 
 #: Default store directory (relative to the working directory).
 DEFAULT_STORE = "results"
@@ -127,6 +144,32 @@ def _print_diff(reference: Any, computed: Any, path: str = "",
               file=sys.stderr)
 
 
+@contextmanager
+def _trace_dir_env(args: argparse.Namespace):
+    """Export the effective trace-cache directory for the run's duration.
+
+    The directory must travel through the environment (not an engine
+    argument) so ``REPRO_JOBS`` worker processes — whose process-local
+    trace caches resolve ``REPRO_TRACE_DIR`` lazily — spill to and load
+    from the same cache as the parent.  Restored afterwards so in-process
+    callers (tests) see no lasting environment mutation.
+    """
+    previous = os.environ.get(REPRO_TRACE_DIR_ENV)
+    trace_dir = args.trace_dir
+    if trace_dir is None:
+        # An ambient REPRO_TRACE_DIR wins over the <store>/traces default.
+        trace_dir = previous if previous is not None \
+            else str(Path(args.store) / "traces")
+    os.environ[REPRO_TRACE_DIR_ENV] = trace_dir
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[REPRO_TRACE_DIR_ENV]
+        else:
+            os.environ[REPRO_TRACE_DIR_ENV] = previous
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_targets(args.experiments)
     if names is None:
@@ -146,21 +189,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     scale = Scale(accesses=args.accesses, warmup=args.warmup,
                   mix_accesses=args.mix_accesses)
     exit_code = 0
-    for name in names:
-        report = run_experiment(name, store, scale, jobs=args.jobs,
-                                force=args.force)
-        print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
-              f"store, {report.simulated} simulated "
-              f"({report.seconds:.2f}s) -> {report.stats_path}")
-        if args.check is not None:
-            reference = Path(args.check) if args.check else \
-                Path(GOLDEN_STATS_FILENAME)
-            exit_code |= _check_stats(report, reference)
-        if args.stats_out:
-            out = Path(args.stats_out)
-            out.parent.mkdir(parents=True, exist_ok=True)
-            out.write_text(canonical_json(report.stats), encoding="utf-8")
-            print(f"  stats written to {out}")
+    with _trace_dir_env(args):
+        for name in names:
+            report = run_experiment(name, store, scale, jobs=args.jobs,
+                                    force=args.force)
+            print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
+                  f"store, {report.simulated} simulated "
+                  f"({report.seconds:.2f}s) -> {report.stats_path}")
+            if args.check is not None:
+                reference = Path(args.check) if args.check else \
+                    Path(GOLDEN_STATS_FILENAME)
+                exit_code |= _check_stats(report, reference)
+            if args.stats_out:
+                out = Path(args.stats_out)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(canonical_json(report.stats), encoding="utf-8")
+                print(f"  stats written to {out}")
     return exit_code
 
 
@@ -173,6 +217,44 @@ def _resolve_targets(requested: Sequence[str]) -> Optional[List[str]]:
               f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return None
     return list(requested)
+
+
+# ======================================================================
+# trace
+# ======================================================================
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect one registered workload's generated trace buffer."""
+    from .workloads import APPLICATIONS, build_workload
+
+    name = args.workload
+    if name not in APPLICATIONS:
+        print(f"repro: unknown workload {name!r}; known: "
+              f"{', '.join(sorted(APPLICATIONS))}", file=sys.stderr)
+        return 2
+    workload = build_workload(name)
+    start = time.perf_counter()
+    buffer = workload.generate_buffer(args.accesses, seed=args.seed)
+    seconds = time.perf_counter() - start
+    summary = buffer.summary()
+    spec = APPLICATIONS[name]
+    print(f"{name}  ({spec.suite}, expected benefit: "
+          f"{spec.expected_benefit})")
+    print(f"  accesses          : {summary['accesses']:>12,}  "
+          f"(generated in {seconds:.2f}s)")
+    print(f"  loads / stores    : {summary['loads']:>12,}  / "
+          f"{summary['stores']:,}  "
+          f"(store fraction {summary['store_fraction']:.3f})")
+    print(f"  dependent loads   : {summary['dependent_fraction']:>12.3f}  "
+          "(fraction serialised by pointer chasing)")
+    print(f"  unique blocks     : {summary['unique_blocks']:>12,}")
+    print(f"  unique pages      : {summary['unique_pages']:>12,}")
+    print(f"  footprint         : {summary['footprint_bytes']:>12,} bytes")
+    print(f"  buffer size       : {summary['buffer_bytes']:>12,} bytes  "
+          f"({summary['buffer_bytes'] / summary['accesses']:.1f} B/access)")
+    if args.save:
+        path = buffer.save(args.save)
+        print(f"  buffer written to : {path}")
+    return 0
 
 
 # ======================================================================
@@ -257,8 +339,25 @@ def build_parser() -> argparse.ArgumentParser:
                                  "fail on mismatch")
     run_parser.add_argument("--stats-out", default=None, metavar="FILE",
                             help="also write the stats JSON to FILE")
+    run_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="on-disk trace cache directory (default: $REPRO_TRACE_DIR or "
+             "<store>/traces; '' disables trace spilling)")
     _add_store_and_scale(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a registered workload's trace buffer")
+    trace_parser.add_argument("workload",
+                              help="registered application name "
+                                   "(e.g. 'gapbs.pr', 'stream')")
+    trace_parser.add_argument("--accesses", type=int, default=100_000,
+                              help="number of accesses to generate")
+    trace_parser.add_argument("--seed", type=int, default=0,
+                              help="trace RNG seed")
+    trace_parser.add_argument("--save", default=None, metavar="FILE",
+                              help="also write the buffer to FILE (.npz)")
+    trace_parser.set_defaults(func=cmd_trace)
 
     status_parser = subparsers.add_parser(
         "status", help="show per-experiment store coverage")

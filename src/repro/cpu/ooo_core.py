@@ -25,9 +25,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, Sequence
+from typing import Deque, Iterable, Sequence, Union
 
 from ..memory.block import AccessResult, MemoryAccess
+from ..trace import TraceBuffer
 
 
 @dataclass
@@ -107,17 +108,31 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------
-    def execute(self, accesses: Sequence[MemoryAccess],
+    def execute(self, accesses: Union[Sequence[MemoryAccess], TraceBuffer],
                 results: Sequence[AccessResult]) -> ExecutionResult:
-        """Time a trace given the hierarchy's per-access latencies."""
+        """Time a trace given the hierarchy's per-access latencies.
+
+        ``accesses`` may be a legacy record sequence or a columnar
+        :class:`~repro.trace.TraceBuffer`; the timing loop only consumes the
+        two per-access fields the core model needs (non-memory instruction
+        count and the pointer-dependence flag), which buffers deliver as
+        plain columns without materialising record objects.
+        """
         if len(accesses) != len(results):
             raise ValueError("accesses and results must have the same length")
-        if not accesses:
+        if not len(accesses):
             return ExecutionResult(cycles=0.0, instructions=0,
                                    memory_accesses=0, stall_cycles=0.0)
 
+        if isinstance(accesses, TraceBuffer):
+            non_memory = accesses.non_memory.tolist()
+            dependent = accesses.dependent.tolist()
+        else:
+            non_memory = [a.non_memory_instructions for a in accesses]
+            dependent = [a.depends_on_previous for a in accesses]
+
         cfg = self.config
-        total_non_memory = sum(a.non_memory_instructions for a in accesses)
+        total_non_memory = sum(non_memory)
         instructions = total_non_memory + len(accesses)
         average_per_access = instructions / len(accesses)
         window = self.mlp_limit(average_per_access)
@@ -133,17 +148,17 @@ class OutOfOrderCore:
         popleft = outstanding.popleft
         push = outstanding.append
 
-        for access, result in zip(accesses, results):
+        for non_mem, depends, result in zip(non_memory, dependent, results):
             # Front-end: the non-memory instructions ahead of this access plus
             # the memory instruction itself, fetched at the commit width.
-            front_end = (access.non_memory_instructions + 1) / fetch_width
+            front_end = (non_mem + 1) / fetch_width
             if front_end < min_cycles:
                 front_end = min_cycles
             issue_cycle = current_cycle + front_end
             ideal_cycles += front_end
 
             # Dependence: pointer-chasing loads wait for the producing load.
-            if access.depends_on_previous and last_completion > issue_cycle:
+            if depends and last_completion > issue_cycle:
                 issue_cycle = last_completion
 
             # Window limit: retire the oldest in-flight loads that finished;

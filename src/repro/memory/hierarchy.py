@@ -256,7 +256,8 @@ class CoreMemoryHierarchy:
     __slots__ = (
         "config", "shared", "predictor", "l1", "l2", "tlb",
         "l1_prefetcher", "l2_prefetcher", "interconnect", "energy", "stats",
-        "core_id", "_block_size", "_block_mask",
+        "core_id", "_block_size", "_block_mask", "_page_shift",
+        "_l1_page_size",
         "_l1_hit_latency", "_l1_miss_detect", "_l2_hit_latency",
         "_l2_miss_detect", "_l3_hit_latency", "_l3_tag_latency",
         "_port_penalty", "_memory_speculative", "_ideal_miss_latency",
@@ -302,6 +303,10 @@ class CoreMemoryHierarchy:
         # access() performs no repeated config/dataclass attribute chains.
         bs = self._block_size
         self._block_mask = ~(bs - 1) if (bs & (bs - 1)) == 0 else None
+        # Page decomposition parameters of the first-level TLB, so access()
+        # and the columnar replay path compute identical page numbers.
+        self._l1_page_size = self.tlb.l1.config.page_size
+        self._page_shift = self.tlb.l1._page_shift
         cfg = self.config
         self._l1_hit_latency = float(cfg.l1.hit_latency)
         self._l1_miss_detect = float(cfg.l1.miss_detect_latency)
@@ -355,10 +360,37 @@ class CoreMemoryHierarchy:
     # Public API
     # ==================================================================
     def access(self, access: MemoryAccess) -> AccessResult:
-        """Service one demand memory access and return its outcome."""
+        """Service one demand memory access and return its outcome.
+
+        Thin wrapper that decomposes the record into the scalar values the
+        service path consumes; the columnar replay path
+        (:meth:`run_buffer`) skips this entirely because its block/page
+        decompositions were computed vectorised, whole-trace at a time.
+        """
         atype = access.access_type
         if atype is not _LOAD and atype is not _STORE:
             raise ValueError("access() only services demand loads and stores")
+        address = access.address
+        mask = self._block_mask
+        block = (address & mask) if mask is not None \
+            else block_address(address, self._block_size)
+        shift = self._page_shift
+        page = (address >> shift) if shift >= 0 \
+            else address // self._l1_page_size
+        return self.access_decomposed(address, block, page, atype, access.pc)
+
+    def access_decomposed(self, address: int, block: int, page: int,
+                          atype: AccessType, pc: int) -> AccessResult:
+        """Service one demand access from its pre-decomposed components.
+
+        Args:
+            address: Full byte address.
+            block: Block-aligned address (``address`` masked to the line).
+            page: Page number under the first-level TLB's page size.
+            atype: ``AccessType.LOAD`` or ``AccessType.STORE`` (not checked
+                here — :meth:`access` and the buffer replay validate).
+            pc: Program counter of the issuing instruction.
+        """
         stats = self.stats
         stats.demand_accesses += 1
         if atype is _LOAD:
@@ -366,11 +398,7 @@ class CoreMemoryHierarchy:
         else:
             stats.stores += 1
 
-        address = access.address
-        mask = self._block_mask
-        block = (address & mask) if mask is not None \
-            else block_address(address, self._block_size)
-        translation_latency = self.tlb.translate_latency(address)
+        translation_latency = self.tlb.translate_latency_page(page, address)
 
         # ------------------------------------------------------------------
         # L1 lookup (the level predictor never targets L1).
@@ -378,7 +406,7 @@ class CoreMemoryHierarchy:
         l1 = self.l1
         l1_hit, l1_was_prefetched = l1.access_block(block, atype)
         self.energy.charge("hierarchy", self._tlb_l1_nj)
-        self._train_l1_prefetcher(access, l1_hit)
+        self._train_l1_prefetcher(address, pc, atype is _LOAD, l1_hit)
 
         # Inlined _note_inflight (once per access, both branches).
         inflight = self._inflight_misses
@@ -421,17 +449,17 @@ class CoreMemoryHierarchy:
             # holds the block with no predictor latency and no wasted lookups.
             prediction = _IDEAL_PREDICTIONS[actual]
         else:
-            prediction = predictor.predict(block, access.pc)
+            prediction = predictor.predict(block, pc)
             latency += predictor.prediction_latency
             self.energy.charge_predictor(
                 predictor.energy_per_prediction_nj())
         stats.predictions += 1
 
-        outcome = predictor.train(block, access.pc, prediction, actual)
+        outcome = predictor.train(block, pc, prediction, actual)
         predictor.on_hit(actual)
 
         path_latency, looked_up, recovered = self._timed_path(
-            prediction, actual, access, remote_core, block)
+            prediction, actual, address, pc, atype, remote_core, block)
         latency += path_latency
         if recovered:
             stats.recoveries += 1
@@ -445,7 +473,7 @@ class CoreMemoryHierarchy:
                 stats.remote_cache_hits += 1
         else:
             stats.memory_accesses += 1
-        self._fill_on_response(block, access, actual)
+        self._fill_on_response(block, atype, actual)
         l1.mshrs.release(block)
 
         stats.total_demand_latency += latency
@@ -461,9 +489,32 @@ class CoreMemoryHierarchy:
         )
 
     def run_trace(self, accesses) -> List[AccessResult]:
-        """Convenience helper: service an iterable of accesses."""
+        """Convenience helper: service a trace buffer or access iterable."""
+        from ..trace import TraceBuffer
+
+        if isinstance(accesses, TraceBuffer):
+            return self.run_buffer(accesses)
         service = self.access
         return [service(access) for access in accesses]
+
+    def run_buffer(self, buffer) -> List[AccessResult]:
+        """Service a whole columnar trace buffer (the engine's replay path).
+
+        The buffer's vectorised block/page columns feed
+        :meth:`access_decomposed` directly, so no per-access masking,
+        shifting or record unpacking happens inside the loop.  Results are
+        identical to calling :meth:`access` on the equivalent record list.
+        """
+        addresses, blocks, pages, is_store, pcs = buffer.replay_columns(
+            self._block_size, self._l1_page_size)
+        service = self.access_decomposed
+        load = _LOAD
+        store = _STORE
+        return [
+            service(address, block, page, store if stored else load, pc)
+            for address, block, page, stored, pc in zip(
+                addresses, blocks, pages, is_store, pcs)
+        ]
 
     # ==================================================================
     # Location and classification helpers
@@ -499,7 +550,9 @@ class CoreMemoryHierarchy:
         self,
         prediction: Prediction,
         actual: Level,
-        access: MemoryAccess,
+        address: int,
+        pc: int,
+        atype: AccessType,
         remote_core: Optional[int],
         block: int,
     ) -> Tuple[float, Tuple[Level, ...], bool]:
@@ -513,7 +566,7 @@ class CoreMemoryHierarchy:
         probe_l3 = Level.L3 in levels
         probe_mem = Level.MEM in levels
         charge = self.energy.charge
-        atype = access.access_type
+        is_load = atype is _LOAD
 
         # Port-pressure penalty when more than one on-chip cache is probed in
         # parallel (multi-way predictions, Section V.A / V.C).
@@ -542,7 +595,7 @@ class CoreMemoryHierarchy:
             if actual is Level.L2:
                 latency += self._l2_hit_latency + port_penalty
                 charge("hierarchy", hierarchy_nj)
-                self._train_l2_prefetcher(access, hit=True)
+                self._train_l2_prefetcher(address, pc, is_load, hit=True)
                 l2_mshrs.release(block)
                 return latency, _PATH_L2, False
             if not (probe_l3 or probe_mem):
@@ -552,9 +605,9 @@ class CoreMemoryHierarchy:
             if actual is Level.L2:
                 # Harmful misprediction: L2 held the block but was bypassed.
                 charge("hierarchy", hierarchy_nj)
-                latency += self._recover_to_l2(access, block)
+                latency += self._recover_to_l2(atype, block)
                 latency += port_penalty
-                self._train_l2_prefetcher(access, hit=True)
+                self._train_l2_prefetcher(address, pc, is_load, hit=True)
                 l2_mshrs.release(block)
                 return latency, _PATH_RECOVERY, True
 
@@ -578,7 +631,7 @@ class CoreMemoryHierarchy:
                 self.stats.cancelled_dram_launches += 1
             latency += llc_latency + port_penalty
             charge("hierarchy", hierarchy_nj)
-            self._train_llc_prefetcher(access, hit=True)
+            self._train_llc_prefetcher(address, pc, is_load, hit=True)
             l2_mshrs.release(block)
             return latency, (_PATH_L2_L3 if probe_l2 else _PATH_L3), False
 
@@ -586,8 +639,8 @@ class CoreMemoryHierarchy:
         self.shared.l3.access_block(block, atype)
         hierarchy_nj += self._l3_tag_nj
         charge("hierarchy", hierarchy_nj)
-        self._train_llc_prefetcher(access, hit=False)
-        dram_latency = self.shared.dram.access(access.address)
+        self._train_llc_prefetcher(address, pc, is_load, hit=False)
+        dram_latency = self.shared.dram.access(address)
         charge("dram", self._dram_nj)
         interconnect.transfers += 1
         hop_to_memory = self._ic_llc_mem
@@ -605,7 +658,7 @@ class CoreMemoryHierarchy:
         l2_mshrs.release(block)
         return latency, (_PATH_L2_L3_MEM if probe_l2 else _PATH_L3_MEM), False
 
-    def _recover_to_l2(self, access: MemoryAccess, block: int) -> float:
+    def _recover_to_l2(self, atype: AccessType, block: int) -> float:
         """Misprediction recovery: directory re-issues the request to L2."""
         charge = self.energy.charge
         latency = self.interconnect.l2_to_llc_latency()
@@ -618,7 +671,7 @@ class CoreMemoryHierarchy:
         # Recovery transaction back to L2, then the L2 access itself.
         latency += self.interconnect.recovery_latency()
         self.energy.charge_recovery(self._bus_nj + self._directory_nj)
-        self.l2.access_block(block, access.access_type)
+        self.l2.access_block(block, atype)
         charge("hierarchy", self._l2_nj)
         latency += self._l2_hit_latency
         # Deallocate MSHR entries allocated past the actual level.
@@ -628,10 +681,9 @@ class CoreMemoryHierarchy:
     # ==================================================================
     # Data movement (fills, evictions, writebacks)
     # ==================================================================
-    def _fill_on_response(self, block: int, access: MemoryAccess,
+    def _fill_on_response(self, block: int, atype: AccessType,
                           actual: Level) -> None:
         """Move the block up the hierarchy after the response returns."""
-        atype = access.access_type
         dirty = atype is AccessType.STORE
         state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
         predictor = self.predictor
@@ -704,39 +756,42 @@ class CoreMemoryHierarchy:
     # ==================================================================
     # Prefetching
     # ==================================================================
-    def _observe_record(self, access: MemoryAccess,
+    def _observe_record(self, address: int, pc: int, is_load: bool,
                         hit: bool) -> PrefetchAccess:
         """Fill the shared PrefetchAccess record for one observation."""
         record = self._pf_access
-        record.address = access.address
-        record.pc = access.pc
+        record.address = address
+        record.pc = pc
         record.hit = hit
-        record.is_load = access.access_type is _LOAD
+        record.is_load = is_load
         return record
 
-    def _train_l1_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+    def _train_l1_prefetcher(self, address: int, pc: int, is_load: bool,
+                             hit: bool) -> None:
         candidates = self.l1_prefetcher.observe(
-            self._observe_record(access, hit))
-        for address in candidates:
-            self._issue_prefetch(address, _L1)
+            self._observe_record(address, pc, is_load, hit))
+        for candidate in candidates:
+            self._issue_prefetch(candidate, _L1)
 
-    def _train_l2_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+    def _train_l2_prefetcher(self, address: int, pc: int, is_load: bool,
+                             hit: bool) -> None:
         candidates = self.l2_prefetcher.observe(
-            self._observe_record(access, hit))
-        for address in candidates:
-            self._issue_prefetch(address, _L2)
+            self._observe_record(address, pc, is_load, hit))
+        for candidate in candidates:
+            self._issue_prefetch(candidate, _L2)
 
-    def _train_llc_prefetcher(self, access: MemoryAccess, hit: bool) -> None:
+    def _train_llc_prefetcher(self, address: int, pc: int, is_load: bool,
+                              hit: bool) -> None:
         # The L2 prefetcher trains on L1 misses (accesses that reach L2) and
         # the LLC prefetcher on L2 misses; an access that gets here missed L2.
-        record = self._observe_record(access, False)
+        record = self._observe_record(address, pc, is_load, False)
         candidates = self.l2_prefetcher.observe(record)
-        for address in candidates:
-            self._issue_prefetch(address, _L2)
-        record = self._observe_record(access, hit)
+        for candidate in candidates:
+            self._issue_prefetch(candidate, _L2)
+        record = self._observe_record(address, pc, is_load, hit)
         candidates = self.shared.llc_prefetcher.observe(record)
-        for address in candidates:
-            self._issue_prefetch(address, _L3)
+        for candidate in candidates:
+            self._issue_prefetch(candidate, _L3)
 
     def _issue_prefetch(self, address: int, level: Level) -> None:
         """Install a prefetched block at ``level`` (and maintain inclusion).

@@ -172,13 +172,26 @@ class TLBHierarchy:
         """Latency-only :meth:`translate` for the per-access hot path.
 
         Identical side effects (lookups, insertions, page-walk count) without
-        allocating a :class:`TranslationResult` per access.  The first-level
-        probe is inlined — it hits for almost every access.
+        allocating a :class:`TranslationResult` per access.
         """
         l1 = self.l1
         shift = l1._page_shift
         page = (address >> shift) if shift >= 0 \
             else address // l1.config.page_size
+        return self.translate_latency_page(page, address)
+
+    def translate_latency_page(self, page: int, address: int) -> int:
+        """:meth:`translate_latency` with the first-level page precomputed.
+
+        The columnar replay path decomposes whole traces into page-number
+        columns up front (see :meth:`repro.trace.TraceBuffer.page_column`),
+        so the per-access hot path performs no shift at all.  ``page`` must
+        be the page number under the first-level TLB's page size; the
+        second-level TLB and the walker still receive the full address and
+        derive their own page numbers (their page size may differ).  The
+        first-level probe is inlined — it hits for almost every access.
+        """
+        l1 = self.l1
         entries = l1._sets[page % l1._num_sets]
         if page in entries:
             entries.move_to_end(page)

@@ -37,35 +37,53 @@ Example::
 Trace cache
 ===========
 
-:data:`TRACE_CACHE` is the module-level cache used by the drivers.  Workloads
-named by their suite application name (``"gapbs.bfs"``) are cached under that
-name, so any caller asking for the same (name, accesses, seed, base address,
-thread) tuple receives the *identical* trace list.  Workload objects are
-cached by object identity (the cache keeps the object alive while its traces
-are cached), which makes the cache safe for ad-hoc workloads whose parameters
-are not captured by their name.
+:data:`TRACE_CACHE` is the module-level cache used by the drivers.  Traces
+are held as columnar :class:`~repro.trace.TraceBuffer` objects — an order of
+magnitude smaller than the legacy record lists, sliced zero-copy by the
+warm-up/measure split, and cheap to ship across process boundaries.
+Workloads named by their suite application name (``"gapbs.bfs"``) are cached
+under that name, so any caller asking for the same (name, accesses, seed,
+base address, thread) tuple receives the *identical* buffer.  Workload
+objects are cached by object identity (the cache keeps the object alive
+while its traces are cached), which makes the cache safe for ad-hoc
+workloads whose parameters are not captured by their name.
+
+On top of the in-memory LRU the cache maintains an on-disk ``.npz`` spill
+directory (``<store>/traces/`` by convention) keyed exactly like the results
+store — the SHA-256 of the fully resolved generator state plus the
+generation parameters (:func:`repro.sim.store.trace_key`).  A trace is
+generated at most once per *machine*: the first worker process to need it
+spills it atomically, every later process (or run) loads the packed columns
+straight from disk.  The directory comes from the ``REPRO_TRACE_DIR``
+environment variable, falling back to ``$REPRO_STORE/traces`` when a store
+is named; an empty ``REPRO_TRACE_DIR`` disables spilling.
 """
 
 from __future__ import annotations
 
 import os
+import sys
+import zipfile
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..memory.block import MemoryAccess
-from ..workloads.base import ADDRESS_SPACE_STRIDE, Workload
-from ..workloads.mixes import get_mix
+from ..trace import TraceBuffer
+from ..workloads.base import Workload
+from ..workloads.mixes import get_mix, mix_core_plan
 from ..workloads.suite import build_workload
 from .config import SystemConfig
 from .store import (
+    REPRO_STORE_ENV,
+    REPRO_TRACE_DIR_ENV,
     ResultStore,
     UncacheableJobError,
     default_store,
     job_spec,
     spec_key,
+    try_trace_key,
 )
 
 #: Environment variable controlling the default worker-process count.
@@ -73,32 +91,49 @@ REPRO_JOBS_ENV = "REPRO_JOBS"
 
 WorkloadSpec = Union[str, Workload]
 
+#: Sentinel: resolve the spill directory from the environment at use time.
+_SPILL_AUTO = "auto"
+
 
 # ======================================================================
 # Trace cache
 # ======================================================================
 class TraceCache:
-    """Process-local LRU cache of generated workload traces.
+    """Process-local LRU cache of generated traces, with an on-disk spill.
 
-    Keys are (workload identity, num_accesses, seed, base_address,
+    In-memory keys are (workload identity, num_accesses, seed, base_address,
     thread_id).  Suite applications passed by name share one identity per
     name; :class:`~repro.workloads.base.Workload` objects are keyed by
     ``id()`` and kept referenced by the cache entry, so an identity is never
     reused while its traces are cached.
 
-    Repeated lookups return the **same** trace list object — callers must
-    treat cached traces as immutable.
+    Repeated lookups return the **same**
+    :class:`~repro.trace.TraceBuffer` object — callers must treat cached
+    buffers as immutable.
+
+    Args:
+        max_traces: In-memory LRU capacity.
+        spill_dir: On-disk ``.npz`` cache directory.  The default (the
+            string ``"auto"``) resolves it from the environment on every
+            miss — ``REPRO_TRACE_DIR`` if set (empty disables), else
+            ``$REPRO_STORE/traces`` when a store is named, else no spill.
+            Pass a path to pin it, or ``None``/``False`` to disable.
     """
 
-    def __init__(self, max_traces: int = 128) -> None:
+    def __init__(self, max_traces: int = 128,
+                 spill_dir: Union[str, Path, None, bool] = _SPILL_AUTO
+                 ) -> None:
         if max_traces <= 0:
             raise ValueError("max_traces must be positive")
         self.max_traces = max_traces
-        # key -> (workload-or-None, trace); OrderedDict gives LRU order.
-        self._traces: "OrderedDict[Tuple, Tuple[Optional[Workload], List[MemoryAccess]]]" = OrderedDict()
+        self.spill_dir = spill_dir
+        # key -> (workload-or-None, buffer); OrderedDict gives LRU order.
+        self._traces: "OrderedDict[Tuple, Tuple[Optional[Workload], TraceBuffer]]" = OrderedDict()
         self._named_workloads: Dict[str, Workload] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_spills = 0
 
     # ------------------------------------------------------------------
     def resolve(self, workload: WorkloadSpec) -> Workload:
@@ -119,9 +154,28 @@ class TraceCache:
             identity = ("obj", id(workload))
         return identity + (num_accesses, seed, base_address, thread_id)
 
+    def _resolved_spill_dir(self) -> Optional[Path]:
+        """The effective on-disk cache directory (or None)."""
+        spill = self.spill_dir
+        if spill == _SPILL_AUTO:
+            env = os.environ.get(REPRO_TRACE_DIR_ENV)
+            if env is not None:
+                env = env.strip()
+                return Path(env) if env else None
+            store_root = os.environ.get(REPRO_STORE_ENV, "").strip()
+            return Path(store_root) / "traces" if store_root else None
+        if not spill:
+            return None
+        return Path(spill)
+
     def get(self, workload: WorkloadSpec, num_accesses: int, seed: int = 0,
-            base_address: int = 0, thread_id: int = 0) -> List[MemoryAccess]:
-        """Return the (cached) trace for the given generation parameters."""
+            base_address: int = 0, thread_id: int = 0) -> TraceBuffer:
+        """Return the (cached) trace buffer for the generation parameters.
+
+        Lookup order: in-memory LRU, then the on-disk ``.npz`` spill (keyed
+        like the results store), then generation — which also spills the
+        fresh buffer so no other process ever regenerates it.
+        """
         key = self._key(workload, num_accesses, seed, base_address, thread_id)
         entry = self._traces.get(key)
         if entry is not None:
@@ -130,16 +184,46 @@ class TraceCache:
             return entry[1]
         self.misses += 1
         resolved = self.resolve(workload)
-        trace = resolved.generate(num_accesses, seed=seed,
-                                  base_address=base_address,
-                                  thread_id=thread_id)
+        buffer = None
+        spill_path = None
+        spill_dir = self._resolved_spill_dir()
+        if spill_dir is not None:
+            disk_key = try_trace_key(workload, num_accesses, seed=seed,
+                                     base_address=base_address,
+                                     thread_id=thread_id)
+            if disk_key is not None:
+                spill_path = spill_dir / f"{disk_key}.npz"
+                if spill_path.is_file():
+                    try:
+                        buffer = TraceBuffer.load(spill_path)
+                        self.disk_hits += 1
+                        spill_path = None  # already on disk
+                    except (OSError, ValueError, KeyError, EOFError,
+                            zipfile.BadZipFile) as exc:
+                        # A stale/corrupt spill is regenerated, not fatal.
+                        # Truncated files raise BadZipFile, foreign .npz
+                        # archives KeyError, torn writes EOFError/OSError.
+                        print(f"repro.engine: ignoring unreadable trace "
+                              f"spill {spill_path} ({exc})", file=sys.stderr)
+                        buffer = None
+        if buffer is None:
+            buffer = resolved.generate_buffer(num_accesses, seed=seed,
+                                              base_address=base_address,
+                                              thread_id=thread_id)
+            if spill_path is not None:
+                try:
+                    buffer.save(spill_path)
+                    self.disk_spills += 1
+                except OSError as exc:  # pragma: no cover - disk-full etc.
+                    print(f"repro.engine: could not spill trace to "
+                          f"{spill_path} ({exc})", file=sys.stderr)
         # Keep the workload object referenced so an id()-based key can never
         # be recycled while its trace is cached.
         self._traces[key] = (None if isinstance(workload, str) else resolved,
-                             trace)
+                             buffer)
         if len(self._traces) > self.max_traces:
             self._traces.popitem(last=False)
-        return trace
+        return buffer
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -149,6 +233,8 @@ class TraceCache:
         self._named_workloads.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_spills = 0
 
 
 #: The module-level cache shared by the drivers (one per worker process).
@@ -216,23 +302,18 @@ def expand_grid(workloads: Sequence[WorkloadSpec],
 # ======================================================================
 def mix_traces(mix_name: str, accesses_per_core: int, seed: int = 0,
                trace_cache: Optional[TraceCache] = None
-               ) -> Tuple[List[List[MemoryAccess]], List[str]]:
-    """Per-core traces (and workload names) for a Table II mix, cached.
+               ) -> Tuple[List[TraceBuffer], List[str]]:
+    """Per-core trace buffers (and workload names) for a Table II mix.
 
-    Mirrors :func:`repro.workloads.mixes.generate_mix_traces` exactly, but
-    generates each per-core trace through the trace cache.
+    Mirrors :func:`repro.workloads.mixes.generate_mix_traces` exactly
+    (identical access streams), but serves each per-core trace as a
+    columnar buffer through the trace cache.
     """
     # Explicit None check: an empty TraceCache has len() == 0 and is falsy.
     cache = TRACE_CACHE if trace_cache is None else trace_cache
     mix = get_mix(mix_name)
-    traces: List[List[MemoryAccess]] = []
-    for core, app_name in enumerate(mix.applications):
-        if mix.multithreaded:
-            base = 0
-            core_seed = seed + core + 1
-        else:
-            base = core * ADDRESS_SPACE_STRIDE
-            core_seed = seed
+    traces: List[TraceBuffer] = []
+    for core, app_name, base, core_seed in mix_core_plan(mix, seed):
         traces.append(cache.get(app_name, accesses_per_core, seed=core_seed,
                                 base_address=base, thread_id=core))
     return traces, list(mix.applications)
@@ -265,13 +346,12 @@ def execute_job(job: Job, trace_cache: Optional[TraceCache] = None):
     system = SimulatedSystem(base_config.with_predictor(job.predictor))
     workload = cache.resolve(job.workload)
     total = job.num_accesses + job.warmup_accesses
-    trace = cache.get(job.workload, total, seed=job.seed)
+    buffer = cache.get(job.workload, total, seed=job.seed)
     if job.warmup_accesses:
-        hierarchy_access = system.hierarchy.access
-        for access in trace[:job.warmup_accesses]:
-            hierarchy_access(access)
+        # Zero-copy split: both halves are views into the cached buffer.
+        system.hierarchy.run_buffer(buffer[:job.warmup_accesses])
         system.reset_statistics()
-    return system.run_trace(trace[job.warmup_accesses:], workload.name)
+    return system.run_trace(buffer[job.warmup_accesses:], workload.name)
 
 
 # ======================================================================

@@ -19,10 +19,15 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.base import PredictionOutcome
 from ..cpu.ooo_core import ExecutionResult, OutOfOrderCore, geometric_mean
-from ..memory.block import AccessResult, MemoryAccess
+from ..memory.block import AccessResult, AccessType
 from ..memory.hierarchy import CoreMemoryHierarchy, SharedMemorySystem
+from ..trace import TraceBuffer
 from .config import SystemConfig
-from .system import make_llc_prefetcher, make_predictor, _make_private_prefetchers
+from .system import Trace, make_llc_prefetcher, make_predictor, \
+    _make_private_prefetchers
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
 
 
 @dataclass
@@ -91,24 +96,52 @@ class MultiCoreSystem:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
-    def run_traces(self, traces: Sequence[Sequence[MemoryAccess]],
+    def run_traces(self, traces: Sequence[Trace],
                    workload_names: Optional[Sequence[str]] = None,
                    mix_name: str = "mix") -> MultiCoreResult:
-        """Interleave per-core traces round-robin and time each core."""
+        """Interleave per-core traces round-robin and time each core.
+
+        Traces are decomposed into block/page columns once per core up
+        front (legacy record lists are packed into columnar buffers first —
+        the streams are identical, so results are bit-identical either
+        way), and the interleaved loop services each access through
+        :meth:`~repro.memory.hierarchy.CoreMemoryHierarchy.access_decomposed`
+        with no per-access record unpacking.
+        """
         if len(traces) > len(self.cores):
             raise ValueError("more traces than cores")
         names = list(workload_names or [f"core{i}" for i in range(len(traces))])
         per_core_results: List[List[AccessResult]] = [[] for _ in traces]
 
+        # Decompose every trace into ready-to-service argument rows up
+        # front (legacy record lists are packed into buffers first), so the
+        # interleaved loop below does no per-access unpacking, masking or
+        # core re-lookup — just one bound-method call per access.
+        load, store = _LOAD, _STORE
+        plan = []
+        for core, trace, results in zip(self.cores, traces,
+                                        per_core_results):
+            if len(trace):
+                buffer = trace if isinstance(trace, TraceBuffer) \
+                    else TraceBuffer.from_accesses(trace)
+                addresses, blocks, pages, is_store, pcs = \
+                    buffer.replay_columns(core._block_size,
+                                          core._l1_page_size)
+                rows = list(zip(addresses, blocks, pages,
+                                (store if stored else load
+                                 for stored in is_store), pcs))
+            else:
+                rows = []
+            plan.append((core.access_decomposed, rows, results.append))
+
         longest = max(len(trace) for trace in traces)
         for position in range(longest):
-            for core_index, trace in enumerate(traces):
-                if position < len(trace):
-                    result = self.cores[core_index].access(trace[position])
-                    per_core_results[core_index].append(result)
+            for service, rows, append in plan:
+                if position < len(rows):
+                    append(service(*rows[position]))
 
         executions = [
-            self.core_model.execute(list(trace), results)
+            self.core_model.execute(trace, results)
             for trace, results in zip(traces, per_core_results)
         ]
         return self._collect(mix_name, names, executions)

@@ -11,7 +11,7 @@ workload trace through the hierarchy and the core model and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.base import LevelPredictor, PredictorStats, SequentialPredictor
 from ..core.d2d import DirectToDataPredictor, IdealPredictor
@@ -30,8 +30,13 @@ from ..prefetch.base import NullPrefetcher, Prefetcher
 from ..prefetch.dcpt import DCPTPrefetcher
 from ..prefetch.nextline import TaggedNextLinePrefetcher
 from ..prefetch.throttle import ThrottledPrefetcher
+from ..trace import TraceBuffer
 from ..workloads.base import Workload
 from .config import SystemConfig
+
+#: A runnable trace: the columnar buffer the engine ships around, or the
+#: legacy list-of-records representation.
+Trace = Union[TraceBuffer, Sequence[MemoryAccess]]
 
 
 @dataclass
@@ -131,10 +136,20 @@ class SimulatedSystem:
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
-    def run_trace(self, trace: Sequence[MemoryAccess],
+    def run_trace(self, trace: Trace,
                   workload_name: str = "trace") -> SimulationResult:
-        """Run a pre-generated trace through the hierarchy and core model."""
-        results: List[AccessResult] = [self.hierarchy.access(a) for a in trace]
+        """Run a pre-generated trace through the hierarchy and core model.
+
+        Accepts a columnar :class:`~repro.trace.TraceBuffer` (the engine's
+        representation — replayed through the hierarchy's vectorised
+        block/page columns) or a legacy record sequence; both produce
+        bit-identical results for the same access stream.
+        """
+        if isinstance(trace, TraceBuffer):
+            results = self.hierarchy.run_buffer(trace)
+        else:
+            results: List[AccessResult] = [self.hierarchy.access(a)
+                                           for a in trace]
         execution = self.core.execute(trace, results)
         return self._collect(workload_name, execution)
 
@@ -145,15 +160,16 @@ class SimulatedSystem:
 
         Warm-up accesses prime the caches, predictors and prefetchers but are
         excluded from all reported statistics, mirroring the paper's use of
-        warm-up instructions before each SimPoint region.
+        warm-up instructions before each SimPoint region.  The trace is
+        materialised as a columnar buffer; the warm-up/measure split is a
+        zero-copy slice.
         """
         total = num_accesses + warmup_accesses
-        trace = workload.generate(total, seed=seed)
+        buffer = workload.generate_buffer(total, seed=seed)
         if warmup_accesses:
-            for access in trace[:warmup_accesses]:
-                self.hierarchy.access(access)
+            self.hierarchy.run_buffer(buffer[:warmup_accesses])
             self.reset_statistics()
-        return self.run_trace(trace[warmup_accesses:], workload.name)
+        return self.run_trace(buffer[warmup_accesses:], workload.name)
 
     def reset_statistics(self) -> None:
         self.hierarchy.reset_statistics()

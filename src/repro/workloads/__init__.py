@@ -10,7 +10,13 @@ from .generators import (
     ZipfWorkload,
 )
 from .graph import GraphWorkload, make_gapbs_workload
-from .mixes import MIXES, MixSpec, generate_mix_traces, get_mix
+from .mixes import (
+    MIXES,
+    MixSpec,
+    generate_mix_buffers,
+    generate_mix_traces,
+    get_mix,
+)
 from .suite import (
     APPLICATIONS,
     ApplicationSpec,
@@ -41,6 +47,7 @@ __all__ = [
     "ZipfWorkload",
     "applications_in_suite",
     "build_workload",
+    "generate_mix_buffers",
     "generate_mix_traces",
     "get_application",
     "get_mix",

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from ..memory.block import AccessType, DEFAULT_BLOCK_SIZE, MemoryAccess
+from ..trace import TraceBuffer
 
 #: Spacing between the address spaces of co-running workloads (multi-core).
 ADDRESS_SPACE_STRIDE = 1 << 36
@@ -66,9 +67,25 @@ class Workload(ABC):
                   thread_id: int) -> Iterator[MemoryAccess]:
         """Yield an unbounded stream of accesses."""
 
+    def _trace_rng(self, seed: int) -> random.Random:
+        """The deterministic RNG both trace materialisations derive from.
+
+        crc32 (not hash()) keeps the per-workload seed stable across
+        interpreter runs and worker processes: str hashing is randomized
+        per process, which would make traces — and therefore every
+        simulation result — irreproducible outside a single run and break
+        the engine's serial == parallel guarantee under spawn.
+        """
+        name_seed = zlib.crc32(self.name.encode("utf-8"))
+        return random.Random((seed << 16) ^ name_seed)
+
     def generate(self, num_accesses: int, seed: int = 0,
                  base_address: int = 0, thread_id: int = 0) -> List[MemoryAccess]:
-        """Generate a bounded, reproducible trace.
+        """Generate a bounded, reproducible trace as a list of records.
+
+        This is the legacy representation; the simulation pipeline runs on
+        :meth:`generate_buffer`, whose columns are field-for-field identical
+        to this list for the same arguments.
 
         Args:
             num_accesses: Number of memory references to produce.
@@ -79,18 +96,27 @@ class Workload(ABC):
         """
         if num_accesses <= 0:
             raise ValueError("num_accesses must be positive")
-        # crc32 (not hash()) keeps the per-workload seed stable across
-        # interpreter runs and worker processes: str hashing is randomized
-        # per process, which would make traces — and therefore every
-        # simulation result — irreproducible outside a single run and break
-        # the engine's serial == parallel guarantee under spawn.
-        name_seed = zlib.crc32(self.name.encode("utf-8"))
-        rng = random.Random((seed << 16) ^ name_seed)
+        rng = self._trace_rng(seed)
         trace: List[MemoryAccess] = []
         stream = self._accesses(rng, base_address, thread_id)
         for _ in range(num_accesses):
             trace.append(next(stream))
         return trace
+
+    def generate_buffer(self, num_accesses: int, seed: int = 0,
+                        base_address: int = 0,
+                        thread_id: int = 0) -> TraceBuffer:
+        """Generate the same trace as :meth:`generate`, packed columnar.
+
+        The buffer consumes the identical generator stream (same RNG seed,
+        same draw order), so its address/pc/type columns are bit-identical
+        to the legacy list — only the representation changes.
+        """
+        if num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        rng = self._trace_rng(seed)
+        stream = self._accesses(rng, base_address, thread_id)
+        return TraceBuffer.from_stream(stream, num_accesses)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"

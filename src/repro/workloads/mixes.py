@@ -22,9 +22,10 @@ LLC, which is what degrades prediction accuracy in Figure 13.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..memory.block import MemoryAccess
+from ..trace import TraceBuffer
 from .base import ADDRESS_SPACE_STRIDE
 from .suite import build_workload
 
@@ -61,25 +62,56 @@ def get_mix(name: str) -> MixSpec:
         raise ValueError(f"unknown mix {name!r}; known: {sorted(MIXES)}") from exc
 
 
-def generate_mix_traces(name: str, accesses_per_core: int,
-                        seed: int = 0) -> List[List[MemoryAccess]]:
-    """Generate one trace per core for a Table II mix.
+def mix_core_plan(mix: MixSpec, seed: int = 0
+                  ) -> List[Tuple[int, str, int, int]]:
+    """Per-core generation parameters: (core, app_name, base, core_seed).
 
-    Multi-program mixes use disjoint address regions; multi-threaded runs
-    share a single region (and therefore data) across threads, with each
-    thread visiting the shared structure in a different order (different
-    seeds), which is how a parallel PageRank partitions work.
+    This is the single definition of the mix placement/seeding policy —
+    every mix-trace producer (the legacy and columnar generators below and
+    the engine's cached :func:`repro.sim.engine.mix_traces`) iterates this
+    plan, so their access streams can never diverge.  Multi-program mixes
+    place each application in a disjoint address region (one per core);
+    multi-threaded runs share a single region (and therefore data) across
+    threads, with each thread visiting the shared structure in a different
+    order (different seeds), which is how a parallel PageRank partitions
+    work.
     """
-    mix = get_mix(name)
-    traces: List[List[MemoryAccess]] = []
+    plan = []
     for core, app_name in enumerate(mix.applications):
-        workload = build_workload(app_name)
         if mix.multithreaded:
             base = 0
             core_seed = seed + core + 1
         else:
             base = core * ADDRESS_SPACE_STRIDE
             core_seed = seed
+        plan.append((core, app_name, base, core_seed))
+    return plan
+
+
+def generate_mix_traces(name: str, accesses_per_core: int,
+                        seed: int = 0) -> List[List[MemoryAccess]]:
+    """Generate one trace per core for a Table II mix (see
+    :func:`mix_core_plan` for the placement/seeding policy)."""
+    traces: List[List[MemoryAccess]] = []
+    for core, app_name, base, core_seed in mix_core_plan(get_mix(name), seed):
+        workload = build_workload(app_name)
         traces.append(workload.generate(accesses_per_core, seed=core_seed,
                                         base_address=base, thread_id=core))
     return traces
+
+
+def generate_mix_buffers(name: str, accesses_per_core: int,
+                         seed: int = 0) -> List[TraceBuffer]:
+    """Columnar variant of :func:`generate_mix_traces` (same access streams).
+
+    The simulation engine serves these through its trace cache
+    (:func:`repro.sim.engine.mix_traces`); this helper exists for direct
+    callers that want the buffers without a cache.
+    """
+    buffers: List[TraceBuffer] = []
+    for core, app_name, base, core_seed in mix_core_plan(get_mix(name), seed):
+        workload = build_workload(app_name)
+        buffers.append(workload.generate_buffer(
+            accesses_per_core, seed=core_seed, base_address=base,
+            thread_id=core))
+    return buffers

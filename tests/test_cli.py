@@ -169,3 +169,81 @@ class TestInspection:
         assert not (tmp_path / "store.jsonl").exists()
         assert not (tmp_path / "stats").exists()
         assert "removed" in capsys.readouterr().out
+
+
+# ======================================================================
+# trace
+# ======================================================================
+class TestTrace:
+    def test_trace_reports_footprint_and_mix(self, capsys):
+        assert main(["trace", "gapbs.pr", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "gapbs.pr" in out
+        for field in ("accesses", "loads / stores", "unique blocks",
+                      "unique pages", "footprint", "buffer size"):
+            assert field in out
+
+    def test_trace_save_round_trips(self, tmp_path, capsys):
+        from repro.trace import TraceBuffer
+        from repro.workloads import build_workload
+
+        path = tmp_path / "stream.npz"
+        assert main(["trace", "stream", "--accesses", "500", "--seed", "3",
+                     "--save", str(path)]) == 0
+        assert "buffer written to" in capsys.readouterr().out
+        loaded = TraceBuffer.load(path)
+        assert loaded == build_workload("stream").generate(500, seed=3)
+
+    def test_trace_rejects_unknown_workload(self, capsys):
+        assert main(["trace", "notaworkload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+# ======================================================================
+# trace cache (cold vs warm runs)
+# ======================================================================
+class TestTraceCacheRuns:
+    @pytest.fixture(autouse=True)
+    def _cold_trace_cache(self):
+        """Spilling happens on in-memory misses, so start from a cold cache
+        (earlier tests in this process may have warmed the global one)."""
+        from repro.sim.engine import TRACE_CACHE
+
+        TRACE_CACHE.clear()
+        yield
+        TRACE_CACHE.clear()
+
+    def test_run_spills_traces_under_store(self, tmp_path):
+        args = ["run", "fig13", "--store", str(tmp_path),
+                "--accesses", "120", "--warmup", "40",
+                "--mix-accesses", "80"]
+        assert main(args) == 0
+        assert list((tmp_path / "traces").glob("*.npz"))
+
+    def test_warm_run_from_spilled_traces_is_byte_identical(self, tmp_path):
+        cold_store = tmp_path / "cold"
+        warm_store = tmp_path / "warm"
+        scale = ["--accesses", "120", "--warmup", "40",
+                 "--mix-accesses", "80"]
+        assert main(["run", "fig13", "--store", str(cold_store)]
+                    + scale) == 0
+        # Drop the in-memory cache so the warm run must load from disk.
+        from repro.sim.engine import TRACE_CACHE
+
+        TRACE_CACHE.clear()
+        assert main(["run", "fig13", "--store", str(warm_store),
+                     "--trace-dir", str(cold_store / "traces")] + scale) == 0
+        assert TRACE_CACHE.disk_hits > 0
+        assert (cold_store / "store.jsonl").read_bytes() == \
+            (warm_store / "store.jsonl").read_bytes()
+        # The warm run generated nothing new: no fresh spills appeared.
+        cold_traces = sorted((cold_store / "traces").glob("*.npz"))
+        assert not (warm_store / "traces").exists()
+        assert cold_traces
+
+    def test_empty_trace_dir_disables_spilling(self, tmp_path):
+        args = ["run", "fig13", "--store", str(tmp_path),
+                "--trace-dir", "", "--accesses", "120", "--warmup", "40",
+                "--mix-accesses", "80"]
+        assert main(args) == 0
+        assert not (tmp_path / "traces").exists()

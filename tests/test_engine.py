@@ -15,6 +15,7 @@ from repro.sim.engine import (
     mix_traces,
 )
 from repro.sim.system import SimulatedSystem, run_predictor_comparison
+from repro.trace import TraceBuffer
 from repro.workloads import build_workload
 
 APPS = ["gapbs.bfs", "605.mcf", "stream"]
@@ -70,6 +71,9 @@ class TestTraceCache:
         cache = TraceCache()
         cached = cache.get("gapbs.bfs", 250, seed=7)
         direct = build_workload("gapbs.bfs").generate(250, seed=7)
+        # The cache serves columnar buffers whose columns equal the legacy
+        # record stream field-for-field.
+        assert isinstance(cached, TraceBuffer)
         assert cached == direct
 
     def test_lru_bound(self):

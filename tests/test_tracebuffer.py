@@ -1,0 +1,277 @@
+"""Tests for the columnar trace substrate (repro.trace.TraceBuffer).
+
+The load-bearing property is exact equivalence: for every registered
+workload (and the Table II mixes) the buffer columns must match the legacy
+``generate()`` record stream field-for-field, ``.npz`` persistence must
+round-trip bit-for-bit, and replaying a buffer through a system must
+reproduce the per-record path's results exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.block import AccessType, MemoryAccess
+from repro.sim.config import SystemConfig
+from repro.sim.engine import TraceCache
+from repro.sim.multicore import MultiCoreSystem
+from repro.sim.store import trace_key, try_trace_key
+from repro.sim.system import SimulatedSystem
+from repro.trace import KIND_CODES, TraceBuffer, as_trace_buffer
+from repro.workloads import (
+    APPLICATIONS,
+    MIXES,
+    build_workload,
+    generate_mix_buffers,
+    generate_mix_traces,
+)
+
+#: A spread of behaviours for the heavier (simulation-driving) tests.
+SAMPLE_APPS = ("gapbs.bfs", "605.mcf", "stream", "gups", "602.gcc")
+
+
+def assert_buffer_matches_records(buffer: TraceBuffer, records) -> None:
+    """Field-for-field comparison against a legacy record list."""
+    assert len(buffer) == len(records)
+    assert buffer.address.tolist() == [a.address for a in records]
+    assert buffer.pc.tolist() == [a.pc for a in records]
+    assert buffer.kind.tolist() == [KIND_CODES[a.access_type]
+                                    for a in records]
+    assert buffer.size.tolist() == [a.size for a in records]
+    assert buffer.dependent.tolist() == [a.depends_on_previous
+                                         for a in records]
+    assert buffer.non_memory.tolist() == [a.non_memory_instructions
+                                          for a in records]
+    assert buffer.thread_id.tolist() == [a.thread_id for a in records]
+
+
+class TestGenerationEquivalence:
+    @pytest.mark.parametrize("name", sorted(APPLICATIONS))
+    def test_buffer_equals_legacy_stream(self, name):
+        workload = build_workload(name)
+        legacy = workload.generate(300, seed=5)
+        buffer = build_workload(name).generate_buffer(300, seed=5)
+        assert_buffer_matches_records(buffer, legacy)
+        assert buffer == legacy  # __eq__ accepts record sequences too
+
+    def test_base_address_and_thread_id_respected(self):
+        workload = build_workload("stream")
+        legacy = workload.generate(100, seed=2, base_address=1 << 36,
+                                   thread_id=3)
+        buffer = workload.generate_buffer(100, seed=2, base_address=1 << 36,
+                                          thread_id=3)
+        assert_buffer_matches_records(buffer, legacy)
+        assert set(buffer.thread_id.tolist()) == {3}
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    def test_mix_buffers_equal_mix_traces(self, mix):
+        legacy = generate_mix_traces(mix, accesses_per_core=120, seed=0)
+        buffers = generate_mix_buffers(mix, accesses_per_core=120, seed=0)
+        assert len(buffers) == len(legacy)
+        for buffer, records in zip(buffers, legacy):
+            assert_buffer_matches_records(buffer, records)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("gups").generate_buffer(0)
+
+
+class TestBufferSemantics:
+    def test_slicing_is_zero_copy(self):
+        buffer = build_workload("gapbs.pr").generate_buffer(500, seed=0)
+        view = buffer[100:400]
+        assert len(view) == 300
+        assert np.shares_memory(view.address, buffer.address)
+        assert view.address.tolist() == buffer.address.tolist()[100:400]
+
+    def test_sliced_derived_columns_stay_views(self):
+        buffer = build_workload("gapbs.pr").generate_buffer(200, seed=0)
+        blocks = buffer.block_column()
+        view = buffer[50:]
+        assert np.shares_memory(view.block_column(), blocks)
+
+    def test_block_and_page_columns_match_scalar_decomposition(self):
+        buffer = build_workload("605.mcf").generate_buffer(400, seed=1)
+        addresses = buffer.address.tolist()
+        assert buffer.block_column(64).tolist() == \
+            [a & ~63 for a in addresses]
+        assert buffer.page_column(4096).tolist() == \
+            [a >> 12 for a in addresses]
+
+    def test_round_trip_through_records(self):
+        buffer = build_workload("hpcg").generate_buffer(150, seed=4)
+        records = buffer.to_accesses()
+        assert all(isinstance(r, MemoryAccess) for r in records)
+        assert TraceBuffer.from_accesses(records) == buffer
+        assert as_trace_buffer(records) == buffer
+        assert as_trace_buffer(buffer) is buffer
+
+    def test_indexing_rebuilds_records(self):
+        workload = build_workload("gups")
+        buffer = workload.generate_buffer(50, seed=9)
+        legacy = workload.generate(50, seed=9)
+        assert buffer[7] == legacy[7]
+        assert buffer[7].access_type in (AccessType.LOAD, AccessType.STORE)
+
+    def test_replay_columns_reject_non_demand_kinds(self):
+        buffer = TraceBuffer.from_accesses(
+            [MemoryAccess(address=64, access_type=AccessType.PREFETCH)])
+        with pytest.raises(ValueError):
+            buffer.replay_columns()
+
+    def test_summary_counts(self):
+        buffer = build_workload("gups").generate_buffer(1000, seed=0)
+        summary = buffer.summary()
+        assert summary["accesses"] == 1000
+        assert summary["loads"] + summary["stores"] == 1000
+        assert summary["footprint_bytes"] == summary["unique_blocks"] * 64
+        assert summary["buffer_bytes"] == buffer.nbytes
+        # gups barely reuses blocks, so the footprint is nearly maximal.
+        assert summary["unique_blocks"] > 900
+
+    def test_pickle_round_trip_drops_derived_columns(self):
+        import pickle
+
+        buffer = build_workload("stream").generate_buffer(100, seed=0)
+        buffer.block_column()
+        clone = pickle.loads(pickle.dumps(buffer))
+        assert clone == buffer
+        assert clone._derived == {}
+
+
+class TestPersistence:
+    def test_npz_round_trip_is_exact(self, tmp_path):
+        for name in SAMPLE_APPS:
+            buffer = build_workload(name).generate_buffer(250, seed=3)
+            path = buffer.save(tmp_path / f"{name}.npz")
+            assert TraceBuffer.load(path) == buffer
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        np.savez(path, schema=np.array("not-a-trace"), address=np.zeros(1))
+        with pytest.raises(ValueError):
+            TraceBuffer.load(path)
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("name", SAMPLE_APPS)
+    @pytest.mark.parametrize("predictor", ("baseline", "lp"))
+    def test_buffer_replay_matches_per_record_path(self, name, predictor):
+        workload = build_workload(name)
+        legacy = workload.generate(400, seed=0)
+        buffer = workload.generate_buffer(400, seed=0)
+
+        via_records = SimulatedSystem(
+            SystemConfig.paper_single_core(predictor)).run_trace(
+            legacy, name)
+        via_buffer = SimulatedSystem(
+            SystemConfig.paper_single_core(predictor)).run_trace(
+            buffer, name)
+
+        assert via_buffer.execution.cycles == via_records.execution.cycles
+        assert via_buffer.execution.instructions == \
+            via_records.execution.instructions
+        assert via_buffer.cache_hierarchy_energy_nj == \
+            via_records.cache_hierarchy_energy_nj
+        assert via_buffer.energy_breakdown == via_records.energy_breakdown
+        for field in ("demand_accesses", "loads", "stores", "l1_hits",
+                      "l2_hits", "l3_hits", "memory_accesses",
+                      "total_demand_latency", "miss_latency", "predictions",
+                      "recoveries"):
+            assert getattr(via_buffer.hierarchy_stats, field) == \
+                getattr(via_records.hierarchy_stats, field), field
+
+    def test_multicore_buffer_replay_matches_per_record_path(self):
+        legacy = generate_mix_traces("mix1", accesses_per_core=200, seed=0)
+        buffers = generate_mix_buffers("mix1", accesses_per_core=200, seed=0)
+
+        via_records = MultiCoreSystem(
+            SystemConfig.paper_multi_core("lp")).run_traces(legacy)
+        via_buffers = MultiCoreSystem(
+            SystemConfig.paper_multi_core("lp")).run_traces(buffers)
+
+        assert via_buffers.aggregate_ipc == via_records.aggregate_ipc
+        assert via_buffers.cache_hierarchy_energy_nj == \
+            via_records.cache_hierarchy_energy_nj
+        assert via_buffers.accuracy_breakdown == \
+            via_records.accuracy_breakdown
+        for mine, theirs in zip(via_buffers.per_core_execution,
+                                via_records.per_core_execution):
+            assert mine.cycles == theirs.cycles
+            assert mine.instructions == theirs.instructions
+
+
+class TestDiskSpill:
+    def test_generate_spill_load_cycle(self, tmp_path):
+        cold = TraceCache(spill_dir=tmp_path)
+        buffer = cold.get("gapbs.bfs", 300, seed=7)
+        assert cold.disk_spills == 1 and cold.disk_hits == 0
+        key = trace_key("gapbs.bfs", 300, seed=7)
+        assert (tmp_path / f"{key}.npz").is_file()
+
+        warm = TraceCache(spill_dir=tmp_path)
+        loaded = warm.get("gapbs.bfs", 300, seed=7)
+        assert warm.disk_hits == 1 and warm.disk_spills == 0
+        assert loaded == buffer
+        # Second lookup is an in-memory hit, not another disk read.
+        assert warm.get("gapbs.bfs", 300, seed=7) is loaded
+        assert warm.disk_hits == 1
+
+    def test_env_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        cache = TraceCache()
+        cache.get("stream", 100)
+        assert cache.disk_spills == 1
+
+        # Empty REPRO_TRACE_DIR disables spilling even with a store named.
+        monkeypatch.setenv("REPRO_TRACE_DIR", "")
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        cache = TraceCache()
+        cache.get("stream", 100)
+        assert cache.disk_spills == 0
+
+        # REPRO_STORE alone spills under <store>/traces.
+        monkeypatch.delenv("REPRO_TRACE_DIR")
+        cache = TraceCache()
+        cache.get("stream", 100)
+        assert cache.disk_spills == 1
+        assert list((tmp_path / "store" / "traces").glob("*.npz"))
+
+    @pytest.mark.parametrize("corruption", ("garbage", "truncated-zip",
+                                            "foreign-npz"))
+    def test_corrupt_spill_regenerates(self, tmp_path, capsys, corruption):
+        key = trace_key("stream", 120, seed=0)
+        path = tmp_path / f"{key}.npz"
+        if corruption == "garbage":
+            path.write_bytes(b"not an npz file")
+        elif corruption == "truncated-zip":
+            path.write_bytes(b"PK\x03\x04truncated")  # BadZipFile
+        else:
+            np.savez(path, other=np.zeros(3))  # no 'schema' -> KeyError
+        cache = TraceCache(spill_dir=tmp_path)
+        buffer = cache.get("stream", 120, seed=0)
+        assert buffer == build_workload("stream").generate(120, seed=0)
+        assert "unreadable trace spill" in capsys.readouterr().err
+
+    def test_trace_keys_stable_and_state_sensitive(self):
+        assert trace_key("gapbs.pr", 100) == trace_key("gapbs.pr", 100)
+        assert trace_key("gapbs.pr", 100) != trace_key("gapbs.pr", 101)
+        assert trace_key("gapbs.pr", 100) != trace_key("gapbs.pr", 100,
+                                                       seed=1)
+        # Name specs resolve to full generator state, so the equivalent
+        # Workload object addresses the same on-disk trace.
+        assert trace_key(build_workload("gapbs.pr"), 100) == \
+            trace_key("gapbs.pr", 100)
+
+    def test_unfingerprintable_workload_skips_disk(self, tmp_path):
+        class Opaque:
+            pass
+
+        workload = build_workload("gups")
+        workload.blob = Opaque()  # not canonicalizable
+        assert try_trace_key(workload, 50) is None
+        cache = TraceCache(spill_dir=tmp_path)
+        cache.get(workload, 50)
+        assert cache.disk_spills == 0
+        assert not list(tmp_path.glob("*.npz"))
