@@ -25,6 +25,12 @@ and the replay throughput go into ``BENCH_throughput.json`` next to the raw
 engine numbers, so the persistence layer's overhead and payoff are part of
 the recorded performance trajectory.
 
+The sharded store is additionally exercised at scale: the registry's
+``sweep`` grid — several times the paper's largest figure grid — is
+populated into (and replayed from) a fresh store at a small fixed
+simulation size, recording entry counts, shard counts and populate/replay
+rates for a store bigger than any single figure needs.
+
 Two further sections cover the columnar trace substrate
 (:mod:`repro.trace`): trace throughput (legacy record-list generation vs.
 columnar buffer generation vs. the warm path that loads spilled ``.npz``
@@ -105,15 +111,72 @@ def _run_store_passes(store_dir: str):
             "seconds": populate_seconds,
             "hits": populate_store.hits,
             "misses": populate_store.misses,
+            "unkeyed": populate_store.unkeyed,
         },
         "replay": {
             "seconds": replay_seconds,
             "hits": replay_store.hits,
             "misses": replay_store.misses,
+            "unkeyed": replay_store.unkeyed,
             "accesses_per_second": _grid_accesses() / replay_seconds,
         },
     }
     return populate, replay, report
+
+
+#: Fixed tiny per-job sizes for the sweep-scale store measurement: the
+#: section measures the *store* (entry counts, shard spread, replay rate),
+#: whose entry sizes do not grow with simulated accesses, so the simulate
+#: pass is kept cheap.
+SWEEP_STORE_SCALE = dict(accesses=150, warmup=40, mix_accesses=90)
+
+
+def _sweep_store_report(store_dir: str):
+    """Populate/replay the registry's sweep grid through a sharded store.
+
+    The sweep grid is several times the paper's largest figure grid — the
+    scale the sharded layout exists for.  Asserts the replay pass is pure
+    store traffic and that entries actually spread across shard files.
+    """
+    from repro.experiments import EXPERIMENTS, Scale
+
+    jobs = EXPERIMENTS["sweep"].jobs(Scale(**SWEEP_STORE_SCALE))
+    populate_store = ResultStore(store_dir)
+    _, populate_seconds = _timed(
+        lambda: SimulationEngine(jobs=1, store=populate_store).run(jobs))
+    populate_store.flush_index()
+    replay_store = ResultStore(store_dir)
+    _, replay_seconds = _timed(
+        lambda: SimulationEngine(jobs=1, store=replay_store).run(jobs))
+
+    assert replay_store.misses == 0
+    assert replay_store.hits == len(jobs)
+    assert len(replay_store) == len(jobs)
+
+    shard_files = sorted(
+        (Path(store_dir) / "shards").glob("*.jsonl"))
+    assert len(shard_files) > 1  # entries spread across shard files
+    paper_grid_jobs = len(HIGHLIGHTED_APPLICATIONS) * len(COMPARED_SYSTEMS)
+    assert len(jobs) >= 3 * paper_grid_jobs
+
+    return {
+        "jobs": len(jobs),
+        "paper_grid_jobs": paper_grid_jobs,
+        "scale_vs_paper_grid": len(jobs) / paper_grid_jobs,
+        "shards": len(shard_files),
+        "store_bytes": sum(path.stat().st_size for path in shard_files),
+        "per_job_scale": dict(SWEEP_STORE_SCALE),
+        "populate": {
+            "seconds": populate_seconds,
+            "jobs_per_second": len(jobs) / populate_seconds,
+        },
+        "replay": {
+            "seconds": replay_seconds,
+            "jobs_per_second": len(jobs) / replay_seconds,
+            "hits": replay_store.hits,
+            "misses": replay_store.misses,
+        },
+    }
 
 
 def _timed(fn):
@@ -283,6 +346,8 @@ def test_throughput(benchmark):
     with tempfile.TemporaryDirectory() as store_dir:
         store_populate, store_replay, store_report = \
             _run_store_passes(store_dir)
+    with tempfile.TemporaryDirectory() as sweep_dir:
+        store_report["sweep"] = _sweep_store_report(sweep_dir)
 
     # The engine's parallel path must reproduce serial results bit-for-bit
     # (and both must agree with the legacy driver, which shares every
@@ -358,6 +423,12 @@ def test_throughput(benchmark):
     replay = store_report["replay"]
     lines.append(f"store replay      : {replay['accesses_per_second']:10,.0f}/s "
                  f"({replay['hits']} hits, {replay['misses']} misses)")
+    sweep = store_report["sweep"]
+    lines.append(f"sweep store       : {sweep['jobs']} jobs "
+                 f"({sweep['scale_vs_paper_grid']:.1f}x paper grid) across "
+                 f"{sweep['shards']} shards; populate "
+                 f"{sweep['populate']['jobs_per_second']:,.0f} jobs/s, "
+                 f"replay {sweep['replay']['jobs_per_second']:,.0f} jobs/s")
     lines.append("")
     lines.append("Trace substrate (accesses/second)")
     for key in ("generate_legacy", "generate_buffer", "generate_and_spill",

@@ -5,7 +5,9 @@ Subcommands
 
 ``run <experiment>... [all]``
     Execute one or more figure/table grids from the registry in
-    :mod:`repro.experiments`.  Jobs already present in the results store
+    :mod:`repro.experiments`.  ``all`` (or no names) expands to every
+    figure experiment except the opt-in ``sweep`` grid — several times
+    the paper's largest — which must be named explicitly.  Jobs already present in the results store
     are served from disk — re-running a figure performs **zero**
     simulations, and an interrupted grid resumes from the jobs it already
     persisted.  ``--force`` recomputes (and refreshes) every job; ``--jobs``
@@ -30,8 +32,16 @@ Subcommands
 ``figures``
     List the available experiments.
 
+``store info|fsck|compact|migrate``
+    Maintain the sharded results store: ``info`` summarises shard/entry
+    counts, ``fsck`` salvages torn/corrupt/foreign lines in place (usable
+    even when the store is too damaged to load), ``compact`` drops
+    superseded duplicate entries, and ``migrate`` upgrades a legacy
+    single-file ``store.jsonl`` into the sharded layout (also happens
+    automatically on open).
+
 ``clean``
-    Delete the store file and the stats directory under the store root.
+    Delete the store shards and the stats directory under the store root.
 
 The store root defaults to ``results/`` (git-ignored) and can be moved with
 ``--store`` or the ``REPRO_STORE`` environment variable.
@@ -55,6 +65,7 @@ from .sim.store import (
     REPRO_STORE_ENV,
     REPRO_TRACE_DIR_ENV,
     ResultStore,
+    fsck_store,
     try_job_key,
 )
 
@@ -106,6 +117,8 @@ def run_experiment(name: str, store: ResultStore, scale: Scale,
     stats_path = store.root / "stats" / f"{name}.json"
     stats_path.parent.mkdir(parents=True, exist_ok=True)
     stats_path.write_text(canonical_json(stats), encoding="utf-8")
+    # Keep the next open O(changed shards) instead of O(all lines).
+    store.flush_index()
     return RunReport(name, len(job_list), stored, simulated, seconds,
                      stats, stats_path)
 
@@ -208,9 +221,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
+#: Experiments excluded from the implicit "all" expansion: the sweep grid
+#: is several times the paper's largest and must be asked for by name.
+OPT_IN_EXPERIMENTS = ("sweep",)
+
+
 def _resolve_targets(requested: Sequence[str]) -> Optional[List[str]]:
     if not requested or "all" in requested:
-        return list(EXPERIMENTS)
+        names = [name for name in EXPERIMENTS
+                 if name not in OPT_IN_EXPERIMENTS]
+        names.extend(name for name in OPT_IN_EXPERIMENTS
+                     if name in requested)
+        return names
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
         print(f"repro: unknown experiment(s) {', '.join(unknown)}; "
@@ -264,7 +286,7 @@ def cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     scale = Scale(accesses=args.accesses, warmup=args.warmup,
                   mix_accesses=args.mix_accesses)
-    print(f"store: {store.path} ({len(store)} stored results)")
+    print(f"store: {store.shards_dir} ({len(store)} stored results)")
     width = max(len(name) for name in EXPERIMENTS)
     for name, experiment in EXPERIMENTS.items():
         job_list = experiment.jobs(scale)
@@ -301,13 +323,81 @@ def cmd_clean(args: argparse.Namespace) -> int:
 
 
 # ======================================================================
+# store maintenance
+# ======================================================================
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect/repair the sharded store: info, fsck, compact, migrate."""
+    root = Path(args.store)
+    if args.action == "fsck":
+        # fsck works at the file-system level so it can salvage stores too
+        # corrupt for ResultStore to open at all.
+        report = fsck_store(root)
+        dropped = report["torn"] + report["corrupt"] + report["foreign"]
+        print(f"fsck {root}: {report['kept']} entries kept in place, "
+              f"{report['migrated']} migrated from the legacy store, "
+              f"{report['moved']} relocated to their correct shard, "
+              f"{dropped} unsalvageable lines dropped "
+              f"({report['torn']} torn, {report['corrupt']} corrupt, "
+              f"{report['foreign']} foreign); "
+              f"{report['rewritten_shards']} shards rewritten")
+        changed = dropped or report["moved"] or report["rewritten_shards"]
+        return 1 if changed else 0
+    store = ResultStore(root)
+    if args.action == "migrate":
+        if store.migrated_entries:
+            print(f"migrated {store.migrated_entries} legacy entries into "
+                  f"{store.shards_dir}")
+            return 0
+        if store.legacy_path.is_file():
+            # Opening the store would have migrated it; the file is still
+            # there, so the store is unwritable (read-only media?).
+            print(f"could not migrate {store.legacy_path} (store "
+                  f"unwritable?); its entries are served read-only in "
+                  f"place", file=sys.stderr)
+            return 1
+        print(f"nothing to migrate: no legacy "
+              f"{ResultStore.STORE_FILENAME} under {store.root}")
+        return 0
+    if args.action == "compact":
+        report = store.compact()
+        print(f"compacted {store.root}: {report['entries']} entries kept, "
+              f"{report['removed_lines']} superseded lines removed, "
+              f"{report['rewritten_shards']} shards rewritten")
+        return 0
+    shard_files = sorted(store.shards_dir.glob("*.jsonl")) \
+        if store.shards_dir.is_dir() else []
+    total_bytes = sum(path.stat().st_size for path in shard_files)
+    # Entries served from an unmigrated legacy file are not shard lines,
+    # so clamp: superseded lines only ever exist inside shards.
+    superseded = max(store.total_lines() - len(store), 0)
+    print(f"store: {store.root}")
+    print(f"  shards            : {len(shard_files):>12,}  "
+          f"('<xx>.jsonl' by leading key bytes)")
+    print(f"  entries           : {len(store):>12,}  "
+          f"({superseded:,} superseded lines; "
+          f"'store compact' removes them)")
+    print(f"  bytes             : {total_bytes:>12,}")
+    print(f"  index             : "
+          f"{'fresh' if store.index_path.is_file() else 'missing':>12}  "
+          f"({store.index_path})")
+    if store.legacy_path.is_file():
+        print(f"  legacy store      : {store.legacy_path} (unmigrated; "
+              f"served read-only)")
+    return 0
+
+
+# ======================================================================
 # Entry point
 # ======================================================================
-def _add_store_and_scale(parser: argparse.ArgumentParser) -> None:
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store", default=os.environ.get(REPRO_STORE_ENV) or DEFAULT_STORE,
         help="results-store directory (default: $REPRO_STORE or "
              f"'{DEFAULT_STORE}')")
+
+
+def _add_store_and_scale(parser: argparse.ArgumentParser) -> None:
+    _add_store_arg(parser)
     parser.add_argument("--accesses", type=int, default=Scale.accesses,
                         help="measured accesses per single-core job")
     parser.add_argument("--warmup", type=int, default=Scale.warmup,
@@ -367,6 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser = subparsers.add_parser(
         "figures", help="list the available experiments")
     figures_parser.set_defaults(func=cmd_figures)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and maintain the sharded results store")
+    store_parser.add_argument(
+        "action", choices=("info", "fsck", "compact", "migrate"),
+        help="info: shard/entry summary; fsck: salvage corrupt lines in "
+             "place; compact: drop superseded entries; migrate: fold a "
+             "legacy store.jsonl into the sharded layout")
+    _add_store_arg(store_parser)
+    store_parser.set_defaults(func=cmd_store)
 
     clean_parser = subparsers.add_parser(
         "clean", help="delete the store file and stats directory")

@@ -81,6 +81,9 @@ GOLDEN_MIXES: Tuple[str, ...] = ("mix1", "MT1")
 #: Predictors of the golden/multi-core comparisons.
 MIX_PREDICTORS: Tuple[str, ...] = ("baseline", "lp", "ideal")
 
+#: Seeds of the ``sweep`` design-space grid (several times the paper grid).
+SWEEP_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
 
 # ======================================================================
 # Experiment kinds
@@ -338,6 +341,88 @@ def _fig14_metrics(grid) -> Dict[str, Any]:
 
 
 # ======================================================================
+# Sweep experiment (store scale-out)
+# ======================================================================
+class SweepExperiment(Experiment):
+    """A design-space sweep several times the paper's largest grid.
+
+    Every highlighted application x all six compared systems x
+    :data:`SWEEP_SEEDS`, plus every Table II mix x the multi-core
+    predictors x the same seeds — ~3.5x the 126-job Figure 10-12 grid.
+    This is the grid the sharded results store exists for: hundreds of
+    cells spread across shard files, written concurrently by however many
+    ``repro run`` invocations share the store.  The summary reports
+    per-seed geomean speedups and their cross-seed spread, so the sweep
+    doubles as a seed-sensitivity check on the paper's headline result.
+    """
+
+    name = "sweep"
+    title = "Design-space sweep: full grids x seeds (store scale-out)"
+
+    def __init__(self, applications: Sequence[str],
+                 mixes: Sequence[str]) -> None:
+        self.applications = tuple(applications)
+        self.mixes = tuple(mixes)
+
+    def jobs(self, scale: Scale) -> List[Job]:
+        single = [SimulationJob(workload=app, predictor=predictor,
+                                num_accesses=scale.accesses,
+                                warmup_accesses=scale.warmup, seed=seed)
+                  for app in self.applications
+                  for seed in SWEEP_SEEDS
+                  for predictor in COMPARED_SYSTEMS]
+        mixes = [MixJob(mix=mix, predictor=predictor,
+                        accesses_per_core=scale.mix_accesses, seed=seed,
+                        config=SystemConfig.paper_multi_core())
+                 for mix in self.mixes
+                 for seed in SWEEP_SEEDS
+                 for predictor in MIX_PREDICTORS]
+        return single + mixes
+
+    def summarize(self, results: Sequence[Any], scale: Scale
+                  ) -> Dict[str, Any]:
+        index = 0
+        systems = [name for name in COMPARED_SYSTEMS if name != "baseline"]
+        per_seed: Dict[str, Dict[str, List[float]]] = {
+            str(seed): {name: [] for name in systems}
+            for seed in SWEEP_SEEDS}
+        for _app in self.applications:
+            for seed in SWEEP_SEEDS:
+                per_system = {}
+                for predictor in COMPARED_SYSTEMS:
+                    per_system[predictor] = results[index]
+                    index += 1
+                baseline = per_system["baseline"]
+                for name in systems:
+                    per_seed[str(seed)][name].append(
+                        per_system[name].speedup_over(baseline))
+        single = {seed: {name: geometric_mean(values)
+                         for name, values in row.items()}
+                  for seed, row in per_seed.items()}
+        mix_speedups: Dict[str, List[float]] = {
+            str(seed): [] for seed in SWEEP_SEEDS}
+        for _mix in self.mixes:
+            for seed in SWEEP_SEEDS:
+                per_system = {}
+                for predictor in MIX_PREDICTORS:
+                    per_system[predictor] = results[index]
+                    index += 1
+                mix_speedups[str(seed)].append(
+                    per_system["lp"].speedup_over(per_system["baseline"]))
+        lp = [single[str(seed)]["lp"] for seed in SWEEP_SEEDS]
+        return {
+            "jobs": len(results),
+            "seeds": list(SWEEP_SEEDS),
+            "single_core_geomean_speedup": single,
+            "mix_lp_geomean_speedup": {
+                seed: geometric_mean(values)
+                for seed, values in mix_speedups.items()},
+            "lp_seed_spread": {"min": min(lp), "max": max(lp),
+                               "mean": sum(lp) / len(lp)},
+        }
+
+
+# ======================================================================
 # Golden experiment
 # ======================================================================
 class GoldenExperiment(Experiment):
@@ -455,6 +540,7 @@ def _build_registry() -> Dict[str, Experiment]:
             mixes, MIX_PREDICTORS, _fig14_metrics),
         SensitivityExperiment(),
         GoldenExperiment(),
+        SweepExperiment(apps, mixes),
     ]
     return {experiment.name: experiment for experiment in experiments}
 

@@ -32,9 +32,11 @@ from .store import (
     UncacheableJobError,
     default_store,
     deserialize_result,
+    fsck_store,
     job_key,
     job_spec,
     serialize_result,
+    shard_for_key,
 )
 from .stats import (
     MissFilteringRatios,
@@ -73,9 +75,11 @@ __all__ = [
     "deserialize_result",
     "execute_job",
     "expand_grid",
+    "fsck_store",
     "job_key",
     "job_spec",
     "serialize_result",
+    "shard_for_key",
     "build_system",
     "make_llc_prefetcher",
     "make_predictor",

@@ -453,7 +453,12 @@ class SimulationEngine:
                 results[index] = cached
         if missing:
             if force:
-                self.store.misses += len(missing)
+                # get() was skipped; keep the counters meaningful anyway
+                # (unkeyed jobs are tallied apart from true misses).
+                keyed = sum(1 for index in missing
+                            if keys[index] is not None)
+                self.store.misses += keyed
+                self.store.unkeyed += len(missing) - keyed
             fresh = self._iter_execute([jobs[i] for i in missing],
                                        chunk_align)
             # Persist each fresh result as it arrives (still in job order),

@@ -15,13 +15,43 @@ turns that determinism into persistence:
 * :func:`serialize_result` / :func:`deserialize_result` — exact round-trip
   encoding of simulation results (JSON ``repr`` round-trips floats
   bit-for-bit, so a deserialized result compares equal to the original);
-* :class:`ResultStore` — JSON-lines persistence (``<root>/store.jsonl``)
-  with an in-memory index, append-on-put writes and hit/miss counters.
+* :class:`ResultStore` — crash- and concurrency-safe sharded JSON-lines
+  persistence: entries land in ``<root>/shards/<xx>.jsonl`` keyed by the
+  leading byte of the SHA-256 job key, every append is a single
+  ``os.write`` of one full line on an ``O_APPEND`` descriptor under an
+  advisory ``fcntl`` lock, and a lightweight on-disk index
+  (``<root>/shards/index.json``) makes re-opening a large store
+  O(changed shards) instead of O(all lines).
+
+Concurrency and crash safety
+============================
+
+Multiple processes (CI plus a user sweep, two ``python -m repro run``
+invocations, ...) may write one store simultaneously.  The discipline:
+
+* every append is one ``write(2)`` of a complete ``line + "\n"`` on an
+  ``O_APPEND`` descriptor, so concurrent appends never interleave within
+  a line;
+* the per-store advisory lock (``<root>/shards/.lock``) is held around
+  append *and* repair, and repair only ever truncates a torn trailing
+  line in place — it never rewrites a file, so entries appended by other
+  processes are never clobbered;
+* a torn trailing line (a run killed mid-append) is skipped with a
+  warning on load and truncated under the lock before the next append to
+  that shard; mid-file corruption is a contextual :class:`ValueError`
+  naming ``path:line`` and is salvageable with ``python -m repro store
+  fsck`` (see :func:`fsck_store`).
+
+A legacy single-file ``<root>/store.jsonl`` is migrated into the sharded
+layout automatically on open (and explicitly via ``python -m repro store
+migrate``); the original is kept as ``store.jsonl.migrated``.
 
 Jobs whose workload cannot be fingerprinted deterministically (an ad-hoc
 :class:`~repro.workloads.base.Workload` carrying state the canonicalizer
 does not understand) raise :class:`UncacheableJobError`; the engine runs
-such jobs directly, bypassing the store.
+such jobs directly, bypassing the store.  Lookups with ``key=None`` are
+counted in :attr:`ResultStore.unkeyed`, not as misses, so the hit/miss
+counters measure only content-addressable traffic.
 
 The engine consults a store when given one explicitly or when the
 ``REPRO_STORE`` environment variable names a store directory (see
@@ -36,8 +66,14 @@ import hashlib
 import json
 import os
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+# POSIX-only on purpose: the store's concurrency guarantees rest on
+# fcntl.flock and os.pread, so a platform without them must fail loudly
+# at import rather than silently run unlocked.
+import fcntl
 
 from ..core.base import PredictionOutcome, PredictorStats
 from ..core.recovery import RecoverySummary
@@ -373,110 +409,726 @@ def deserialize_result(data: Dict[str, Any]
 
 
 # ======================================================================
+# Sharded on-disk layout: naming, locking, appending, line parsing
+# ======================================================================
+#: Directory under the store root holding the shard files.
+SHARDS_DIRNAME = "shards"
+
+#: Name of the on-disk shard index (inside the shards directory).
+INDEX_FILENAME = "index.json"
+
+#: Name of the advisory lock file (inside the shards directory).
+LOCK_FILENAME = ".lock"
+
+#: Bumped whenever the index layout changes; unknown indexes are rescanned.
+INDEX_SCHEMA = "repro-store-index/1"
+
+#: Hex characters of the key that select a shard (2 -> up to 256 shards).
+SHARD_PREFIX_CHARS = 2
+
+#: In-memory location marker for entries served straight from an
+#: unmigrated legacy ``store.jsonl`` (read-only media); never a real
+#: shard prefix, since shard file stems are never empty.
+_LEGACY_PREFIX = ""
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def shard_for_key(key: str) -> str:
+    """The shard prefix (e.g. ``"a3"``) a store key routes to.
+
+    Keys are normally SHA-256 hex digests, so the leading bytes are already
+    uniformly distributed; any other key is re-hashed so the mapping stays
+    total and stable across processes.
+    """
+    prefix = key[:SHARD_PREFIX_CHARS].lower()
+    if len(prefix) < SHARD_PREFIX_CHARS or not set(prefix) <= _HEX_DIGITS:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        prefix = digest[:SHARD_PREFIX_CHARS]
+    return prefix
+
+
+@contextmanager
+def _store_lock(lock_path: Path) -> Iterator[None]:
+    """Hold the store's advisory exclusive lock.
+
+    Guards every mutation (append, torn-tail repair, migration, fsck,
+    compaction, index writes) across processes.  ``fcntl.flock`` locks are
+    per open-file-description, so this must never be nested within one
+    process — public methods take the lock once and call unlocked helpers.
+
+    After acquiring, the held inode is re-validated against the path: a
+    waiter that wins the lock on an inode ``clear()`` just unlinked would
+    otherwise share a critical section with a writer locking the fresh
+    file (two locks, two inodes — split brain), so it retries on the
+    current file instead.
+    """
+    fd = -1
+    try:
+        while True:
+            lock_path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                on_disk = os.stat(lock_path).st_ino
+            except FileNotFoundError:
+                on_disk = -1
+            if on_disk == os.fstat(fd).st_ino:
+                break
+            os.close(fd)
+            fd = -1
+        yield
+    finally:
+        if fd != -1:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+
+def _last_newline(fd: int, size: int) -> int:
+    """Offset just past the last ``\\n`` in the file (0 if none)."""
+    chunk = 4096
+    end = size
+    while end > 0:
+        start = max(0, end - chunk)
+        data = os.pread(fd, end - start, start)
+        found = data.rfind(b"\n")
+        if found != -1:
+            return start + found + 1
+        end = start
+    return 0
+
+
+def _append_payload(path: Path, payload: bytes) -> int:
+    """Append ``payload`` (one or more full lines) in a single ``write``.
+
+    The caller must hold the store lock.  If the file ends in a torn
+    partial line (a writer killed mid-append), the tail is truncated in
+    place first — complete lines written by other processes are never
+    touched.  Returns the offset the payload landed at.
+    """
+    fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        size = os.fstat(fd).st_size
+        if size and os.pread(fd, 1, size - 1) != b"\n":
+            size = _last_newline(fd, size)
+            os.ftruncate(fd, size)
+        offset = size
+        written = os.write(fd, payload)
+        while written < len(payload):  # pragma: no cover - short write
+            written += os.write(fd, payload[written:])
+        return offset
+    finally:
+        os.close(fd)
+
+
+_LINE_PROBLEMS = {
+    "corrupt": "invalid JSON",
+    "foreign": "not a store entry (missing 'key'/'result')",
+}
+
+
+def _classify_lines(data: bytes, start: int = 0,
+                    salvage_unterminated: bool = False
+                    ) -> Iterator[Tuple[str, int, int, Optional[dict]]]:
+    """Classify every non-blank line of ``data`` from ``start`` onwards.
+
+    Yields ``(kind, offset, length, entry)`` where ``kind`` is ``"good"``
+    (``entry`` is the parsed store entry), ``"torn"`` (an unterminated
+    partial final line), ``"corrupt"`` (a terminated line that is not
+    JSON) or ``"foreign"`` (valid JSON without the entry shape).
+    ``length`` includes the trailing newline when present.
+
+    The appender only ever writes complete ``line + "\\n"`` payloads, so an
+    unterminated final line is normally a torn append and unreadable; with
+    ``salvage_unterminated`` (fsck), one that parses cleanly is kept.
+    """
+    end = len(data)
+    offset = start
+    while offset < end:
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            raw, length, terminated = data[offset:end], end - offset, False
+        else:
+            raw = data[offset:newline]
+            length, terminated = newline + 1 - offset, True
+        line_offset = offset
+        offset += length
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        entry: Any = None
+        try:
+            entry = json.loads(stripped.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            yield (("corrupt" if terminated else "torn"),
+                   line_offset, length, None)
+            continue
+        if not terminated and not salvage_unterminated:
+            yield "torn", line_offset, length, None
+            continue
+        if not (isinstance(entry, dict) and isinstance(entry.get("key"), str)
+                and "result" in entry):
+            yield "foreign", line_offset, length, None
+            continue
+        yield "good", line_offset, length, entry
+
+
+def _parse_shard(path: Path, data: bytes, start: int = 0
+                 ) -> Tuple[List[List[Any]], int]:
+    """Strictly parse one shard (or legacy) file from ``start``.
+
+    Returns ``([[key, offset, length], ...], good_end)`` where ``good_end``
+    is the offset just past the last good line.  A torn trailing line is
+    skipped with a warning (repaired in place by the next locked append);
+    any other malformed line — invalid JSON or well-formed JSON with the
+    wrong shape — raises a contextual :class:`ValueError` naming
+    ``path:line`` and pointing at ``python -m repro store fsck``.
+    """
+    entries: List[List[Any]] = []
+    good_end = start
+    for kind, offset, length, entry in _classify_lines(data, start):
+        if kind == "good":
+            entries.append([entry["key"], offset, length])
+            good_end = offset + length
+            continue
+        if kind == "torn":
+            print(f"repro.store: ignoring torn trailing line of {path} "
+                  f"(interrupted append; repaired in place on next write)",
+                  file=sys.stderr)
+            continue
+        line_number = data.count(b"\n", 0, offset) + 1
+        raise ValueError(
+            f"{path}:{line_number}: corrupt store line "
+            f"({_LINE_PROBLEMS[kind]}); run 'python -m repro store fsck' "
+            f"to salvage")
+    return entries, good_end
+
+
+def _existing_keys(path: Path) -> frozenset:
+    """Keys of the complete entries already present in a shard file.
+
+    Migration skips legacy lines whose key the shard already holds: that
+    makes an interrupted migration resume without duplicating the lines
+    it already appended, and keeps a stale legacy entry from superseding
+    a newer shard entry under newest-wins (shard entries always postdate
+    the legacy layout).
+    """
+    if not path.is_file():
+        return frozenset()
+    data = path.read_bytes()
+    return frozenset(
+        entry["key"]
+        for kind, _, _, entry in _classify_lines(data)
+        if kind == "good")
+
+
+def _rebuild_shard(path: Path, lines: List[Tuple[str, bytes]],
+                   original: Optional[bytes]
+                   ) -> Tuple[bool, Dict[str, Any]]:
+    """Atomically replace a shard with ``lines`` if its bytes changed.
+
+    The single rewrite discipline shared by compaction and fsck: compare
+    against ``original`` (the bytes read under the lock; ``None`` for a
+    shard that did not exist), write via ``.tmp`` + ``os.replace`` only on
+    change, and return ``(rewritten, index meta)`` for the new content.
+    Caller holds the store lock.
+    """
+    payload = b"".join(line for _, line in lines)
+    rewritten = payload != original
+    if rewritten:
+        tmp = path.with_suffix(".jsonl.tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+    entries: List[List[Any]] = []
+    offset = 0
+    for key, line in lines:
+        entries.append([key, offset, len(line)])
+        offset += len(line)
+    return rewritten, {"size": offset, "entries": entries}
+
+
+def _write_index(shards_dir: Path,
+                 meta: Dict[str, Dict[str, Any]]) -> None:
+    """Atomically replace the shard index.  Caller holds the store lock."""
+    payload = json.dumps({"schema": INDEX_SCHEMA, "shards": meta},
+                         sort_keys=True, separators=(",", ":"))
+    tmp = shards_dir / (INDEX_FILENAME + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    os.replace(tmp, shards_dir / INDEX_FILENAME)
+
+
+# ======================================================================
 # The store
 # ======================================================================
 class ResultStore:
-    """JSON-lines results store under one directory.
+    """Sharded, concurrency-safe JSON-lines results store.
 
     Layout::
 
-        <root>/store.jsonl   one {"key", "spec", "result"} object per line
-        <root>/stats/        per-experiment metric summaries (CLI-written)
+        <root>/shards/<xx>.jsonl   entries whose key starts with hex "xx"
+        <root>/shards/index.json   per-shard {size, [key, offset, length]}
+        <root>/shards/.lock        advisory fcntl lock (append/repair/fsck)
+        <root>/store.jsonl         legacy single-file store (auto-migrated)
+        <root>/stats/              per-experiment summaries (CLI-written)
 
     Entries are appended in job order, so two runs over the same job list
-    produce byte-identical store files regardless of worker parallelism —
+    produce byte-identical shard files regardless of worker parallelism —
     the property the CI determinism job checks.  Re-putting a key appends a
     new line; the newest line wins on reload (how ``--force`` refreshes
-    results without rewriting history).
+    results without rewriting history).  Results are read lazily —
+    :meth:`get` ``pread``\\ s one line at its indexed offset — so opening a
+    large store does not parse every stored result.
     """
 
+    #: Legacy single-file layout (pre-sharding); migrated on open.
     STORE_FILENAME = "store.jsonl"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
-        self.path = self.root / self.STORE_FILENAME
-        self._index: Dict[str, Dict[str, Any]] = {}
-        # Good prefix to rewrite before the next append when the file ends
-        # in a torn partial line (run killed mid-append).  Repairing lazily
-        # keeps reads (status, --check) strictly read-only.
-        self._pending_repair: Optional[str] = None
+        self.shards_dir = self.root / SHARDS_DIRNAME
+        self.index_path = self.shards_dir / INDEX_FILENAME
+        self.lock_path = self.shards_dir / LOCK_FILENAME
+        self.legacy_path = self.root / self.STORE_FILENAME
+        #: key -> (shard prefix, byte offset, line length) for every entry.
+        self._entries: Dict[str, Tuple[str, int, int]] = {}
+        #: Encoded results touched by this process (put or already read).
+        self._mem: Dict[str, Dict[str, Any]] = {}
+        #: Per-shard {"size", "entries"} mirror of the on-disk index.
+        self._index_meta: Dict[str, Dict[str, Any]] = {}
+        #: Shards another process appended to behind us: this process's
+        #: entry list has holes for them, so they must never be indexed.
+        self._unindexed: set = set()
         self.hits = 0
         self.misses = 0
+        #: Lookups for ``key=None`` (uncacheable jobs) — not store misses.
+        self.unkeyed = 0
+        #: Entries folded in from a legacy ``store.jsonl`` on this open.
+        self.migrated_entries = self._migrate_legacy()
         self._load()
 
     # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _shard_path(self, prefix: str) -> Path:
+        if prefix == _LEGACY_PREFIX:
+            return self.legacy_path
+        return self.shards_dir / f"{prefix}.jsonl"
+
+    def _read_index(self) -> Dict[str, Any]:
+        try:
+            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) or raw.get("schema") != INDEX_SCHEMA:
+            return {}
+        shards = raw.get("shards")
+        return shards if isinstance(shards, dict) else {}
+
     def _load(self) -> None:
-        if not self.path.is_file():
+        """Build the key index, scanning only shards the index missed.
+
+        A shard whose on-disk size matches its index entry is adopted
+        without reading it; one that only grew is scanned from the indexed
+        offset (appends are the common mutation); anything else is
+        rescanned in full.  The refreshed index is written back
+        best-effort so the next open stays O(changed shards).
+        """
+        if not self.shards_dir.is_dir():
             return
-        lines = self.path.read_text(encoding="utf-8").split("\n")
-        for line_number, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped:
+        index = self._read_index()
+        dirty = False
+        for path in sorted(self.shards_dir.glob("*.jsonl")):
+            prefix = path.stem
+            size = path.stat().st_size
+            cached = index.get(prefix)
+            if isinstance(cached, dict) and cached.get("size") == size:
+                entries = [list(entry)
+                           for entry in cached.get("entries", [])]
+                self._adopt(prefix, {"size": size, "entries": entries})
                 continue
+            data = path.read_bytes()
+            carried: List[List[Any]] = []
+            start = 0
+            if isinstance(cached, dict) and \
+                    0 < cached.get("size", 0) < size:
+                carried = [list(entry)
+                           for entry in cached.get("entries", [])]
+                start = cached["size"]
             try:
-                entry = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                if all(not rest.strip() for rest in lines[line_number:]):
-                    # A partial trailing line is what a run killed
-                    # mid-append leaves behind; ignore it (losing only the
-                    # interrupted job) and repair the file on next write.
-                    print(f"repro.store: ignoring partial trailing line "
-                          f"{line_number} of {self.path} (interrupted "
-                          f"write; repaired on next write)",
-                          file=sys.stderr)
-                    good = "\n".join(lines[:line_number - 1])
-                    self._pending_repair = good + ("\n" if good else "")
-                    return
-                raise ValueError(
-                    f"{self.path}:{line_number}: corrupt store line "
-                    f"({exc})") from exc
-            self._index[entry["key"]] = entry["result"]
+                fresh, good_end = _parse_shard(path, data, start)
+            except ValueError:
+                if start == 0:
+                    raise
+                # The shard was rewritten (fsck/compact) behind a stale
+                # index, so the indexed offset lands mid-line.  The index
+                # is a cache, never authority: rescan the whole shard.
+                carried, start = [], 0
+                fresh, good_end = _parse_shard(path, data, 0)
+            self._adopt(prefix, {"size": max(good_end, start),
+                                 "entries": carried + fresh})
+            dirty = True
+        if dirty:
+            try:
+                with _store_lock(self.lock_path):
+                    _write_index(self.shards_dir, self._index_meta)
+            except OSError:  # pragma: no cover - read-only store dir
+                pass
+
+    def _adopt(self, prefix: str, meta: Dict[str, Any]) -> None:
+        for key, offset, length in meta["entries"]:
+            self._entries[key] = (prefix, offset, length)
+        self._index_meta[prefix] = meta
+
+    def _migrate_legacy(self) -> int:
+        """Fold a legacy single-file ``store.jsonl`` into the shards.
+
+        Runs under the store lock (re-checking after acquisition, so two
+        processes opening the same legacy store race safely); the original
+        file is kept as ``store.jsonl.migrated``.  Lossless: every good
+        line's bytes are appended verbatim to its shard.
+
+        On unwritable media (``status``/``--check`` against a read-only
+        mount) migration is skipped and the legacy entries are served in
+        place instead, so read-only commands keep working.
+        """
+        if not self.legacy_path.is_file():
+            return 0
+        try:
+            with _store_lock(self.lock_path):
+                if not self.legacy_path.is_file():
+                    return 0
+                data = self.legacy_path.read_bytes()
+                entries, _ = _parse_shard(self.legacy_path, data)
+                groups: Dict[str, List[Tuple[str, bytes]]] = {}
+                for key, offset, length in entries:
+                    line = data[offset:offset + length]
+                    groups.setdefault(shard_for_key(key), []).append(
+                        (key, line))
+                for prefix, lines in sorted(groups.items()):
+                    path = self._shard_path(prefix)
+                    present = _existing_keys(path)
+                    payload = b"".join(line for key, line in lines
+                                       if key not in present)
+                    if payload:
+                        _append_payload(path, payload)
+                backup = self.legacy_path.with_name(
+                    self.legacy_path.name + ".migrated")
+                os.replace(self.legacy_path, backup)
+        except OSError as exc:
+            # Unwritable media: serve the legacy entries in place.  If
+            # even reading the legacy file fails, there is nothing to
+            # degrade to — propagate the original error.
+            try:
+                data = self.legacy_path.read_bytes()
+                entries, _ = _parse_shard(self.legacy_path, data)
+            except OSError:
+                raise exc from None
+            print(f"repro.store: cannot migrate legacy {self.legacy_path} "
+                  f"({exc}); serving its entries read-only in place",
+                  file=sys.stderr)
+            for key, offset, length in entries:
+                self._entries[key] = (_LEGACY_PREFIX, offset, length)
+            return 0
+        print(f"repro.store: migrated {len(entries)} legacy entries from "
+              f"{self.legacy_path} into {self.shards_dir} (original kept "
+              f"as {backup.name})", file=sys.stderr)
+        return len(entries)
 
     # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._entries)
 
     def __contains__(self, key: Optional[str]) -> bool:
-        return key is not None and key in self._index
+        return key is not None and key in self._entries
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def total_lines(self) -> int:
+        """Persisted lines across all shards (>= entries: newest wins)."""
+        return sum(len(meta["entries"])
+                   for meta in self._index_meta.values())
 
     def get(self, key: Optional[str]
             ) -> Optional[Union[SimulationResult, MultiCoreResult]]:
-        """Return the stored result for ``key``, counting hits/misses."""
-        if key is not None:
-            encoded = self._index.get(key)
-            if encoded is not None:
-                self.hits += 1
-                return deserialize_result(encoded)
+        """Return the stored result for ``key``, counting hits/misses.
+
+        ``key=None`` (an uncacheable job) is counted in :attr:`unkeyed`,
+        not as a miss — the hit/miss counters describe only lookups the
+        store could ever have answered.
+        """
+        if key is None:
+            self.unkeyed += 1
+            return None
+        encoded = self._mem.get(key)
+        if encoded is None:
+            location = self._entries.get(key)
+            if location is not None:
+                encoded = self._read_entry(key, location)
+        if encoded is not None:
+            self.hits += 1
+            self._mem[key] = encoded
+            return deserialize_result(encoded)
         self.misses += 1
         return None
 
+    def _read_entry(self, key: str, location: Tuple[str, int, int]
+                    ) -> Optional[Dict[str, Any]]:
+        """``pread`` one entry's line at its indexed offset and decode it."""
+        prefix, offset, length = location
+        entry = self._pread_entry(prefix, offset, length)
+        if entry is not None and entry.get("key") == key:
+            return entry["result"]
+        if prefix == _LEGACY_PREFIX:
+            # An unmigrated legacy file on read-only media never changes
+            # behind us; a failed read is simply a miss.
+            return None
+        # Stale offsets (the shard was fscked/compacted behind us): rescan
+        # the one shard and retry once.
+        path = self._shard_path(prefix)
+        if not path.is_file():
+            return None
+        entries, good_end = _parse_shard(path, path.read_bytes())
+        self._adopt(prefix, {"size": good_end, "entries": entries})
+        location = self._entries.get(key, ("", -1, 0))
+        if location[0] != prefix:
+            return None
+        entry = self._pread_entry(prefix, location[1], location[2])
+        if entry is not None and entry.get("key") == key:
+            return entry["result"]
+        return None
+
+    def _pread_entry(self, prefix: str, offset: int, length: int
+                     ) -> Optional[Dict[str, Any]]:
+        try:
+            fd = os.open(self._shard_path(prefix), os.O_RDONLY)
+        except OSError:
+            return None
+        try:
+            raw = os.pread(fd, length, offset)
+        finally:
+            os.close(fd)
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def put(self, key: str, spec: Dict[str, Any],
             result: Union[SimulationResult, MultiCoreResult]) -> None:
-        """Persist one result, appending to the JSON-lines file."""
+        """Persist one result: a locked single-``write`` shard append."""
         encoded = serialize_result(result)
         line = json.dumps({"key": key, "spec": spec, "result": encoded},
                           sort_keys=True, separators=(",", ":"))
-        self.root.mkdir(parents=True, exist_ok=True)
-        if self._pending_repair is not None:
-            # Drop the torn trailing line left by an interrupted run
-            # before appending, so the new entry starts on a clean line.
-            self.path.write_text(self._pending_repair, encoding="utf-8")
-            self._pending_repair = None
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-        self._index[key] = encoded
+        payload = (line + "\n").encode("utf-8")
+        prefix = shard_for_key(key)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        with _store_lock(self.lock_path):
+            offset = _append_payload(self._shard_path(prefix), payload)
+        self._entries[key] = (prefix, offset, len(payload))
+        self._mem[key] = encoded
+        if prefix in self._unindexed:
+            return
+        meta = self._index_meta.setdefault(
+            prefix, {"size": 0, "entries": []})
+        if offset != meta["size"]:
+            # Another process appended to this shard since we last read
+            # it: our entry list has a hole, so indexing it would hide
+            # those entries from every later open.  Leave the shard out of
+            # the index entirely — the next open full-scans it instead.
+            self._index_meta.pop(prefix, None)
+            self._unindexed.add(prefix)
+            return
+        meta["entries"].append([key, offset, len(payload)])
+        meta["size"] = offset + len(payload)
 
-    def keys(self) -> List[str]:
-        return list(self._index)
+    def flush_index(self) -> None:
+        """Persist the shard index so the next open is O(changed shards).
+
+        Called by the CLI after a run; a stale (or missing) index is never
+        wrong, only slower — shard sizes validate every index entry.
+        """
+        if not self._index_meta:
+            return
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        with _store_lock(self.lock_path):
+            _write_index(self.shards_dir, self._index_meta)
 
     def clear(self) -> None:
-        """Delete the persisted store file and reset in-memory state."""
-        if self.path.is_file():
-            self.path.unlink()
-        self._index.clear()
-        self._pending_repair = None
+        """Delete every persisted shard (and any legacy file) and reset."""
+        if self.shards_dir.is_dir():
+            with _store_lock(self.lock_path):
+                for path in sorted(self.shards_dir.glob("*.jsonl")):
+                    path.unlink()
+                index = self.shards_dir / INDEX_FILENAME
+                if index.is_file():
+                    index.unlink()
+                # The lock file goes last, while its flock is still held:
+                # a concurrent writer keeps excluding against this inode
+                # until the deliberate clean is complete.
+                if self.lock_path.is_file():
+                    os.unlink(self.lock_path)
+            try:
+                self.shards_dir.rmdir()
+            except OSError:  # pragma: no cover - foreign files left behind
+                pass
+        backup = self.legacy_path.with_name(
+            self.legacy_path.name + ".migrated")
+        for path in (self.legacy_path, backup):
+            if path.is_file():
+                path.unlink()
+        self._entries.clear()
+        self._mem.clear()
+        self._index_meta.clear()
+        self._unindexed.clear()
         self.hits = 0
         self.misses = 0
+        self.unkeyed = 0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def fsck(self) -> Dict[str, int]:
+        """Salvage the on-disk store in place, then reload this view.
+
+        See :func:`fsck_store` (which also works when the store is too
+        corrupt for ``__init__`` to load).
+        """
+        report = fsck_store(self.root)
+        self._entries.clear()
+        self._mem.clear()
+        self._index_meta.clear()
+        self._unindexed.clear()
+        self._load()
+        return report
+
+    def compact(self) -> Dict[str, int]:
+        """Drop superseded lines: keep only each key's newest entry.
+
+        Shards are rewritten atomically under the store lock, preserving
+        the file order of the surviving lines, so compaction is
+        idempotent — a second run changes nothing.
+        """
+        report = {"entries": 0, "removed_lines": 0, "rewritten_shards": 0}
+        if not self.shards_dir.is_dir():
+            return report
+        # Built locally and adopted only on success: a corrupt shard's
+        # ValueError must leave this instance's view intact.
+        new_entries: Dict[str, Tuple[str, int, int]] = {}
+        new_meta: Dict[str, Dict[str, Any]] = {}
+        with _store_lock(self.lock_path):
+            for path in sorted(self.shards_dir.glob("*.jsonl")):
+                prefix = path.stem
+                data = path.read_bytes()
+                parsed, _ = _parse_shard(path, data)
+                newest = {key: position
+                          for position, (key, _, _) in enumerate(parsed)}
+                kept = [(key, data[offset:offset + length])
+                        for position, (key, offset, length)
+                        in enumerate(parsed) if newest[key] == position]
+                rewritten, meta = _rebuild_shard(path, kept, data)
+                if rewritten:
+                    report["rewritten_shards"] += 1
+                    report["removed_lines"] += len(parsed) - len(kept)
+                for key, offset, length in meta["entries"]:
+                    new_entries[key] = (prefix, offset, length)
+                new_meta[prefix] = meta
+                report["entries"] += len(kept)
+            _write_index(self.shards_dir, new_meta)
+        self._entries = new_entries
+        self._index_meta = new_meta
+        self._unindexed = set()
+        return report
+
+
+def fsck_store(root: Union[str, Path]) -> Dict[str, int]:
+    """Salvage a store directory in place (file-system level, lock held).
+
+    Usable even when the store is too corrupt for :class:`ResultStore` to
+    open: every shard (and any legacy ``store.jsonl``) is scanned
+    tolerantly, good entries are kept — relocated to their correct shard
+    if misplaced, newline-terminated if a crash left a readable but
+    unterminated tail — and torn/corrupt/foreign lines are dropped.
+    Touched shards are rewritten atomically; clean shards keep their exact
+    bytes.  The index is rebuilt from scratch.
+    """
+    root = Path(root)
+    shards_dir = root / SHARDS_DIRNAME
+    legacy = root / ResultStore.STORE_FILENAME
+    report = {"kept": 0, "migrated": 0, "moved": 0, "torn": 0,
+              "corrupt": 0, "foreign": 0, "rewritten_shards": 0}
+    if not shards_dir.is_dir() and not legacy.is_file():
+        return report
+
+    def salvage(data: bytes) -> Iterator[Tuple[str, bytes]]:
+        for kind, offset, length, entry in _classify_lines(
+                data, salvage_unterminated=True):
+            if kind != "good":
+                report[kind] += 1
+                continue
+            line = data[offset:offset + length]
+            if not line.endswith(b"\n"):
+                line += b"\n"
+            yield entry["key"], line
+
+    shards_dir.mkdir(parents=True, exist_ok=True)
+    with _store_lock(shards_dir / LOCK_FILENAME):
+        # Entries that must move: salvaged legacy lines and misplaced keys.
+        incoming: Dict[str, List[Tuple[str, bytes, str]]] = {}
+        if legacy.is_file():
+            for key, line in salvage(legacy.read_bytes()):
+                incoming.setdefault(shard_for_key(key), []).append(
+                    (key, line, "migrated"))
+            os.replace(legacy, legacy.with_name(legacy.name + ".migrated"))
+        contents: Dict[str, List[Tuple[str, bytes]]] = {}
+        originals: Dict[str, bytes] = {}
+        for path in sorted(shards_dir.glob("*.jsonl")):
+            prefix = path.stem
+            data = path.read_bytes()
+            originals[prefix] = data
+            kept: List[Tuple[str, bytes]] = []
+            for key, line in salvage(data):
+                target = shard_for_key(key)
+                if target != prefix:
+                    incoming.setdefault(target, []).append(
+                        (key, line, "moved"))
+                else:
+                    kept.append((key, line))
+                    report["kept"] += 1
+            contents[prefix] = kept
+        for prefix, items in incoming.items():
+            kept = contents.setdefault(prefix, [])
+            present = {key for key, _ in kept}
+            # Within the incoming lines the last occurrence supersedes
+            # earlier ones (file order == put order)...
+            chosen: Dict[str, Tuple[bytes, str]] = {}
+            for key, line, category in items:
+                chosen[key] = (line, category)
+            for key, (line, category) in chosen.items():
+                # ...but an entry already in its home shard wins outright:
+                # shard entries postdate the legacy layout, and a
+                # previously interrupted migration already appended these
+                # exact lines (see _existing_keys).
+                if key in present:
+                    continue
+                kept.append((key, line))
+                present.add(key)
+                report[category] += 1
+        index_meta: Dict[str, Dict[str, Any]] = {}
+        for prefix in sorted(contents):
+            rewritten, meta = _rebuild_shard(
+                shards_dir / f"{prefix}.jsonl", contents[prefix],
+                originals.get(prefix))
+            if rewritten:
+                report["rewritten_shards"] += 1
+            index_meta[prefix] = meta
+        _write_index(shards_dir, index_meta)
+    return report
 
 
 #: Process-wide cache of environment-default stores, keyed by resolved

@@ -164,11 +164,135 @@ class TestInspection:
 
     def test_clean_removes_store_and_stats(self, tmp_path, capsys):
         run_experiment("fig13", ResultStore(tmp_path), TINY)
-        assert (tmp_path / "store.jsonl").is_file()
+        assert (tmp_path / "shards").is_dir()
         assert main(["clean", "--store", str(tmp_path)]) == 0
-        assert not (tmp_path / "store.jsonl").exists()
+        assert not (tmp_path / "shards").exists()
         assert not (tmp_path / "stats").exists()
         assert "removed" in capsys.readouterr().out
+
+
+# ======================================================================
+# store maintenance subcommand
+# ======================================================================
+class TestStoreCmd:
+    def test_info_summarises_the_store(self, tmp_path, capsys):
+        run_experiment("fig13", ResultStore(tmp_path), TINY)
+        assert main(["store", "info", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for field in ("shards", "entries", "bytes", "index"):
+            assert field in out
+
+    def test_migrate_upgrades_a_legacy_store_in_place(self, tmp_path,
+                                                      capsys):
+        # Build a modern store, then refold its lines into the legacy
+        # single-file layout to simulate a pre-sharding checkout.
+        run_experiment("fig13", ResultStore(tmp_path / "seed"), TINY)
+        legacy_root = tmp_path / "legacy"
+        legacy_root.mkdir()
+        lines = b"".join(
+            path.read_bytes()
+            for path in sorted((tmp_path / "seed" / "shards")
+                               .glob("*.jsonl")))
+        (legacy_root / "store.jsonl").write_bytes(lines)
+
+        assert main(["store", "migrate", "--store", str(legacy_root)]) == 0
+        assert "migrated" in capsys.readouterr().out
+        assert not (legacy_root / "store.jsonl").exists()
+        report = run_experiment("fig13", ResultStore(legacy_root), TINY)
+        assert report.simulated == 0
+        assert report.stored == report.total_jobs
+
+        assert main(["store", "migrate", "--store", str(legacy_root)]) == 0
+        assert "nothing to migrate" in capsys.readouterr().out
+
+    def test_migrate_on_unwritable_media_reports_failure(
+            self, tmp_path, capsys, monkeypatch):
+        """migrate must not claim success when the legacy file is stuck."""
+        import repro.sim.store as store_module
+
+        run_experiment("fig13", ResultStore(tmp_path / "seed"), TINY)
+        legacy_root = tmp_path / "legacy"
+        legacy_root.mkdir()
+        lines = b"".join(
+            path.read_bytes()
+            for path in sorted((tmp_path / "seed" / "shards")
+                               .glob("*.jsonl")))
+        (legacy_root / "store.jsonl").write_bytes(lines)
+
+        def refuse(path, payload):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(store_module, "_append_payload", refuse)
+        assert main(["store", "migrate", "--store", str(legacy_root)]) == 1
+        captured = capsys.readouterr()
+        assert "could not migrate" in captured.err
+        # info on the same store must stay coherent (no negative counts).
+        assert main(["store", "info", "--store", str(legacy_root)]) == 0
+        out = capsys.readouterr().out
+        assert "unmigrated" in out and "-" not in out.split("entries")[1][:40]
+
+    def test_fsck_salvages_and_signals_damage(self, tmp_path, capsys):
+        run_experiment("fig13", ResultStore(tmp_path), TINY)
+        shard = next(iter(sorted((tmp_path / "shards").glob("*.jsonl"))))
+        with shard.open("ab") as handle:
+            handle.write(b"garbage line\n")
+        assert main(["store", "fsck", "--store", str(tmp_path)]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        # Clean after salvage.
+        assert main(["store", "fsck", "--store", str(tmp_path)]) == 0
+        report = run_experiment("fig13", ResultStore(tmp_path), TINY)
+        assert report.simulated == 0
+
+    def test_compact_drops_superseded_entries(self, tmp_path, capsys):
+        store = ResultStore(tmp_path)
+        run_experiment("fig13", store, TINY)
+        run_experiment("fig13", store, TINY, force=True)
+        assert main(["store", "compact", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "superseded lines removed" in out
+        report = run_experiment("fig13", ResultStore(tmp_path), TINY)
+        assert report.simulated == 0
+
+
+# ======================================================================
+# the sweep experiment (store scale-out grid)
+# ======================================================================
+class TestSweep:
+    def test_sweep_is_opt_in_not_part_of_all(self):
+        from repro.cli import _resolve_targets
+
+        assert "sweep" not in _resolve_targets([])
+        assert "sweep" not in _resolve_targets(["all"])
+        assert "sweep" in _resolve_targets(["all", "sweep"])
+        assert _resolve_targets(["sweep"]) == ["sweep"]
+
+    def test_sweep_is_several_times_the_paper_grid(self):
+        from repro.sim.store import try_job_key
+
+        sweep_jobs = EXPERIMENTS["sweep"].jobs(TINY)
+        paper_grid = EXPERIMENTS["fig11"].jobs(TINY)
+        assert len(sweep_jobs) >= 3 * len(paper_grid)
+        keys = [try_job_key(job) for job in sweep_jobs]
+        assert None not in keys
+        assert len(set(keys)) == len(keys)  # every cell is distinct
+
+    def test_sweep_summary_reports_seed_spread(self, tmp_path):
+        scale = Scale(accesses=40, warmup=10, mix_accesses=30)
+        report = run_experiment("sweep", ResultStore(tmp_path), scale)
+        assert report.total_jobs == report.simulated
+        stats = report.stats
+        assert stats["jobs"] == report.total_jobs
+        seeds = [str(seed) for seed in stats["seeds"]]
+        assert len(seeds) >= 3
+        for seed in seeds:
+            assert stats["single_core_geomean_speedup"][seed]["lp"] > 0
+            assert stats["mix_lp_geomean_speedup"][seed] > 0
+        spread = stats["lp_seed_spread"]
+        assert spread["min"] <= spread["mean"] <= spread["max"]
+        # The store now holds a grid several times the paper's largest.
+        store = ResultStore(tmp_path)
+        assert len(store) == report.total_jobs
+        assert len(list((tmp_path / "shards").glob("*.jsonl"))) > 10
 
 
 # ======================================================================
@@ -234,8 +358,13 @@ class TestTraceCacheRuns:
         assert main(["run", "fig13", "--store", str(warm_store),
                      "--trace-dir", str(cold_store / "traces")] + scale) == 0
         assert TRACE_CACHE.disk_hits > 0
-        assert (cold_store / "store.jsonl").read_bytes() == \
-            (warm_store / "store.jsonl").read_bytes()
+        cold_shards = {path.name: path.read_bytes()
+                       for path in sorted((cold_store / "shards")
+                                          .glob("*.jsonl"))}
+        warm_shards = {path.name: path.read_bytes()
+                       for path in sorted((warm_store / "shards")
+                                          .glob("*.jsonl"))}
+        assert cold_shards and cold_shards == warm_shards
         # The warm run generated nothing new: no fresh spills appeared.
         cold_traces = sorted((cold_store / "traces").glob("*.npz"))
         assert not (warm_store / "traces").exists()

@@ -2,7 +2,10 @@
 
 Covers the properties the CI determinism job relies on: job keys stable
 across processes, exact result round-trips, resume after a partially
-persisted grid, and the engine's read-through/force semantics.
+persisted grid, and the engine's read-through/force semantics — plus the
+sharded layout: key->shard routing, locked torn-tail repair that never
+clobbers concurrent appends, legacy-store migration, the on-disk index,
+fsck salvage and compaction idempotence.
 """
 
 from __future__ import annotations
@@ -21,9 +24,11 @@ from repro.sim.store import (
     ResultStore,
     UncacheableJobError,
     deserialize_result,
+    fsck_store,
     job_key,
     job_spec,
     serialize_result,
+    shard_for_key,
     try_job_key,
 )
 from repro.workloads import build_workload
@@ -40,6 +45,37 @@ def small_grid(num_accesses: int = 200) -> list:
                           seed=0)
             for app in ("gapbs.pr", "gups")
             for predictor in ("baseline", "lp")]
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One real simulation result, shared by the store-layout tests."""
+    job = SimulationJob(workload="gups", predictor="lp", num_accesses=60,
+                        warmup_accesses=20)
+    return SimulationEngine(jobs=1, store=False).run([job])[0]
+
+
+def entry_line(key: str, result, spec=None) -> bytes:
+    """One store line exactly as ``ResultStore.put`` would write it."""
+    payload = json.dumps(
+        {"key": key, "spec": spec or {}, "result": serialize_result(result)},
+        sort_keys=True, separators=(",", ":"))
+    return payload.encode("utf-8") + b"\n"
+
+
+def hexkey(prefix: str, tag: str = "0") -> str:
+    """A syntactically valid 64-hex key routed to shard ``prefix``."""
+    body = tag.encode("utf-8").hex()
+    return (prefix + body + "0" * 64)[:64]
+
+
+def shard_bytes(root: Path) -> dict:
+    """{shard filename: bytes} for every shard file under ``root``."""
+    shards = Path(root) / "shards"
+    if not shards.is_dir():
+        return {}
+    return {path.name: path.read_bytes()
+            for path in sorted(shards.glob("*.jsonl"))}
 
 
 # ======================================================================
@@ -213,9 +249,11 @@ class TestResultStore:
         assert store.hits == 0 and store.misses == len(jobs)
         assert forced == first
         # Forced entries are appended; newest wins on reload.
-        assert len(ResultStore(tmp_path)) == len(jobs)
-        lines = (tmp_path / "store.jsonl").read_text().splitlines()
-        assert len(lines) == 2 * len(jobs)
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == len(jobs)
+        assert reloaded.total_lines() == 2 * len(jobs)
+        total = sum(data.count(b"\n") for data in shard_bytes(tmp_path).values())
+        assert total == 2 * len(jobs)
 
     def test_uncacheable_jobs_bypass_the_store(self, tmp_path):
         workload = build_workload("gups")
@@ -226,35 +264,80 @@ class TestResultStore:
         results = SimulationEngine(jobs=1, store=store).run([job])
         assert results[0].workload == "gups"
         assert len(store) == 0
+        # Unkeyed lookups must not skew the hit/miss counters.
+        assert store.misses == 0 and store.hits == 0
+        assert store.unkeyed == 1
 
     def test_store_file_is_deterministic_across_runs(self, tmp_path):
         jobs = small_grid()
         SimulationEngine(jobs=1, store=tmp_path / "a").run(jobs)
         SimulationEngine(jobs=1, store=tmp_path / "b").run(jobs)
-        assert (tmp_path / "a" / "store.jsonl").read_bytes() == \
-            (tmp_path / "b" / "store.jsonl").read_bytes()
+        first = shard_bytes(tmp_path / "a")
+        assert first and first == shard_bytes(tmp_path / "b")
+
+    def test_parallel_engine_produces_identical_shards(self, tmp_path):
+        """Entries are persisted in job order: every shard byte-matches."""
+        jobs = small_grid()
+        SimulationEngine(jobs=1, store=tmp_path / "serial").run(jobs)
+        SimulationEngine(jobs=2, store=tmp_path / "parallel").run(jobs)
+        serial = shard_bytes(tmp_path / "serial")
+        assert serial and serial == shard_bytes(tmp_path / "parallel")
 
     def test_partial_trailing_line_is_tolerated_then_repaired(
-            self, tmp_path, capsys):
+            self, tmp_path, capsys, tiny_result):
         """A run killed mid-append must not brick the store."""
-        result = SimulationEngine(jobs=1, store=False).run([SINGLE_JOB])[0]
         store = ResultStore(tmp_path)
-        store.put(job_key(SINGLE_JOB), job_spec(SINGLE_JOB), result)
-        with store.path.open("a") as handle:
-            handle.write('{"key": "trunc')  # interrupted append
+        store.put(job_key(SINGLE_JOB), job_spec(SINGLE_JOB), tiny_result)
+        shard = store.shards_dir / \
+            f"{shard_for_key(job_key(SINGLE_JOB))}.jsonl"
+        with shard.open("ab") as handle:
+            handle.write(b'{"key": "trunc')  # interrupted append
 
         recovered = ResultStore(tmp_path)
         assert len(recovered) == 1
-        assert recovered.get(job_key(SINGLE_JOB)) == result
-        assert "partial trailing line" in capsys.readouterr().err
+        assert recovered.get(job_key(SINGLE_JOB)) == tiny_result
+        assert "torn trailing line" in capsys.readouterr().err
         # Loading is strictly read-only: the torn tail is still on disk.
-        assert recovered.path.read_text().endswith('{"key": "trunc')
+        assert shard.read_bytes().endswith(b'{"key": "trunc')
 
-        # The next write repairs the tail before appending.
-        recovered.put("other-key", {"spec": 0}, result)
+        # The next append to that shard truncates the torn tail in place.
+        torn_key = hexkey(shard_for_key(job_key(SINGLE_JOB)), "other")
+        recovered.put(torn_key, {"spec": 0}, tiny_result)
+        assert b'"trunc' not in shard.read_bytes()
         reloaded = ResultStore(tmp_path)
         assert len(reloaded) == 2
         assert capsys.readouterr().err == ""
+
+    def test_repair_never_clobbers_a_concurrent_append(
+            self, tmp_path, capsys, tiny_result):
+        """Regression: repair must only truncate the torn tail it sees.
+
+        The old single-file store recorded a "good prefix" at load time and
+        rewrote the whole file with it on the next put — dropping entries
+        other processes appended in between.  Now repair happens under the
+        lock, in place, and only on an actually-torn tail.
+        """
+        prefix = "aa"
+        first, second, third = (hexkey(prefix, tag) for tag in "123")
+        writer_a = ResultStore(tmp_path)
+        writer_a.put(first, {}, tiny_result)
+        shard = writer_a.shards_dir / f"{prefix}.jsonl"
+        with shard.open("ab") as handle:
+            handle.write(b'{"key": "torn')
+
+        # Writer B opens while the tail is torn...
+        writer_b = ResultStore(tmp_path)
+        assert "torn trailing line" in capsys.readouterr().err
+        # ...then another process repairs the shard and appends an entry...
+        writer_c = ResultStore(tmp_path)
+        writer_c.put(second, {}, tiny_result)
+        # ...and writer B's own put must not clobber that fresh entry.
+        writer_b.put(third, {}, tiny_result)
+
+        reloaded = ResultStore(tmp_path)
+        assert sorted(reloaded.keys()) == sorted([first, second, third])
+        assert all(reloaded.get(key) == tiny_result
+                   for key in (first, second, third))
 
     def test_default_store_is_memoized_per_path(self, tmp_path,
                                                 monkeypatch):
@@ -263,18 +346,41 @@ class TestResultStore:
         second = SimulationEngine(jobs=1).store
         assert first is second and first is not None
 
-    def test_corrupt_interior_line_raises(self, tmp_path):
-        path = tmp_path / "store.jsonl"
-        path.write_text('not json\n{"key": "abc", "result": {}}\n')
+    def test_corrupt_interior_line_raises(self, tmp_path, tiny_result):
+        shards = tmp_path / "shards"
+        shards.mkdir(parents=True)
+        (shards / "aa.jsonl").write_bytes(
+            b"not json\n" + entry_line(hexkey("aa"), tiny_result))
+        with pytest.raises(ValueError, match=r"aa\.jsonl:1: corrupt"):
+            ResultStore(tmp_path)
+
+    def test_wrong_shape_line_raises_contextual_error(self, tmp_path,
+                                                      tiny_result):
+        """Valid JSON without the entry shape must not escape as KeyError.
+
+        The message names path:line and points at `repro store fsck`.
+        """
+        shards = tmp_path / "shards"
+        shards.mkdir(parents=True)
+        (shards / "aa.jsonl").write_bytes(
+            entry_line(hexkey("aa"), tiny_result)
+            + b'{"not": "an entry"}\n'
+            + entry_line(hexkey("aa", "2"), tiny_result))
+        with pytest.raises(ValueError, match=r"aa\.jsonl:2: .*fsck"):
+            ResultStore(tmp_path)
+
+    def test_corrupt_legacy_store_raises_with_fsck_hint(self, tmp_path):
+        (tmp_path / "store.jsonl").write_text(
+            'not json\n{"key": "abc", "result": {}}\n')
         with pytest.raises(ValueError, match="corrupt store line"):
             ResultStore(tmp_path)
 
     def test_clear_removes_persisted_results(self, tmp_path):
         store = ResultStore(tmp_path)
         SimulationEngine(jobs=1, store=store).run([SINGLE_JOB])
-        assert store.path.is_file()
+        assert store.shards_dir.is_dir()
         store.clear()
-        assert not store.path.is_file()
+        assert not store.shards_dir.exists()
         assert len(ResultStore(tmp_path)) == 0
 
     def test_env_default_store_wires_drivers_through(self, tmp_path,
@@ -283,7 +389,383 @@ class TestResultStore:
         engine = SimulationEngine(jobs=1)
         assert engine.store is not None
         engine.run([SINGLE_JOB])
-        assert (tmp_path / "env-store" / "store.jsonl").is_file()
+        assert shard_bytes(tmp_path / "env-store")
 
         monkeypatch.setenv("REPRO_STORE", "")
         assert SimulationEngine(jobs=1).store is None
+
+
+# ======================================================================
+# Shard routing
+# ======================================================================
+class TestSharding:
+    def test_entries_land_in_their_key_shard(self, tmp_path, tiny_result):
+        store = ResultStore(tmp_path)
+        for prefix in ("00", "a7", "ff"):
+            store.put(hexkey(prefix), {}, tiny_result)
+        names = set(shard_bytes(tmp_path))
+        assert names == {"00.jsonl", "a7.jsonl", "ff.jsonl"}
+
+    def test_job_keys_spread_across_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        SimulationEngine(jobs=1, store=store).run(small_grid())
+        for key in store.keys():
+            prefix, _, _ = store._entries[key]
+            assert prefix == key[:2]
+
+    def test_shard_routing_is_stable_across_processes(self):
+        keys = [job_key(SINGLE_JOB), job_key(MIX_JOB), "not-hex!", "ab"]
+        script = (
+            "from repro.sim.store import shard_for_key\n"
+            "import sys\n"
+            "for key in sys.argv[1:]:\n"
+            "    print(shard_for_key(key))\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        output = subprocess.run(
+            [sys.executable, "-c", script, *keys], check=True, text=True,
+            capture_output=True, env=env,
+        ).stdout.split()
+        assert output == [shard_for_key(key) for key in keys]
+
+    def test_non_hex_keys_are_rehashed_deterministically(self):
+        assert shard_for_key("zz-not-hex") == shard_for_key("zz-not-hex")
+        assert len(shard_for_key("x")) == 2
+        assert set(shard_for_key("x")) <= set("0123456789abcdef")
+        # Hex keys route by their own leading bytes.
+        assert shard_for_key("ABCD" + "0" * 60) == "ab"
+
+
+# ======================================================================
+# Legacy single-file migration
+# ======================================================================
+class TestLegacyMigration:
+    def legacy_store(self, tmp_path, result, keys) -> Path:
+        path = tmp_path / "store.jsonl"
+        path.write_bytes(b"".join(entry_line(key, result) for key in keys))
+        return path
+
+    def test_open_migrates_legacy_store_losslessly(self, tmp_path, capsys,
+                                                   tiny_result):
+        keys = [hexkey("aa"), hexkey("bb"), hexkey("aa", "2")]
+        legacy = self.legacy_store(tmp_path, tiny_result, keys)
+        store = ResultStore(tmp_path)
+        assert store.migrated_entries == 3
+        assert sorted(store.keys()) == sorted(set(keys))
+        assert all(store.get(key) == tiny_result for key in keys)
+        assert not legacy.exists()
+        assert (tmp_path / "store.jsonl.migrated").is_file()
+        assert set(shard_bytes(tmp_path)) == {"aa.jsonl", "bb.jsonl"}
+        assert "migrated 3 legacy entries" in capsys.readouterr().err
+
+    def test_migration_happens_once(self, tmp_path, tiny_result):
+        self.legacy_store(tmp_path, tiny_result, [hexkey("aa")])
+        assert ResultStore(tmp_path).migrated_entries == 1
+        reopened = ResultStore(tmp_path)
+        assert reopened.migrated_entries == 0
+        assert len(reopened) == 1
+
+    def test_unwritable_store_serves_legacy_entries_in_place(
+            self, tmp_path, capsys, monkeypatch, tiny_result):
+        """Read-only media: status/--check must read a legacy store as-is.
+
+        Simulates EROFS by making the locked append fail; the store must
+        fall back to serving the legacy file read-only instead of raising,
+        and must leave the file untouched.
+        """
+        import repro.sim.store as store_module
+
+        keys = [hexkey("aa"), hexkey("bb")]
+        legacy = self.legacy_store(tmp_path, tiny_result, keys)
+        before = legacy.read_bytes()
+
+        def refuse(path, payload):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(store_module, "_append_payload", refuse)
+        store = ResultStore(tmp_path)
+        assert "serving its entries read-only" in capsys.readouterr().err
+        assert store.migrated_entries == 0
+        assert sorted(store.keys()) == sorted(keys)
+        assert all(store.get(key) == tiny_result for key in keys)
+        assert legacy.read_bytes() == before
+
+    def test_stale_legacy_entry_never_supersedes_a_shard_entry(
+            self, tmp_path, capsys, tiny_result):
+        """Shard entries postdate the legacy layout, so they must win.
+
+        Both migration paths (auto-migrate on open and fsck) append to
+        shards, where the newest line wins on reload — a stale legacy
+        line for a key the shards already hold must therefore be skipped,
+        not appended after the newer entry.
+        """
+        stale_job = SimulationJob(workload="gups", predictor="baseline",
+                                  num_accesses=60, warmup_accesses=20)
+        stale = SimulationEngine(jobs=1, store=False).run([stale_job])[0]
+        assert stale != tiny_result
+        key = hexkey("aa")
+
+        for label, migrate in (("open", lambda root: ResultStore(root)),
+                               ("fsck", lambda root: fsck_store(root))):
+            root = tmp_path / label
+            shards = root / "shards"
+            shards.mkdir(parents=True)
+            (shards / "aa.jsonl").write_bytes(entry_line(key, tiny_result))
+            (root / "store.jsonl").write_bytes(entry_line(key, stale))
+            migrate(root)
+            capsys.readouterr()
+            store = ResultStore(root)
+            assert not (root / "store.jsonl").exists()
+            assert store.get(key) == tiny_result  # the newer entry won
+            assert store.total_lines() == 1
+
+    def test_interrupted_migration_resumes_without_duplicates(
+            self, tmp_path, capsys, monkeypatch, tiny_result):
+        """A migration killed mid-way (ENOSPC) must resume losslessly.
+
+        The failed attempt leaves some lines already appended to shards
+        and the legacy file in place; the next open completes the
+        migration without duplicating what already landed.
+        """
+        import repro.sim.store as store_module
+
+        keys = [hexkey("aa"), hexkey("bb")]
+        self.legacy_store(tmp_path, tiny_result, keys)
+        real_append = store_module._append_payload
+        calls = {"count": 0}
+
+        def flaky(path, payload):
+            calls["count"] += 1
+            if calls["count"] > 1:
+                raise OSError(28, "No space left on device")
+            return real_append(path, payload)
+
+        monkeypatch.setattr(store_module, "_append_payload", flaky)
+        partial = ResultStore(tmp_path)  # one shard lands, then the error
+        assert "cannot migrate" in capsys.readouterr().err
+        # Still fully readable: shard entries plus the legacy remainder.
+        assert sorted(partial.keys()) == sorted(keys)
+        assert all(partial.get(key) == tiny_result for key in keys)
+
+        monkeypatch.setattr(store_module, "_append_payload", real_append)
+        resumed = ResultStore(tmp_path)
+        assert resumed.migrated_entries == len(keys)
+        assert not (tmp_path / "store.jsonl").exists()
+        assert sorted(resumed.keys()) == sorted(keys)
+        # No duplicates: exactly one persisted line per key.
+        assert resumed.total_lines() == len(keys)
+
+    def test_torn_legacy_tail_is_dropped_with_warning(self, tmp_path,
+                                                      capsys, tiny_result):
+        legacy = self.legacy_store(tmp_path, tiny_result, [hexkey("aa")])
+        with legacy.open("ab") as handle:
+            handle.write(b'{"key": "torn')
+        store = ResultStore(tmp_path)
+        assert store.migrated_entries == 1
+        assert "torn trailing line" in capsys.readouterr().err
+
+
+# ======================================================================
+# The on-disk index
+# ======================================================================
+class TestIndex:
+    def test_fresh_index_skips_rescanning_unchanged_shards(
+            self, tmp_path, tiny_result):
+        store = ResultStore(tmp_path)
+        key = hexkey("aa")
+        store.put(key, {}, tiny_result)
+        store.flush_index()
+        shard = store.shards_dir / "aa.jsonl"
+        # Same size, garbage content: an open that trusted the index will
+        # not notice — proving the shard was not re-parsed.
+        shard.write_bytes(b"X" * shard.stat().st_size)
+        trusted = ResultStore(tmp_path)
+        assert len(trusted) == 1 and key in trusted
+
+    def test_stale_index_rescans_only_the_grown_tail(self, tmp_path,
+                                                     tiny_result):
+        first = ResultStore(tmp_path)
+        first.put(hexkey("aa", "1"), {}, tiny_result)
+        first.flush_index()
+        # A second writer appends without refreshing the on-disk index.
+        second = ResultStore(tmp_path)
+        second.put(hexkey("aa", "2"), {}, tiny_result)
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 2
+        assert all(reloaded.get(hexkey("aa", tag)) == tiny_result
+                   for tag in "12")
+
+    def test_flush_index_never_hides_a_concurrent_writers_entries(
+            self, tmp_path, tiny_result):
+        """Regression: an index must not cover bytes it has no entries for.
+
+        Writer B appends to a shard after writer A opened the store; A then
+        appends to the same shard and flushes the index.  A's view of that
+        shard has a hole, so the flushed index must leave the shard out
+        (forcing a rescan) rather than record a size that hides B's entry.
+        """
+        writer_a = ResultStore(tmp_path)
+        writer_b = ResultStore(tmp_path)
+        hidden, own = hexkey("aa", "B"), hexkey("aa", "A")
+        writer_b.put(hidden, {}, tiny_result)
+        writer_a.put(own, {}, tiny_result)
+        writer_a.flush_index()
+
+        reloaded = ResultStore(tmp_path)
+        assert sorted(reloaded.keys()) == sorted([hidden, own])
+        assert reloaded.get(hidden) == tiny_result
+        assert reloaded.get(own) == tiny_result
+
+    def test_runs_refresh_the_index_automatically(self, tmp_path):
+        SimulationEngine(jobs=1, store=tmp_path).run(small_grid())
+        # Engine puts do not flush per-append; the next open rescans the
+        # changed shards and persists a fresh index best-effort.
+        ResultStore(tmp_path)
+        index = json.loads((tmp_path / "shards" / "index.json").read_text())
+        assert index["schema"] == "repro-store-index/1"
+        counted = sum(len(meta["entries"])
+                      for meta in index["shards"].values())
+        assert counted == len(small_grid())
+
+
+# ======================================================================
+# fsck and compaction
+# ======================================================================
+class TestFsck:
+    def test_fsck_salvages_every_damage_class(self, tmp_path, tiny_result):
+        shards = tmp_path / "shards"
+        shards.mkdir(parents=True)
+        good, misplaced = hexkey("aa"), hexkey("bb")
+        (shards / "aa.jsonl").write_bytes(
+            entry_line(good, tiny_result)
+            + b"garbage not json\n"
+            + b'{"valid": "json", "wrong": "shape"}\n'
+            + entry_line(misplaced, tiny_result)
+            + b'{"key": "torn-partial')
+        report = fsck_store(tmp_path)
+        assert report["kept"] == 1
+        assert report["moved"] == 1
+        assert report["corrupt"] == 1
+        assert report["foreign"] == 1
+        assert report["torn"] == 1
+        store = ResultStore(tmp_path)
+        assert sorted(store.keys()) == sorted([good, misplaced])
+        assert store.get(good) == tiny_result
+        assert store.get(misplaced) == tiny_result
+        assert set(shard_bytes(tmp_path)) == {"aa.jsonl", "bb.jsonl"}
+
+    def test_fsck_keeps_readable_unterminated_tail(self, tmp_path,
+                                                   tiny_result):
+        """A crash can drop just the newline: the entry is still salvaged."""
+        shards = tmp_path / "shards"
+        shards.mkdir(parents=True)
+        key = hexkey("aa")
+        (shards / "aa.jsonl").write_bytes(
+            entry_line(key, tiny_result).rstrip(b"\n"))
+        report = fsck_store(tmp_path)
+        assert report["kept"] == 1 and report["torn"] == 0
+        assert ResultStore(tmp_path).get(key) == tiny_result
+
+    def test_fsck_migrates_and_salvages_a_corrupt_legacy_store(
+            self, tmp_path, tiny_result):
+        key = hexkey("cc")
+        (tmp_path / "store.jsonl").write_bytes(
+            b"not json at all\n" + entry_line(key, tiny_result))
+        # Too corrupt for a normal open...
+        with pytest.raises(ValueError, match="corrupt store line"):
+            ResultStore(tmp_path)
+        # ...but fsck salvages the good entry and migrates it.
+        report = fsck_store(tmp_path)
+        assert report["migrated"] == 1 and report["corrupt"] == 1
+        assert ResultStore(tmp_path).get(key) == tiny_result
+
+    def test_fsck_leaves_clean_shards_byte_identical(self, tmp_path):
+        SimulationEngine(jobs=1, store=tmp_path).run(small_grid())
+        before = shard_bytes(tmp_path)
+        report = fsck_store(tmp_path)
+        assert report["rewritten_shards"] == 0
+        assert shard_bytes(tmp_path) == before
+
+    def test_instance_fsck_reloads_the_view(self, tmp_path, tiny_result):
+        store = ResultStore(tmp_path)
+        store.put(hexkey("aa"), {}, tiny_result)
+        shard = store.shards_dir / "aa.jsonl"
+        with shard.open("ab") as handle:
+            handle.write(b"junk line\n")
+        report = store.fsck()
+        assert report["corrupt"] == 1
+        assert len(store) == 1
+        assert store.get(hexkey("aa")) == tiny_result
+
+
+class TestStoreLock:
+    def test_lock_waiter_retries_after_the_file_is_unlinked(self, tmp_path):
+        """A waiter must never hold an orphaned lock inode (clear() race).
+
+        While one holder has the lock, clear() unlinks the lock file as
+        its last locked step; a waiter that then wins flock on the dead
+        inode must detect the unlink and retry on the live file, or two
+        writers end up in 'exclusive' sections on different inodes.
+        """
+        import threading
+        import time
+
+        from repro.sim.store import _store_lock
+
+        lock = tmp_path / ".lock"
+        live_inode = []
+
+        def clearer():
+            with _store_lock(lock):
+                time.sleep(0.2)
+                os.unlink(lock)  # what clear() does, last, under the lock
+
+        def writer():
+            time.sleep(0.05)  # let the clearer take the lock first
+            with _store_lock(lock):
+                live_inode.append(os.stat(lock).st_ino)
+
+        threads = [threading.Thread(target=clearer),
+                   threading.Thread(target=writer)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert live_inode  # the writer held a lock on the live inode
+
+
+class TestCompaction:
+    def test_compact_on_a_corrupt_shard_keeps_the_view_intact(
+            self, tmp_path, tiny_result):
+        """A failed compaction must not empty the live instance's index."""
+        store = ResultStore(tmp_path)
+        good = hexkey("aa")
+        store.put(good, {}, tiny_result)
+        # Another writer corrupts a different shard behind our back.
+        (store.shards_dir / "bb.jsonl").write_bytes(b"terminated junk\n")
+        with pytest.raises(ValueError, match="corrupt store line"):
+            store.compact()
+        assert good in store
+        assert store.get(good) == tiny_result
+    def test_compact_keeps_newest_entry_and_is_idempotent(self, tmp_path):
+        jobs = small_grid()
+        store = ResultStore(tmp_path)
+        engine = SimulationEngine(jobs=1, store=store)
+        first = engine.run(jobs)
+        engine.run(jobs, force=True)
+        assert store.total_lines() == 2 * len(jobs)
+
+        report = store.compact()
+        assert report["entries"] == len(jobs)
+        assert report["removed_lines"] == len(jobs)
+        after = shard_bytes(tmp_path)
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == len(jobs)
+        assert SimulationEngine(jobs=1, store=reloaded).run(jobs) == first
+        assert reloaded.hits == len(jobs)
+
+        again = ResultStore(tmp_path).compact()
+        assert again["removed_lines"] == 0
+        assert again["rewritten_shards"] == 0
+        assert shard_bytes(tmp_path) == after
