@@ -40,6 +40,18 @@ Subcommands
     single-file ``store.jsonl`` into the sharded layout (also happens
     automatically on open).
 
+``serve [--port N | --socket PATH] [--jobs N]``
+    Run the persistent simulation daemon (see :mod:`repro.service`): a
+    long-lived process owning the store, the trace cache and a worker
+    pool, answering figure requests over a JSON socket protocol.  Warm
+    requests are served with zero simulation; concurrent identical
+    requests coalesce onto one running simulation per job key.
+
+``run/status/figures --remote ADDR``
+    Point the experiment commands at a running daemon instead of
+    simulating locally.  ``ADDR`` is ``PORT``, ``HOST:PORT`` or a unix
+    socket path (as printed by ``serve``).
+
 ``clean``
     Delete the store shards and the stats directory under the store root.
 
@@ -59,7 +71,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from contextlib import contextmanager
 
-from .experiments import EXPERIMENTS, Scale
+from .experiments import EXPERIMENTS, Scale, canonical_json
+from .service import ServiceClient, ServiceError, main_serve
 from .sim.engine import SimulationEngine
 from .sim.store import (
     REPRO_STORE_ENV,
@@ -75,11 +88,9 @@ DEFAULT_STORE = "results"
 #: Default reference file for ``run golden --check``.
 GOLDEN_STATS_FILENAME = "GOLDEN_stats.json"
 
-
-def canonical_json(value: Any) -> str:
-    """Deterministic JSON: sorted keys, exact float reprs, no whitespace
-    ambiguity.  Two runs producing equal data produce equal bytes."""
-    return json.dumps(value, sort_keys=True, indent=2) + "\n"
+#: TCP port ``serve`` binds when neither ``--port`` nor ``--socket`` is
+#: given (localhost only; ``--port 0`` picks a free ephemeral port).
+DEFAULT_SERVICE_PORT = 7341
 
 
 # ======================================================================
@@ -183,6 +194,51 @@ def _trace_dir_env(args: argparse.Namespace):
             os.environ[REPRO_TRACE_DIR_ENV] = previous
 
 
+def _scale_wire(args: argparse.Namespace) -> Dict[str, int]:
+    """The scale flags as the service protocol's ``scale`` object."""
+    return {"accesses": args.accesses, "warmup": args.warmup,
+            "mix_accesses": args.mix_accesses}
+
+
+def _report_outputs(report: RunReport, args: argparse.Namespace) -> int:
+    """The ``--check`` / ``--stats-out`` tail shared by the local and
+    remote run paths."""
+    exit_code = 0
+    if args.check is not None:
+        reference = Path(args.check) if args.check else \
+            Path(GOLDEN_STATS_FILENAME)
+        exit_code |= _check_stats(report, reference)
+    if args.stats_out:
+        out = Path(args.stats_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(canonical_json(report.stats), encoding="utf-8")
+        print(f"  stats written to {out}")
+    return exit_code
+
+
+def _remote_run(args: argparse.Namespace, names: List[str]) -> int:
+    """Run experiments against a daemon (``run --remote ADDR``)."""
+    client = ServiceClient(args.remote)
+    exit_code = 0
+    for name in names:
+        payload = client.submit(experiment=name, scale=_scale_wire(args),
+                                force=args.force, wait=True)
+        if payload.get("state") != "done":
+            print(f"repro: remote run of {name} failed: "
+                  f"{payload.get('error', 'unknown error')}",
+                  file=sys.stderr)
+            return 1
+        report = RunReport(name, payload["total_jobs"], payload["stored"],
+                           payload["simulated"], payload["seconds"],
+                           payload["stats"], Path(payload["stats_path"]))
+        print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
+              f"store, {report.simulated} simulated, "
+              f"{payload['coalesced']} coalesced "
+              f"({report.seconds:.2f}s) @ {client.address}")
+        exit_code |= _report_outputs(report, args)
+    return exit_code
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     names = _resolve_targets(args.experiments)
     if names is None:
@@ -198,6 +254,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                   "run the one experiment it belongs to (e.g. 'run golden "
                   "--check')", file=sys.stderr)
             return 2
+    if args.remote:
+        try:
+            return _remote_run(args, names)
+        except (OSError, ServiceError) as exc:
+            print(f"repro: cannot run against daemon at {args.remote}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
     store = ResultStore(args.store)
     scale = Scale(accesses=args.accesses, warmup=args.warmup,
                   mix_accesses=args.mix_accesses)
@@ -209,15 +272,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
                   f"store, {report.simulated} simulated "
                   f"({report.seconds:.2f}s) -> {report.stats_path}")
-            if args.check is not None:
-                reference = Path(args.check) if args.check else \
-                    Path(GOLDEN_STATS_FILENAME)
-                exit_code |= _check_stats(report, reference)
-            if args.stats_out:
-                out = Path(args.stats_out)
-                out.parent.mkdir(parents=True, exist_ok=True)
-                out.write_text(canonical_json(report.stats), encoding="utf-8")
-                print(f"  stats written to {out}")
+            exit_code |= _report_outputs(report, args)
     return exit_code
 
 
@@ -282,7 +337,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # ======================================================================
 # status / figures / clean
 # ======================================================================
+def _coverage_marker(cached: int, total: int) -> str:
+    return "complete" if cached == total else ("partial" if cached
+                                               else "empty")
+
+
 def cmd_status(args: argparse.Namespace) -> int:
+    if args.remote:
+        try:
+            client = ServiceClient(args.remote)
+            payload = client.status(scale=_scale_wire(args))
+        except (OSError, ServiceError) as exc:
+            print(f"repro: cannot query daemon at {args.remote}: {exc}",
+                  file=sys.stderr)
+            return 1
+        coverage = payload["experiments"]
+        print(f"daemon @ {client.address}: store {payload['store']} "
+              f"({payload['entries']} stored results)")
+        width = max(len(name) for name in coverage)
+        for name, row in coverage.items():
+            marker = _coverage_marker(row["stored"], row["total"])
+            print(f"  {name:<{width}}  {row['stored']:>4}/"
+                  f"{row['total']:<4} jobs stored  [{marker}]")
+        return 0
     store = ResultStore(args.store)
     scale = Scale(accesses=args.accesses, warmup=args.warmup,
                   mix_accesses=args.mix_accesses)
@@ -291,19 +368,51 @@ def cmd_status(args: argparse.Namespace) -> int:
     for name, experiment in EXPERIMENTS.items():
         job_list = experiment.jobs(scale)
         cached = sum(1 for job in job_list if try_job_key(job) in store)
-        marker = "complete" if cached == len(job_list) else (
-            "partial" if cached else "empty")
+        marker = _coverage_marker(cached, len(job_list))
         print(f"  {name:<{width}}  {cached:>4}/{len(job_list):<4} jobs "
               f"stored  [{marker}]")
     return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
-    del args
-    width = max(len(name) for name in EXPERIMENTS)
-    for name, experiment in EXPERIMENTS.items():
-        print(f"  {name:<{width}}  {experiment.title}")
+    if args.remote:
+        try:
+            client = ServiceClient(args.remote)
+            titles = client.figures()["experiments"]
+        except (OSError, ServiceError) as exc:
+            print(f"repro: cannot query daemon at {args.remote}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        titles = {name: experiment.title
+                  for name, experiment in EXPERIMENTS.items()}
+    width = max(len(name) for name in titles)
+    for name, title in titles.items():
+        print(f"  {name:<{width}}  {title}")
     return 0
+
+
+# ======================================================================
+# serve
+# ======================================================================
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent simulation daemon (see :mod:`repro.service`)."""
+    if args.port is not None and args.socket is not None:
+        print("repro: serve takes --port or --socket, not both",
+              file=sys.stderr)
+        return 2
+    port, socket_path = args.port, args.socket
+    if port is None and socket_path is None:
+        port = DEFAULT_SERVICE_PORT
+    with _trace_dir_env(args):
+        try:
+            return main_serve(args.store, port=port,
+                              socket_path=socket_path, jobs=args.jobs,
+                              ready_file=args.ready_file)
+        except OSError as exc:
+            print(f"repro: cannot start the daemon: {exc}",
+                  file=sys.stderr)
+            return 1
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
@@ -407,6 +516,13 @@ def _add_store_and_scale(parser: argparse.ArgumentParser) -> None:
                         help="accesses per core of each multi-core job")
 
 
+def _add_remote_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--remote", default=None, metavar="ADDR",
+        help="run against a daemon at ADDR (PORT, HOST:PORT, or a unix "
+             "socket path — see 'serve') instead of simulating locally")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -434,7 +550,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="on-disk trace cache directory (default: $REPRO_TRACE_DIR or "
              "<store>/traces; '' disables trace spilling)")
     _add_store_and_scale(run_parser)
+    _add_remote_arg(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the persistent simulation daemon")
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on localhost TCP port N (0 picks a free port; "
+             f"default {DEFAULT_SERVICE_PORT} when --socket is not given)")
+    serve_parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix socket at PATH instead of TCP")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker threads in the simulation pool (default: $REPRO_JOBS)")
+    serve_parser.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write the bound address to FILE once listening (how scripts "
+             "using --port 0 learn where the daemon landed)")
+    serve_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="on-disk trace cache directory (default: $REPRO_TRACE_DIR or "
+             "<store>/traces; '' disables trace spilling)")
+    _add_store_arg(serve_parser)
+    serve_parser.set_defaults(func=cmd_serve)
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect a registered workload's trace buffer")
@@ -452,10 +592,12 @@ def build_parser() -> argparse.ArgumentParser:
     status_parser = subparsers.add_parser(
         "status", help="show per-experiment store coverage")
     _add_store_and_scale(status_parser)
+    _add_remote_arg(status_parser)
     status_parser.set_defaults(func=cmd_status)
 
     figures_parser = subparsers.add_parser(
         "figures", help="list the available experiments")
+    _add_remote_arg(figures_parser)
     figures_parser.set_defaults(func=cmd_figures)
 
     store_parser = subparsers.add_parser(

@@ -19,6 +19,7 @@ in the simulator shows up as a diff.
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
@@ -83,6 +84,13 @@ MIX_PREDICTORS: Tuple[str, ...] = ("baseline", "lp", "ideal")
 
 #: Seeds of the ``sweep`` design-space grid (several times the paper grid).
 SWEEP_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, exact float reprs, no whitespace
+    ambiguity.  Two runs producing equal data produce equal bytes — the
+    encoding every stats file (CLI and daemon alike) is written in."""
+    return json.dumps(value, sort_keys=True, indent=2) + "\n"
 
 
 # ======================================================================

@@ -1,0 +1,844 @@
+"""Persistent simulation service: a daemon serving figure requests.
+
+The results store (PR 4) made concurrent writers safe; this module puts a
+long-lived process in front of it.  A :class:`SimulationService` owns one
+results store, one trace cache and one worker pool, and answers figure/grid
+requests the way a production inference service answers queries: warm
+requests are served straight from the store with **zero** simulation, cold
+cells are simulated exactly once no matter how many clients ask for them
+concurrently, and a killed daemon resumes an interrupted grid from the jobs
+it already persisted.
+
+In-flight deduplication
+=======================
+
+The headline semantics.  Every engine job is content-addressed by the
+SHA-256 of its canonical spec (:func:`repro.sim.store.job_key`), and the
+service keeps a *keyed future table* — ``job key -> Future`` — of the
+simulations currently running.  When a request's grid is expanded, each job
+is claimed under one lock:
+
+* already stored -> served from the store (a store *hit*);
+* already in flight -> the request attaches to the owner's future
+  (*coalesced*: no second simulation is ever started for a key);
+* otherwise -> the request becomes the key's owner, registers a future and
+  submits the job to the worker pool (a *simulation*).
+
+Owners persist their results **in job order** (compute may finish out of
+order; puts do not), so the daemon's shard files are byte-identical to a
+serial ``python -m repro run`` of the same grid — the property the CI
+service job checks with ``diff -r``.
+
+Protocol
+========
+
+Newline-delimited JSON over a stream socket — a localhost TCP port or a
+unix socket, both served by a threading :mod:`socketserver`.  One request
+line, one response line, connection closed::
+
+    -> {"op": "submit", "experiment": "golden", "wait": true}
+    <- {"ok": true, "id": "req-1-golden", "state": "done",
+        "total_jobs": 30, "stored": 0, "simulated": 30, "coalesced": 0,
+        "seconds": 1.9, "stats": {...}, "stats_path": "..."}
+
+Operations: ``submit`` (figure name or an explicit job-spec grid),
+``status`` (one request, or per-experiment store coverage), ``result``,
+``stats`` (server counters), ``health``, ``figures`` and ``shutdown``.
+Errors come back as ``{"ok": false, "error": "..."}``.
+
+``python -m repro serve`` runs the daemon; ``--remote ADDR`` on ``run`` /
+``status`` / ``figures`` points the existing experiment commands at one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import sys
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .experiments import EXPERIMENTS, Scale, canonical_json
+from .sim.engine import (
+    REPRO_JOBS_ENV,
+    Job,
+    MixJob,
+    SimulationJob,
+    execute_job,
+)
+from .sim.store import (
+    ResultStore,
+    UncacheableJobError,
+    job_spec,
+    serialize_result,
+    spec_key,
+    try_job_key,
+)
+
+#: Wire-protocol schema tag; servers reject requests from a different one.
+PROTOCOL_SCHEMA = "repro-service/1"
+
+#: Longest accepted request line (a figure submit is well under this).
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+#: Finished requests retained for ``status``/``result`` polling; older
+#: ones are evicted so a long-lived daemon's memory stays bounded.
+MAX_FINISHED_REQUESTS = 512
+
+
+class ServiceError(Exception):
+    """A request the service understood but must refuse."""
+
+
+# ======================================================================
+# Addresses
+# ======================================================================
+def parse_address(address: str) -> Tuple[str, Union[Tuple[str, int], str]]:
+    """Parse a service address into ``("tcp", (host, port))`` or
+    ``("unix", path)``.
+
+    Accepted forms: ``"7321"`` (localhost TCP port), ``"host:port"``,
+    ``"unix:/path/to.sock"`` and any string containing a ``/`` (a unix
+    socket path).
+    """
+    address = address.strip()
+    if not address:
+        raise ServiceError("empty service address")
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    if "/" in address:
+        return "unix", address
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", address
+    try:
+        return "tcp", (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ServiceError(
+            f"invalid service address {address!r} (expected PORT, "
+            f"HOST:PORT, or a unix socket path)") from None
+
+
+def format_address(family: str,
+                   location: Union[Tuple[str, int], str]) -> str:
+    """The canonical string form clients pass back to :func:`parse_address`."""
+    if family == "unix":
+        return f"unix:{location}"
+    host, port = location
+    return f"{host}:{port}"
+
+
+# ======================================================================
+# Wire job specs
+# ======================================================================
+def job_from_wire(spec: Dict[str, Any]) -> Job:
+    """Build an engine job from an explicit wire spec.
+
+    The wire shape mirrors the store's canonical spec kinds: ``single``
+    jobs name a registered workload, ``mix`` jobs a Table II mix.  System
+    configs do not travel over the wire — remote grids run the paper
+    defaults, exactly like the registry experiments they complement.
+    """
+    if not isinstance(spec, dict):
+        raise ServiceError(f"job spec must be an object, got {spec!r}")
+    kind = spec.get("kind", "single")
+    try:
+        if kind == "single":
+            return SimulationJob(
+                workload=str(spec["workload"]),
+                predictor=str(spec["predictor"]),
+                num_accesses=int(spec["num_accesses"]),
+                warmup_accesses=int(spec.get("warmup_accesses", 0)),
+                seed=int(spec.get("seed", 0)))
+        if kind == "mix":
+            return MixJob(
+                mix=str(spec["mix"]),
+                predictor=str(spec["predictor"]),
+                accesses_per_core=int(spec["accesses_per_core"]),
+                seed=int(spec.get("seed", 0)))
+    except KeyError as exc:
+        raise ServiceError(
+            f"job spec missing required field {exc.args[0]!r}") from None
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed job spec: {exc}") from None
+    raise ServiceError(f"unknown job kind {kind!r} (expected "
+                       f"'single' or 'mix')")
+
+
+def scale_from_wire(data: Optional[Dict[str, Any]]) -> Scale:
+    """Decode the optional ``scale`` request field (defaults preserved)."""
+    if data is None:
+        return Scale()
+    if not isinstance(data, dict):
+        raise ServiceError(f"scale must be an object, got {data!r}")
+    unknown = set(data) - {"accesses", "warmup", "mix_accesses"}
+    if unknown:
+        raise ServiceError(f"unknown scale field(s) "
+                           f"{', '.join(sorted(unknown))}")
+    try:
+        return Scale(
+            accesses=int(data.get("accesses", Scale.accesses)),
+            warmup=int(data.get("warmup", Scale.warmup)),
+            mix_accesses=int(data.get("mix_accesses", Scale.mix_accesses)))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"malformed scale: {exc}") from None
+
+
+# ======================================================================
+# Request bookkeeping
+# ======================================================================
+class _RequestState:
+    """Mutable progress record of one submitted grid."""
+
+    def __init__(self, request_id: str, name: str, total: int,
+                 explicit: bool) -> None:
+        self.id = request_id
+        self.name = name
+        self.total = total
+        self.explicit = explicit
+        self.state = "running"
+        self.completed = 0
+        self.stored = 0
+        self.simulated = 0
+        self.coalesced = 0
+        self.seconds = 0.0
+        self.stats: Optional[Dict[str, Any]] = None
+        self.stats_path: Optional[str] = None
+        self.results: Optional[List[Dict[str, Any]]] = None
+        self.error: Optional[str] = None
+        self.done = threading.Event()
+
+    def snapshot(self, include_payload: bool = False) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "id": self.id,
+            "experiment": self.name if not self.explicit else None,
+            "state": self.state,
+            "total_jobs": self.total,
+            "completed": self.completed,
+            "stored": self.stored,
+            "simulated": self.simulated,
+            "coalesced": self.coalesced,
+            "seconds": self.seconds,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if include_payload and self.state == "done":
+            data["stats"] = self.stats
+            data["stats_path"] = self.stats_path
+            if self.explicit:
+                data["results"] = self.results
+        return data
+
+
+# ======================================================================
+# The service core
+# ======================================================================
+class SimulationService:
+    """One store + one worker pool + the keyed in-flight future table.
+
+    This is the whole daemon minus the socket: requests come in through
+    :meth:`dispatch` (or the typed methods below it), so the semantics —
+    dedup, coalescing, job-order persistence, resume — are testable
+    in-process without binding a port.
+
+    Args:
+        store: Results-store root directory (or an opened store).
+        jobs: Worker-thread count; ``None`` reads ``REPRO_JOBS`` from the
+            environment, defaulting to 1.
+    """
+
+    def __init__(self, store: Union[str, Path, ResultStore],
+                 jobs: Optional[int] = None) -> None:
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        if jobs is None:
+            env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
+            jobs = int(env_value) if env_value else 1
+        self.num_workers = max(1, jobs)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.num_workers,
+            thread_name_prefix="repro-service-worker")
+        #: One lock for the claim phase and every store operation: a job is
+        #: classified (stored / in flight / owned) atomically with respect
+        #: to other requests' claims and puts.
+        self._lock = threading.Lock()
+        #: job key -> Future resolving to the finished result object.
+        self._inflight: Dict[str, "Future[Any]"] = {}
+        self._requests: Dict[str, _RequestState] = {}
+        self._request_threads: List[threading.Thread] = []
+        self._next_request = 0
+        self.started_at = time.time()
+        self.counters = {
+            "requests": 0,       # protocol requests dispatched
+            "submissions": 0,    # grids submitted
+            "jobs": 0,           # grid cells across all submissions
+            "simulations": 0,    # jobs this daemon actually simulated
+            "store_hits": 0,     # jobs answered straight from the store
+            "coalesced": 0,      # jobs attached to an in-flight future
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, experiment: Optional[str] = None,
+               jobs: Optional[Sequence[Dict[str, Any]]] = None,
+               scale: Optional[Dict[str, Any]] = None,
+               force: bool = False, wait: bool = False) -> Dict[str, Any]:
+        """Submit a figure grid (by name) or an explicit job-spec grid.
+
+        With ``wait`` the call returns the finished payload; otherwise it
+        returns immediately with the request id to poll via ``status`` /
+        ``result``.
+        """
+        if self._closed:
+            raise ServiceError("service is shutting down")
+        if (experiment is None) == (jobs is None):
+            raise ServiceError(
+                "submit needs exactly one of 'experiment' or 'jobs'")
+        resolved_scale = scale_from_wire(scale)
+        if experiment is not None:
+            if experiment not in EXPERIMENTS:
+                raise ServiceError(
+                    f"unknown experiment {experiment!r}; known: "
+                    f"{', '.join(EXPERIMENTS)}")
+            job_list = EXPERIMENTS[experiment].jobs(resolved_scale)
+            name, explicit = experiment, False
+        else:
+            if not jobs:
+                raise ServiceError("empty job list")
+            job_list = [job_from_wire(spec) for spec in jobs]
+            name, explicit = "adhoc", True
+        with self._lock:
+            self._next_request += 1
+            request_id = f"req-{self._next_request}-{name}"
+            state = _RequestState(request_id, name, len(job_list), explicit)
+            self._requests[request_id] = state
+            self._evict_finished_requests()
+            self.counters["submissions"] += 1
+            self.counters["jobs"] += len(job_list)
+        if wait:
+            self._run_request(state, job_list, resolved_scale, force)
+            return state.snapshot(include_payload=True)
+        thread = threading.Thread(
+            target=self._run_request,
+            args=(state, job_list, resolved_scale, force),
+            name=f"repro-service-{request_id}", daemon=True)
+        # Prune threads that already finished: a long-lived daemon must
+        # not pin one Thread object per request it ever served.
+        self._request_threads = [old for old in self._request_threads
+                                 if old.is_alive()]
+        self._request_threads.append(thread)
+        thread.start()
+        return state.snapshot()
+
+    def _evict_finished_requests(self) -> None:
+        """Drop the oldest finished requests beyond the retention cap.
+
+        Caller holds the lock.  Running requests are never evicted; a
+        ``status``/``result`` poll for an evicted id gets the same
+        "unknown request id" as a mistyped one.
+        """
+        finished = [request_id
+                    for request_id, state in self._requests.items()
+                    if state.done.is_set()]
+        for request_id in finished[:max(0, len(finished)
+                                        - MAX_FINISHED_REQUESTS)]:
+            del self._requests[request_id]
+
+    def _run_request(self, state: _RequestState, job_list: List[Job],
+                     scale: Scale, force: bool) -> None:
+        start = time.perf_counter()
+        try:
+            results = self._run_jobs(state, job_list, force)
+            state.seconds = time.perf_counter() - start
+            if state.explicit:
+                state.results = [serialize_result(result)
+                                 for result in results]
+            else:
+                experiment = EXPERIMENTS[state.name]
+                state.stats = experiment.summarize(results, scale)
+                stats_path = self.store.root / "stats" / f"{state.name}.json"
+                stats_path.parent.mkdir(parents=True, exist_ok=True)
+                # Temp + rename: concurrent same-experiment requests (or a
+                # kill mid-write) must never leave a torn stats file.
+                tmp = stats_path.with_name(
+                    f".{stats_path.name}.{threading.get_ident()}.tmp")
+                tmp.write_text(canonical_json(state.stats),
+                               encoding="utf-8")
+                os.replace(tmp, stats_path)
+                state.stats_path = str(stats_path)
+            with self._lock:
+                self.store.flush_index()
+            state.state = "done"
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            state.error = f"{type(exc).__name__}: {exc}"
+            state.state = "failed"
+        finally:
+            state.done.set()
+
+    def _run_jobs(self, state: _RequestState, job_list: List[Job],
+                  force: bool) -> List[Any]:
+        """Claim, compute and collect one grid, persisting in job order."""
+        # Claim phase: classify every job atomically against other
+        # requests.  plan[i] is ("store", key) | ("watch", future) |
+        # ("own", key, exec_future) | ("direct", exec_future).
+        specs: List[Optional[Dict[str, Any]]] = []
+        keys: List[Optional[str]] = []
+        for job in job_list:
+            try:
+                spec = job_spec(job)
+            except UncacheableJobError:
+                spec = None
+            specs.append(spec)
+            keys.append(None if spec is None else spec_key(spec))
+        plan: List[Tuple[Any, ...]] = []
+        owned: List[int] = []
+        results: List[Any] = []
+        # The claim loop sits inside the same try as the collect loop: a
+        # failure after a Future is registered (pool shut down mid-claim,
+        # MemoryError, ...) must resolve the registered futures, or every
+        # request that coalesced onto them would wait forever.
+        try:
+            with self._lock:
+                for index, key in enumerate(keys):
+                    if key is None:
+                        plan.append(("direct",
+                                     self._pool.submit(execute_job,
+                                                       job_list[index])))
+                        continue
+                    if not force and key in self.store:
+                        plan.append(("store", key))
+                        self.counters["store_hits"] += 1
+                        state.stored += 1
+                        continue
+                    future = self._inflight.get(key)
+                    if future is not None:
+                        plan.append(("watch", future))
+                        self.counters["coalesced"] += 1
+                        state.coalesced += 1
+                        continue
+                    future = Future()
+                    self._inflight[key] = future
+                    owned.append(index)
+                    plan.append(("own", key,
+                                 self._pool.submit(execute_job,
+                                                   job_list[index])))
+                    self.counters["simulations"] += 1
+                    state.simulated += 1
+            # Collect phase, strictly in job order: owners persist their
+            # results as they arrive, so the shard files the daemon writes
+            # are byte-identical to a serial run of the same job list —
+            # and an interrupted grid keeps every job persisted before
+            # the kill.
+            for index, step in enumerate(plan):
+                if step[0] == "store":
+                    with self._lock:
+                        result = self.store.get(step[1])
+                    if result is None:  # pragma: no cover - fsck'd away
+                        raise ServiceError(
+                            f"store entry for {step[1]} vanished")
+                elif step[0] == "watch":
+                    result = step[1].result()
+                elif step[0] == "direct":
+                    result = step[1].result()
+                else:
+                    _, key, exec_future = step
+                    result = exec_future.result()
+                    with self._lock:
+                        self.store.put(key, specs[index], result)
+                        inflight = self._inflight.pop(key, None)
+                    if inflight is not None:
+                        inflight.set_result(result)
+                results.append(result)
+                state.completed += 1
+            return results
+        except BaseException as exc:
+            # Resolve every still-registered owned future so attached
+            # requests fail loudly instead of waiting forever.
+            with self._lock:
+                for index in owned:
+                    future = self._inflight.pop(keys[index], None)
+                    if future is not None and not future.done():
+                        future.set_exception(exc)
+            raise
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self, request_id: Optional[str] = None,
+               scale: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One request's progress, or per-experiment store coverage."""
+        if request_id is not None:
+            return self._request_state(request_id).snapshot()
+        resolved = scale_from_wire(scale)
+        # Key hashing is pure CPU over static job lists — do it outside
+        # the lock so a polling client never stalls in-flight claims and
+        # puts; only the membership checks need the store's lock.
+        grids = {name: [try_job_key(job)
+                        for job in experiment.jobs(resolved)]
+                 for name, experiment in EXPERIMENTS.items()}
+        coverage: Dict[str, Dict[str, int]] = {}
+        with self._lock:
+            entries = len(self.store)
+            for name, grid_keys in grids.items():
+                stored = sum(1 for key in grid_keys if key in self.store)
+                coverage[name] = {"stored": stored, "total": len(grid_keys)}
+        return {"store": str(self.store.root), "entries": entries,
+                "experiments": coverage}
+
+    def result(self, request_id: str, wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """A request's final payload (stats/results) once it is done."""
+        state = self._request_state(request_id)
+        if wait:
+            state.done.wait(timeout)
+        return state.snapshot(include_payload=True)
+
+    def _request_state(self, request_id: str) -> _RequestState:
+        state = self._requests.get(request_id)
+        if state is None:
+            raise ServiceError(f"unknown request id {request_id!r}")
+        return state
+
+    def stats(self) -> Dict[str, Any]:
+        """Server counters: the store/dedup traffic since startup."""
+        from .sim.engine import TRACE_CACHE
+        with self._lock:
+            counters = dict(self.counters)
+            inflight = len(self._inflight)
+            store = {"entries": len(self.store), "hits": self.store.hits,
+                     "misses": self.store.misses, "puts": self.store.puts}
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "workers": self.num_workers,
+            "inflight": inflight,
+            "counters": counters,
+            "store": store,
+            "trace_cache": {"hits": TRACE_CACHE.hits,
+                            "misses": TRACE_CACHE.misses,
+                            "disk_hits": TRACE_CACHE.disk_hits,
+                            "disk_spills": TRACE_CACHE.disk_spills},
+        }
+
+    def health(self) -> Dict[str, Any]:
+        return {"status": "ok", "pid": os.getpid(),
+                "schema": PROTOCOL_SCHEMA,
+                "store": str(self.store.root),
+                "workers": self.num_workers,
+                "uptime_seconds": time.time() - self.started_at}
+
+    def figures(self) -> Dict[str, Any]:
+        return {"experiments": {name: experiment.title
+                                for name, experiment in EXPERIMENTS.items()}}
+
+    # ------------------------------------------------------------------
+    # Dispatch and lifecycle
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute one protocol request, returning the response object."""
+        with self._lock:
+            self.counters["requests"] += 1
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        try:
+            if op == "submit":
+                payload = self.submit(
+                    experiment=request.get("experiment"),
+                    jobs=request.get("jobs"),
+                    scale=request.get("scale"),
+                    force=bool(request.get("force", False)),
+                    wait=bool(request.get("wait", False)))
+            elif op == "status":
+                payload = self.status(request.get("id"),
+                                      scale=request.get("scale"))
+            elif op == "result":
+                request_id = request.get("id")
+                if not isinstance(request_id, str):
+                    raise ServiceError("result needs a request 'id'")
+                payload = self.result(request_id,
+                                      wait=bool(request.get("wait", False)),
+                                      timeout=request.get("timeout"))
+            elif op == "stats":
+                payload = self.stats()
+            elif op == "health":
+                payload = self.health()
+            elif op == "figures":
+                payload = self.figures()
+            elif op == "shutdown":
+                payload = {"stopping": True}
+            else:
+                raise ServiceError(f"unknown op {op!r}")
+        except ServiceError as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            return {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+        response = {"ok": True}
+        response.update(payload)
+        return response
+
+    def close(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting work and drain the pool.
+
+        Jobs already executing run to completion (their puts land, so a
+        restart resumes past them); queued jobs are cancelled.  Request
+        threads are given ``timeout`` seconds to finish their bookkeeping.
+        """
+        self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+        if wait:
+            deadline = time.time() + timeout
+            for thread in self._request_threads:
+                thread.join(max(0.0, deadline - time.time()))
+
+
+# ======================================================================
+# The socket layer
+# ======================================================================
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    """One JSON request line in, one JSON response line out."""
+
+    def handle(self) -> None:
+        raw = self.rfile.readline(MAX_REQUEST_BYTES + 1)
+        if not raw:
+            return
+        if len(raw) > MAX_REQUEST_BYTES:
+            self._respond({"ok": False, "error": "request too large"})
+            return
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            self._respond({"ok": False,
+                           "error": "request is not valid JSON"})
+            return
+        service: SimulationService = self.server.service  # type: ignore
+        response = service.dispatch(request)
+        self._respond(response)
+        if isinstance(request, dict) and request.get("op") == "shutdown":
+            self.server.request_shutdown()  # type: ignore[attr-defined]
+
+    def _respond(self, response: Dict[str, Any]) -> None:
+        payload = json.dumps(response, sort_keys=True,
+                             separators=(",", ":")) + "\n"
+        try:
+            self.wfile.write(payload.encode("utf-8"))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to report to
+
+
+class _ServerMixin:
+    """Shutdown plumbing shared by the TCP and unix variants."""
+
+    service: SimulationService
+    daemon_threads = True
+
+    def request_shutdown(self) -> None:
+        # shutdown() blocks until serve_forever exits, so it must be
+        # called off the handler thread (which serve_forever may join).
+        threading.Thread(target=self.shutdown,  # type: ignore[attr-defined]
+                         name="repro-service-shutdown",
+                         daemon=True).start()
+
+
+class ReproTCPServer(_ServerMixin, socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+
+
+class ReproUnixServer(_ServerMixin,
+                      socketserver.ThreadingUnixStreamServer):
+    pass
+
+
+def create_server(service: SimulationService,
+                  port: Optional[int] = None,
+                  socket_path: Union[str, Path, None] = None
+                  ) -> Tuple[socketserver.BaseServer, str]:
+    """Bind a server for ``service``; returns ``(server, address)``.
+
+    Exactly one of ``port`` (localhost TCP; 0 picks a free port) and
+    ``socket_path`` (unix socket, replaced if a stale one exists) must be
+    given.  The returned address string round-trips through
+    :func:`parse_address`.
+    """
+    if (port is None) == (socket_path is None):
+        raise ServiceError("specify exactly one of port / socket_path")
+    if socket_path is not None:
+        socket_path = str(socket_path)
+        stale = Path(socket_path)
+        if stale.is_socket():
+            stale.unlink()
+        server: socketserver.BaseServer = ReproUnixServer(
+            socket_path, _ServiceHandler)
+        address = format_address("unix", socket_path)
+    else:
+        server = ReproTCPServer(("127.0.0.1", port), _ServiceHandler)
+        address = format_address("tcp", server.server_address[:2])
+    server.service = service  # type: ignore[attr-defined]
+    return server, address
+
+
+# ======================================================================
+# The client
+# ======================================================================
+class ServiceClient:
+    """Talk to a running daemon: one JSON line per request.
+
+    Every method raises :class:`ServiceError` when the daemon answers
+    ``ok: false`` and :class:`ConnectionError`/:class:`OSError` when it is
+    unreachable.
+    """
+
+    def __init__(self, address: str, timeout: Optional[float] = None
+                 ) -> None:
+        self.family, self.location = parse_address(address)
+        self.address = format_address(self.family, self.location)
+        self.timeout = timeout
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        payload = {"op": op, **{key: value for key, value in params.items()
+                                if value is not None}}
+        line = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._connect() as sock:
+            sock.sendall(line.encode("utf-8"))
+            with sock.makefile("rb") as stream:
+                raw = stream.readline()
+        if not raw:
+            raise ConnectionError(
+                f"service at {self.address} closed the connection "
+                f"without answering")
+        try:
+            response = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            # The peer is not a repro daemon (an HTTP server, say).
+            raise ServiceError(
+                f"malformed (non-JSON) response from {self.address} — "
+                f"is a repro daemon really listening there?") from None
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ServiceError(f"malformed response from {self.address}")
+        if not response["ok"]:
+            raise ServiceError(response.get("error", "unknown error"))
+        return response
+
+    def _connect(self) -> socket.socket:
+        if self.family == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.settimeout(self.timeout)
+                sock.connect(self.location)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+        return socket.create_connection(self.location,
+                                        timeout=self.timeout)
+
+    # Typed convenience wrappers -----------------------------------------
+    def submit(self, experiment: Optional[str] = None,
+               jobs: Optional[Sequence[Dict[str, Any]]] = None,
+               scale: Optional[Dict[str, Any]] = None,
+               force: bool = False, wait: bool = False) -> Dict[str, Any]:
+        return self.request("submit", experiment=experiment, jobs=jobs,
+                            scale=scale, force=force or None,
+                            wait=wait or None)
+
+    def status(self, request_id: Optional[str] = None,
+               scale: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self.request("status", id=request_id, scale=scale)
+
+    def result(self, request_id: str, wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self.request("result", id=request_id, wait=wait or None,
+                            timeout=timeout)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")
+
+    def figures(self) -> Dict[str, Any]:
+        return self.request("figures")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def wait_healthy(self, timeout: float = 10.0,
+                     interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``health`` until the daemon answers (startup helper)."""
+        deadline = time.time() + timeout
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError):
+                if time.time() >= deadline:
+                    raise
+                time.sleep(interval)
+
+
+def serve_forever(service: SimulationService,
+                  server: socketserver.BaseServer,
+                  poll_interval: float = 0.1) -> None:
+    """Run the accept loop until :meth:`request_shutdown` (or a signal
+    handler calling ``server.shutdown()``) stops it, then drain."""
+    try:
+        server.serve_forever(poll_interval=poll_interval)
+    finally:
+        server.server_close()
+        service.close()
+        if isinstance(server, ReproUnixServer):
+            try:
+                os.unlink(server.server_address)  # type: ignore[arg-type]
+            except OSError:
+                pass
+
+
+def main_serve(store: Union[str, Path], port: Optional[int] = None,
+               socket_path: Union[str, Path, None] = None,
+               jobs: Optional[int] = None,
+               ready_file: Union[str, Path, None] = None) -> int:
+    """Entry point behind ``python -m repro serve``.
+
+    Binds, announces the address on stdout (and in ``ready_file`` when
+    given — the way scripts using an ephemeral ``--port 0`` learn where
+    the daemon landed), installs SIGTERM/SIGINT handlers for graceful
+    shutdown, and serves until stopped.
+    """
+    import signal
+
+    service = SimulationService(store, jobs=jobs)
+    server, address = create_server(service, port=port,
+                                    socket_path=socket_path)
+    print(f"repro.service: listening on {address} "
+          f"(store {service.store.root}, {service.num_workers} worker"
+          f"{'s' if service.num_workers != 1 else ''})", flush=True)
+    if ready_file is not None:
+        ready = Path(ready_file)
+        ready.parent.mkdir(parents=True, exist_ok=True)
+        tmp = ready.with_name(ready.name + ".tmp")
+        tmp.write_text(address + "\n", encoding="utf-8")
+        os.replace(tmp, ready)
+
+    def _stop(signum: int, frame: Any) -> None:
+        del frame
+        print(f"repro.service: signal {signum}, shutting down", flush=True,
+              file=sys.stderr)
+        server.request_shutdown()  # type: ignore[attr-defined]
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _stop)
+    try:
+        serve_forever(service, server)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0

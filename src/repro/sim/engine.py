@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import zipfile
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -130,6 +131,10 @@ class TraceCache:
         # key -> (workload-or-None, buffer); OrderedDict gives LRU order.
         self._traces: "OrderedDict[Tuple, Tuple[Optional[Workload], TraceBuffer]]" = OrderedDict()
         self._named_workloads: Dict[str, Workload] = {}
+        # The daemon's worker threads share one process-global cache, so
+        # the LRU bookkeeping (move_to_end/popitem) and the counters must
+        # be guarded; generation itself happens outside the lock.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
@@ -139,10 +144,11 @@ class TraceCache:
     def resolve(self, workload: WorkloadSpec) -> Workload:
         """Return the Workload object for a spec (name or instance)."""
         if isinstance(workload, str):
-            resolved = self._named_workloads.get(workload)
-            if resolved is None:
-                resolved = build_workload(workload)
-                self._named_workloads[workload] = resolved
+            with self._lock:
+                resolved = self._named_workloads.get(workload)
+                if resolved is None:
+                    resolved = build_workload(workload)
+                    self._named_workloads[workload] = resolved
             return resolved
         return workload
 
@@ -177,12 +183,13 @@ class TraceCache:
         fresh buffer so no other process ever regenerates it.
         """
         key = self._key(workload, num_accesses, seed, base_address, thread_id)
-        entry = self._traces.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._traces.move_to_end(key)
-            return entry[1]
-        self.misses += 1
+        with self._lock:
+            entry = self._traces.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._traces.move_to_end(key)
+                return entry[1]
+            self.misses += 1
         resolved = self.resolve(workload)
         buffer = None
         spill_path = None
@@ -196,7 +203,8 @@ class TraceCache:
                 if spill_path.is_file():
                     try:
                         buffer = TraceBuffer.load(spill_path)
-                        self.disk_hits += 1
+                        with self._lock:
+                            self.disk_hits += 1
                         spill_path = None  # already on disk
                     except (OSError, ValueError, KeyError, EOFError,
                             zipfile.BadZipFile) as exc:
@@ -213,28 +221,39 @@ class TraceCache:
             if spill_path is not None:
                 try:
                     buffer.save(spill_path)
-                    self.disk_spills += 1
+                    with self._lock:
+                        self.disk_spills += 1
                 except OSError as exc:  # pragma: no cover - disk-full etc.
                     print(f"repro.engine: could not spill trace to "
                           f"{spill_path} ({exc})", file=sys.stderr)
-        # Keep the workload object referenced so an id()-based key can never
-        # be recycled while its trace is cached.
-        self._traces[key] = (None if isinstance(workload, str) else resolved,
-                             buffer)
-        if len(self._traces) > self.max_traces:
-            self._traces.popitem(last=False)
+        with self._lock:
+            # Another thread may have cached the same key while this one
+            # generated/loaded: keep the first buffer, so every caller of a
+            # key receives the identical (immutable) object.
+            entry = self._traces.get(key)
+            if entry is not None:
+                self._traces.move_to_end(key)
+                return entry[1]
+            # Keep the workload object referenced so an id()-based key can
+            # never be recycled while its trace is cached.
+            self._traces[key] = (
+                None if isinstance(workload, str) else resolved, buffer)
+            if len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
         return buffer
 
     def __len__(self) -> int:
-        return len(self._traces)
+        with self._lock:
+            return len(self._traces)
 
     def clear(self) -> None:
-        self._traces.clear()
-        self._named_workloads.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_spills = 0
+        with self._lock:
+            self._traces.clear()
+            self._named_workloads.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            self.disk_spills = 0
 
 
 #: The module-level cache shared by the drivers (one per worker process).

@@ -110,6 +110,8 @@ class MultiCoreSystem:
         """
         if len(traces) > len(self.cores):
             raise ValueError("more traces than cores")
+        if not traces:
+            return self._collect(mix_name, [], [])
         names = list(workload_names or [f"core{i}" for i in range(len(traces))])
         per_core_results: List[List[AccessResult]] = [[] for _ in traces]
 

@@ -702,6 +702,9 @@ class ResultStore:
         self.misses = 0
         #: Lookups for ``key=None`` (uncacheable jobs) — not store misses.
         self.unkeyed = 0
+        #: Results persisted through this instance (one shard append each);
+        #: the daemon's dedup tests assert exactly one put per job key.
+        self.puts = 0
         #: Entries folded in from a legacy ``store.jsonl`` on this open.
         self.migrated_entries = self._migrate_legacy()
         self._load()
@@ -930,6 +933,7 @@ class ResultStore:
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         with _store_lock(self.lock_path):
             offset = _append_payload(self._shard_path(prefix), payload)
+        self.puts += 1
         self._entries[key] = (prefix, offset, len(payload))
         self._mem[key] = encoded
         if prefix in self._unindexed:
@@ -989,6 +993,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.unkeyed = 0
+        self.puts = 0
 
     # ------------------------------------------------------------------
     # Maintenance

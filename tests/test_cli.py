@@ -255,6 +255,26 @@ class TestStoreCmd:
 
 
 # ======================================================================
+# serve (argument validation; daemon behaviour lives in test_service.py)
+# ======================================================================
+class TestServe:
+    def test_serve_rejects_port_and_socket_together(self, tmp_path,
+                                                    capsys):
+        code = main(["serve", "--port", "0", "--socket",
+                     str(tmp_path / "s.sock"), "--store", str(tmp_path)])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_serve_help_documents_the_daemon(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--port", "--socket", "--jobs", "--ready-file"):
+            assert flag in out
+
+
+# ======================================================================
 # the sweep experiment (store scale-out grid)
 # ======================================================================
 class TestSweep:
@@ -276,6 +296,7 @@ class TestSweep:
         assert None not in keys
         assert len(set(keys)) == len(keys)  # every cell is distinct
 
+    @pytest.mark.slow
     def test_sweep_summary_reports_seed_spread(self, tmp_path):
         scale = Scale(accesses=40, warmup=10, mix_accesses=30)
         report = run_experiment("sweep", ResultStore(tmp_path), scale)

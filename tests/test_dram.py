@@ -82,3 +82,142 @@ class TestStatistics:
         latencies = [dram.access(0x0 if i % 2 == 0 else 0x40)
                      for i in range(200)]
         assert max(latencies) <= 3 * dram.idle_latency()
+
+
+class TestRowBufferTransitions:
+    """Open-page policy edges: hit -> conflict -> hit sequences, per-bank
+    row state, and the exact latency ordering of the three outcomes."""
+
+    def test_conflict_reopens_the_new_row(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        stride = config.row_size_bytes * config.num_banks  # same bank
+        dram.access(0x0)                 # miss: opens row 0
+        dram.access(stride)              # conflict: opens row 1
+        dram.access(stride + 0x40)       # same new row: hit
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_conflicts == 1
+        assert dram.stats.row_hits == 1
+
+    def test_hit_conflict_hit_round_trip(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        stride = config.row_size_bytes * config.num_banks
+        sequence = [0x0, 0x80, stride, 0x0, 0x100]
+        for address in sequence:
+            dram.access(address)
+        # miss, hit, conflict (row 1), conflict (back to row 0), hit
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 2
+        assert dram.stats.row_conflicts == 2
+
+    def test_banks_keep_independent_open_rows(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        bank1 = config.row_size_bytes                    # bank 1, row 0
+        dram.access(0x0)                                 # bank 0 opens
+        dram.access(bank1)                               # bank 1 opens
+        conflict = config.row_size_bytes * config.num_banks
+        dram.access(conflict)                            # bank 0 conflicts
+        dram.access(bank1 + 0x40)                        # bank 1 still open
+        assert dram.stats.row_conflicts == 1
+        assert dram.stats.row_hits == 1
+
+    def test_first_access_to_every_bank_is_a_miss(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        for bank in range(config.num_banks):
+            dram.access(bank * config.row_size_bytes)
+        assert dram.stats.row_misses == config.num_banks
+        assert dram.stats.row_hits == 0
+        assert dram.stats.row_conflicts == 0
+
+    def test_latency_ordering_hit_miss_conflict(self):
+        """tCL+burst < tRCD+tCL+burst < tRP+tRCD+tCL+burst, spaced far
+        apart in time so queueing never contributes."""
+        config = DRAMConfig()
+        stride = config.row_size_bytes * config.num_banks
+        dram = DRAMModel(config)
+        gap = 100_000.0
+        miss = dram.access(0x0, current_cycle=gap)
+        hit = dram.access(0x40, current_cycle=2 * gap)
+        conflict = dram.access(stride, current_cycle=3 * gap)
+        assert hit < miss < conflict
+
+    def test_writes_update_row_state_like_reads(self):
+        dram = DRAMModel()
+        dram.access(0x0, is_write=True)
+        dram.access(0x40)
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 1
+        assert dram.stats.writes == 1 and dram.stats.reads == 1
+
+    def test_open_rows_survive_statistics_reset(self):
+        """reset_statistics clears counters, not the row-buffer state —
+        warm-up then measure must not re-pay activates."""
+        dram = DRAMModel()
+        dram.access(0x0)
+        dram.reset_statistics()
+        dram.access(0x40)
+        assert dram.stats.row_hits == 1
+        assert dram.stats.row_misses == 0
+
+
+class TestClockAndQueueing:
+    def test_spaced_requests_pay_no_queueing(self):
+        dram = DRAMModel()
+        first = dram.access(0x0, current_cycle=0.0)
+        assert first == pytest.approx(dram.idle_latency())
+
+    def test_back_to_back_same_bank_pays_queueing(self):
+        dram = DRAMModel()
+        dram.access(0x0, current_cycle=0.0)
+        queued = dram.access(0x40, current_cycle=0.0)
+        spaced = DRAMModel()
+        spaced.access(0x0, current_cycle=0.0)
+        free = spaced.access(0x40, current_cycle=1_000_000.0)
+        assert queued > free
+
+    def test_queue_delay_capped_by_max_queue_fraction(self):
+        config = DRAMConfig(max_queue_fraction=0.0)
+        dram = DRAMModel(config)
+        dram.access(0x0, current_cycle=0.0)
+        second = dram.access(0x40, current_cycle=0.0)
+        # With the cap at zero, a busy bank adds no delay at all.
+        reference = DRAMModel(config)
+        reference.access(0x0, current_cycle=0.0)
+        assert second == reference.access(0x40,
+                                          current_cycle=1_000_000.0)
+
+    def test_internal_clock_never_runs_backwards(self):
+        dram = DRAMModel()
+        dram.access(0x0, current_cycle=5_000.0)
+        dram.access(0x40, current_cycle=1_000.0)   # stale timestamp
+        assert dram._now >= 5_000.0
+
+    def test_different_banks_never_queue_on_each_other(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        dram.access(0x0, current_cycle=0.0)
+        other_bank = dram.access(config.row_size_bytes, current_cycle=0.0)
+        assert other_bank == pytest.approx(dram.idle_latency())
+
+
+class TestStatisticsEdges:
+    def test_empty_model_reports_zero_ratios(self):
+        dram = DRAMModel()
+        assert dram.stats.accesses == 0
+        assert dram.stats.row_hit_ratio == 0.0
+        assert dram.stats.average_latency == 0.0
+
+    def test_average_latency_is_total_over_accesses(self):
+        dram = DRAMModel()
+        total = sum(dram.access(i * 0x40) for i in range(4))
+        assert dram.stats.average_latency == pytest.approx(total / 4)
+
+    def test_rank_count_multiplies_the_bank_pool(self):
+        config = DRAMConfig(num_ranks=2)
+        dram = DRAMModel(config)
+        banks = {dram.map_address(i * config.row_size_bytes)[0]
+                 for i in range(config.num_banks * 2)}
+        assert len(banks) == config.num_banks * 2

@@ -46,3 +46,72 @@ class TestLatencies:
         assert ic.l2_to_llc_latency() == 9
         assert ic.llc_to_memory_latency() == 11
         assert ic.recovery_latency() == 13
+
+
+class TestContention:
+    """Arbitration/queueing edges of the shared-bus contention model."""
+
+    def test_contention_is_linear_in_extra_cores(self):
+        config = InterconnectConfig()
+        per_core = config.contention_per_extra_core
+        latencies = [Interconnect(config, active_cores=cores)
+                     .l2_to_llc_latency() for cores in (1, 2, 3, 4)]
+        deltas = [b - a for a, b in zip(latencies, latencies[1:])]
+        assert deltas == [per_core] * 3
+
+    def test_every_shared_hop_sees_the_same_contention(self):
+        quad = Interconnect(active_cores=4)
+        single = Interconnect(active_cores=1)
+        penalty = quad.config.contention_per_extra_core * 3
+        assert quad.l2_to_llc_latency() - single.l2_to_llc_latency() \
+            == penalty
+        assert quad.llc_to_memory_latency() \
+            - single.llc_to_memory_latency() == penalty
+        assert quad.recovery_latency() - single.recovery_latency() \
+            == penalty
+        assert quad.cache_to_cache_latency() \
+            - single.cache_to_cache_latency() == penalty
+
+    def test_non_positive_core_count_clamps_to_one(self):
+        for cores in (0, -3):
+            ic = Interconnect(active_cores=cores)
+            assert ic.active_cores == 1
+            assert ic.l2_to_llc_latency() == ic.config.l2_to_llc
+
+    def test_custom_contention_weight(self):
+        config = InterconnectConfig(l2_to_llc=4,
+                                    contention_per_extra_core=2.5)
+        ic = Interconnect(config, active_cores=3)
+        assert ic.l2_to_llc_latency() == 4 + 2 * 2.5
+
+    def test_zero_contention_weight_makes_hops_core_independent(self):
+        config = InterconnectConfig(contention_per_extra_core=0.0)
+        single = Interconnect(config, active_cores=1)
+        many = Interconnect(config, active_cores=8)
+        assert many.l2_to_llc_latency() == single.l2_to_llc_latency()
+        assert many.recovery_latency() == single.recovery_latency()
+
+
+class TestCounters:
+    def test_recovery_is_not_counted_as_a_transfer(self):
+        ic = Interconnect()
+        ic.recovery_latency()
+        assert ic.transfers == 0
+        assert ic.recovery_transactions == 1
+
+    def test_cache_to_cache_and_memory_hops_count_as_transfers(self):
+        ic = Interconnect()
+        ic.cache_to_cache_latency()
+        ic.llc_to_memory_latency()
+        assert ic.transfers == 2
+        assert ic.recovery_transactions == 0
+
+    def test_reset_clears_both_counters(self):
+        ic = Interconnect()
+        ic.l1_to_l2_latency()
+        ic.recovery_latency()
+        ic.reset_statistics()
+        assert ic.transfers == 0
+        assert ic.recovery_transactions == 0
+        # Latencies are unaffected by the reset.
+        assert ic.l1_to_l2_latency() == ic.config.l1_to_l2

@@ -5,8 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.base import PredictionOutcome
+from repro.cpu.ooo_core import ExecutionResult
 from repro.sim.config import SystemConfig
-from repro.sim.multicore import MultiCoreSystem, run_mix_comparison
+from repro.sim.multicore import (
+    MultiCoreResult,
+    MultiCoreSystem,
+    run_mix_comparison,
+)
 from repro.workloads import build_workload
 
 
@@ -48,6 +53,115 @@ class TestMultiCoreSystem:
         result = system.run_mix("MT2", accesses_per_core=500, seed=1)
         total_l3_hits = sum(core.stats.l3_hits for core in system.cores)
         assert total_l3_hits > 0
+
+
+class TestInterleaveBoundaries:
+    """Round-robin interleave edges: trace lengths that do not divide
+    evenly across the active cores."""
+
+    @staticmethod
+    def _system(num_cores: int = 4) -> MultiCoreSystem:
+        return MultiCoreSystem(SystemConfig.paper_multi_core(
+            "lp", num_cores=num_cores))
+
+    def test_unequal_trace_lengths_time_each_core_fully(self):
+        system = self._system(num_cores=2)
+        lengths = (37, 11)   # deliberately coprime with the core count
+        traces = [build_workload("gups").generate_buffer(length, seed=i)
+                  for i, length in enumerate(lengths)]
+        result = system.run_traces(traces)
+        assert [execution.memory_accesses
+                for execution in result.per_core_execution] == list(lengths)
+
+    def test_single_trace_on_a_multi_core_system(self):
+        system = self._system(num_cores=4)
+        trace = build_workload("stream").generate_buffer(25, seed=0)
+        result = system.run_traces([trace])
+        assert len(result.per_core_execution) == 1
+        assert result.per_core_execution[0].memory_accesses == 25
+        assert result.per_core_workloads == ["core0"]
+
+    def test_empty_trace_among_active_cores(self):
+        system = self._system(num_cores=2)
+        traces = [build_workload("gups").generate_buffer(13, seed=0),
+                  build_workload("gups").generate_buffer(13, seed=1)[:0]]
+        result = system.run_traces(traces)
+        assert result.per_core_execution[0].memory_accesses == 13
+        assert result.per_core_execution[1].memory_accesses == 0
+        assert result.per_core_execution[1].ipc == 0.0
+
+    def test_no_traces_yields_an_empty_result(self):
+        result = self._system().run_traces([], mix_name="idle")
+        assert result.mix == "idle"
+        assert result.per_core_execution == []
+        assert result.aggregate_ipc == 0.0
+        assert result.total_predictions == 0
+
+    def test_legacy_record_lists_replay_like_buffers(self):
+        """run_traces accepts MemoryAccess lists and buffers equivalently."""
+        workload = build_workload("gapbs.bfs")
+        records = [workload.generate(23, seed=s) for s in (0, 1)]
+        buffers = [workload.generate_buffer(23, seed=s) for s in (0, 1)]
+        from_records = self._system(2).run_traces(records)
+        from_buffers = self._system(2).run_traces(buffers)
+        assert from_records.per_core_execution \
+            == from_buffers.per_core_execution
+        assert from_records.accuracy_breakdown \
+            == from_buffers.accuracy_breakdown
+        assert from_records.cache_hierarchy_energy_nj \
+            == from_buffers.cache_hierarchy_energy_nj
+
+    def test_mix_runs_are_deterministic(self):
+        first = MultiCoreSystem(SystemConfig.paper_multi_core("lp")) \
+            .run_mix("mix2", accesses_per_core=300, seed=5)
+        second = MultiCoreSystem(SystemConfig.paper_multi_core("lp")) \
+            .run_mix("mix2", accesses_per_core=300, seed=5)
+        assert first == second
+
+    def test_two_core_config_builds_two_cores(self):
+        system = self._system(num_cores=2)
+        assert len(system.cores) == 2
+        assert {core.core_id for core in system.cores} == {0, 1}
+
+
+class TestResultMath:
+    """MultiCoreResult metric edges, built from synthetic executions."""
+
+    @staticmethod
+    def _result(ipcs, energy=100.0) -> MultiCoreResult:
+        executions = [ExecutionResult(cycles=100.0, instructions=int(100 * ipc),
+                                      memory_accesses=10, stall_cycles=0.0)
+                      for ipc in ipcs]
+        return MultiCoreResult(
+            mix="synthetic", predictor="lp",
+            per_core_execution=executions,
+            per_core_workloads=[f"core{i}" for i in range(len(ipcs))],
+            accuracy_breakdown={}, cache_hierarchy_energy_nj=energy,
+            total_predictions=0, total_recoveries=0)
+
+    def test_aggregate_ipc_sums_cores(self):
+        assert self._result([1.0, 2.0, 0.5]).aggregate_ipc \
+            == pytest.approx(3.5)
+
+    def test_speedup_skips_idle_baseline_cores(self):
+        mine = self._result([2.0, 3.0])
+        baseline = self._result([1.0, 0.0])
+        # The zero-IPC baseline core contributes no ratio (geomean of one).
+        assert mine.speedup_over(baseline) == pytest.approx(2.0)
+
+    def test_speedup_against_fully_idle_baseline_is_one(self):
+        assert self._result([2.0]).speedup_over(self._result([0.0])) == 1.0
+
+    def test_normalized_energy_handles_zero_baseline(self):
+        assert self._result([1.0], energy=50.0).normalized_energy_over(
+            self._result([1.0], energy=0.0)) == 1.0
+        assert self._result([1.0], energy=50.0).normalized_energy_over(
+            self._result([1.0], energy=100.0)) == pytest.approx(0.5)
+
+    def test_energy_efficiency_combines_speedup_and_energy(self):
+        mine = self._result([2.0], energy=50.0)
+        baseline = self._result([1.0], energy=100.0)
+        assert mine.energy_efficiency_over(baseline) == pytest.approx(4.0)
 
 
 class TestMixComparison:

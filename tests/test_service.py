@@ -1,0 +1,668 @@
+"""Tests for the persistent simulation service (:mod:`repro.service`).
+
+The headline semantics under test:
+
+* warm requests are answered straight from the store with zero simulation;
+* concurrent identical requests coalesce onto **one** running simulation
+  per job key (asserted via the store's put counter and the service's
+  dedup counters);
+* a daemon killed mid-grid resumes from the store with zero recomputation
+  of the cells it already persisted;
+* the protocol survives malformed input without taking the daemon down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main, run_experiment
+from repro.experiments import EXPERIMENTS, Scale
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    SimulationService,
+    create_server,
+    format_address,
+    job_from_wire,
+    parse_address,
+    scale_from_wire,
+    serve_forever,
+)
+from repro.sim.engine import MixJob, SimulationJob
+from repro.sim.store import ResultStore, job_key
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Tiny wire scale shared by the in-process tests.
+TINY_WIRE = {"accesses": 120, "warmup": 40, "mix_accesses": 80}
+TINY = Scale(accesses=120, warmup=40, mix_accesses=80)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_env(monkeypatch):
+    """Service tests must not inherit an ambient store/trace/jobs config."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.setenv("REPRO_TRACE_DIR", "")
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SimulationService(tmp_path / "store", jobs=2)
+    yield svc
+    svc.close(wait=True)
+
+
+@pytest.fixture
+def server(service):
+    """An in-process daemon on an ephemeral localhost port."""
+    srv, address = create_server(service, port=0)
+    thread = threading.Thread(target=serve_forever, args=(service, srv),
+                              daemon=True)
+    thread.start()
+    client = ServiceClient(address, timeout=30.0)
+    client.wait_healthy(timeout=10.0)
+    yield client
+    try:
+        client.shutdown()
+    except (OSError, ServiceError):
+        pass
+    thread.join(timeout=10.0)
+
+
+# ======================================================================
+# Addresses
+# ======================================================================
+class TestAddresses:
+    def test_bare_port_is_localhost_tcp(self):
+        assert parse_address("7321") == ("tcp", ("127.0.0.1", 7321))
+
+    def test_host_and_port(self):
+        assert parse_address("10.0.0.5:99") == ("tcp", ("10.0.0.5", 99))
+
+    def test_path_is_unix(self):
+        assert parse_address("/run/repro.sock") == ("unix",
+                                                    "/run/repro.sock")
+
+    def test_unix_prefix_is_stripped(self):
+        assert parse_address("unix:/tmp/s.sock") == ("unix", "/tmp/s.sock")
+
+    def test_invalid_port_raises(self):
+        with pytest.raises(ServiceError):
+            parse_address("localhost:notaport")
+
+    def test_empty_address_raises(self):
+        with pytest.raises(ServiceError):
+            parse_address("   ")
+
+    def test_format_round_trips(self):
+        for address in ("127.0.0.1:7321", "unix:/tmp/repro.sock"):
+            family, location = parse_address(address)
+            assert format_address(family, location) == address
+
+
+# ======================================================================
+# Wire specs
+# ======================================================================
+class TestWireSpecs:
+    def test_single_job_round_trip(self):
+        job = job_from_wire({"kind": "single", "workload": "gups",
+                             "predictor": "lp", "num_accesses": 100,
+                             "warmup_accesses": 20, "seed": 3})
+        assert job == SimulationJob(workload="gups", predictor="lp",
+                                    num_accesses=100, warmup_accesses=20,
+                                    seed=3)
+
+    def test_single_is_the_default_kind(self):
+        job = job_from_wire({"workload": "gups", "predictor": "baseline",
+                             "num_accesses": 50})
+        assert isinstance(job, SimulationJob)
+        assert job.warmup_accesses == 0 and job.seed == 0
+
+    def test_mix_job_round_trip(self):
+        job = job_from_wire({"kind": "mix", "mix": "mix1",
+                             "predictor": "lp", "accesses_per_core": 80})
+        assert job == MixJob(mix="mix1", predictor="lp",
+                             accesses_per_core=80, seed=0)
+
+    def test_wire_job_keys_match_engine_job_keys(self):
+        """A wire spec addresses the same store cell as the native job."""
+        wire = job_from_wire({"workload": "gups", "predictor": "lp",
+                              "num_accesses": 100, "warmup_accesses": 20})
+        native = SimulationJob(workload="gups", predictor="lp",
+                               num_accesses=100, warmup_accesses=20)
+        assert job_key(wire) == job_key(native)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            job_from_wire({"kind": "nope", "workload": "gups"})
+
+    def test_missing_field_names_the_field(self):
+        with pytest.raises(ServiceError, match="predictor"):
+            job_from_wire({"workload": "gups", "num_accesses": 10})
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(ServiceError):
+            job_from_wire(["not", "a", "spec"])
+
+    def test_scale_defaults_and_fields(self):
+        assert scale_from_wire(None) == Scale()
+        assert scale_from_wire(TINY_WIRE) == TINY
+
+    def test_scale_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="unknown scale field"):
+            scale_from_wire({"accesses": 10, "speed": 11})
+
+
+# ======================================================================
+# Service core (no socket)
+# ======================================================================
+class TestServiceCore:
+    def test_submit_simulates_then_serves_from_store(self, service):
+        first = service.submit(experiment="fig13", scale=TINY_WIRE,
+                               wait=True)
+        assert first["state"] == "done"
+        assert first["simulated"] == first["total_jobs"] > 0
+        assert first["stored"] == first["coalesced"] == 0
+
+        second = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                wait=True)
+        assert second["simulated"] == 0
+        assert second["stored"] == second["total_jobs"]
+        assert second["stats"] == first["stats"]
+
+    def test_stats_match_a_local_run_bit_for_bit(self, service, tmp_path):
+        payload = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                 wait=True)
+        local = run_experiment("fig13", ResultStore(tmp_path / "local"),
+                               TINY)
+        assert payload["stats"] == local.stats
+
+    def test_stats_file_written_under_the_store(self, service):
+        payload = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                 wait=True)
+        stats_path = Path(payload["stats_path"])
+        assert stats_path == service.store.root / "stats" / "fig13.json"
+        assert json.loads(stats_path.read_text()) == payload["stats"]
+
+    def test_force_resimulates_stored_cells(self, service):
+        service.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+        forced = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                force=True, wait=True)
+        assert forced["simulated"] == forced["total_jobs"]
+        assert forced["stored"] == 0
+
+    def test_explicit_job_grid_returns_results(self, service):
+        jobs = [{"workload": "gups", "predictor": predictor,
+                 "num_accesses": 80, "warmup_accesses": 20}
+                for predictor in ("baseline", "lp")]
+        payload = service.submit(jobs=jobs, wait=True)
+        assert payload["state"] == "done"
+        assert len(payload["results"]) == 2
+        for encoded in payload["results"]:
+            assert encoded["kind"] == "single"
+            assert encoded["workload"] == "gups"
+
+    def test_explicit_grid_shares_store_cells_with_experiments(
+            self, service):
+        jobs = [{"workload": "gups", "predictor": "lp",
+                 "num_accesses": 160}]
+        service.submit(jobs=jobs, wait=True)
+        again = service.submit(jobs=jobs, wait=True)
+        assert again["stored"] == 1 and again["simulated"] == 0
+
+    def test_unknown_experiment_rejected(self, service):
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            service.submit(experiment="fig99", wait=True)
+
+    def test_submit_needs_exactly_one_grid_source(self, service):
+        with pytest.raises(ServiceError):
+            service.submit()
+        with pytest.raises(ServiceError):
+            service.submit(experiment="fig13", jobs=[{}])
+
+    def test_async_submit_is_pollable_to_completion(self, service):
+        payload = service.submit(experiment="fig13", scale=TINY_WIRE)
+        assert payload["state"] == "running"
+        final = service.result(payload["id"], wait=True, timeout=60.0)
+        assert final["state"] == "done"
+        assert final["completed"] == final["total_jobs"]
+        assert final["stats"] is not None
+
+    def test_status_reports_store_coverage(self, service):
+        empty = service.status(scale=TINY_WIRE)
+        assert empty["experiments"]["fig13"]["stored"] == 0
+        service.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+        after = service.status(scale=TINY_WIRE)
+        row = after["experiments"]["fig13"]
+        assert row["stored"] == row["total"] > 0
+        # fig14 runs the same (mix x predictor) grid: shared cells show up.
+        assert after["experiments"]["fig14"]["stored"] == row["stored"]
+
+    def test_unknown_request_id_rejected(self, service):
+        with pytest.raises(ServiceError, match="unknown request id"):
+            service.status("req-999-nope")
+
+    def test_counters_track_dedup_traffic(self, service):
+        service.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+        service.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+        stats = service.stats()
+        total = EXPERIMENTS["fig13"].jobs(TINY)
+        assert stats["counters"]["simulations"] == len(total)
+        assert stats["counters"]["store_hits"] == len(total)
+        assert stats["store"]["puts"] == len(total)
+        assert stats["workers"] == 2
+        assert stats["inflight"] == 0
+
+
+# ======================================================================
+# In-flight deduplication under concurrency
+# ======================================================================
+class TestDedup:
+    def test_concurrent_identical_requests_simulate_each_key_once(
+            self, service):
+        """N clients ask for the golden figure at once: one simulation per
+        job key, bit-identical stats for every client."""
+        clients = 3
+        barrier = threading.Barrier(clients)
+        payloads: list = [None] * clients
+        errors: list = []
+
+        def request(slot: int) -> None:
+            try:
+                barrier.wait()
+                payloads[slot] = service.submit(experiment="golden",
+                                                wait=True)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=request, args=(slot,))
+                   for slot in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors
+        total = len(EXPERIMENTS["golden"].jobs(TINY))
+
+        # The dedup invariant: every job key was simulated exactly once
+        # and persisted exactly once, no matter how many clients raced.
+        assert service.counters["simulations"] == total
+        assert service.store.puts == total
+        assert service.store.total_lines() == len(service.store) == total
+        # Every requested cell was answered one of the three ways.
+        answered = (service.counters["simulations"]
+                    + service.counters["store_hits"]
+                    + service.counters["coalesced"])
+        assert answered == clients * total
+
+        states = [payload["state"] for payload in payloads]
+        assert states == ["done"] * clients
+        reference = payloads[0]["stats"]
+        assert all(payload["stats"] == reference for payload in payloads)
+        committed = json.loads((REPO_ROOT / "GOLDEN_stats.json").read_text())
+        assert reference == committed
+
+    def test_concurrent_requests_with_shared_cells_coalesce(self, service):
+        """fig13 and fig14 run the same grid: racing them simulates the
+        shared cells once."""
+        barrier = threading.Barrier(2)
+        done: list = [None, None]
+
+        def request(slot: int, name: str) -> None:
+            barrier.wait()
+            done[slot] = service.submit(experiment=name, scale=TINY_WIRE,
+                                        wait=True)
+
+        threads = [threading.Thread(target=request, args=(0, "fig13")),
+                   threading.Thread(target=request, args=(1, "fig14"))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        total = len(EXPERIMENTS["fig13"].jobs(TINY))
+        assert done[0]["state"] == done[1]["state"] == "done"
+        assert service.counters["simulations"] == total
+        assert service.store.puts == total
+
+    def test_coalesced_requests_fail_loudly_when_the_owner_fails(
+            self, service, monkeypatch):
+        """A watcher attached to a failing owner must error, not hang."""
+        import repro.service as service_module
+
+        started = threading.Event()
+
+        def explode(job, trace_cache=None):
+            started.set()
+            time.sleep(0.05)
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service_module, "execute_job", explode)
+        owner = service.submit(experiment="fig13", scale=TINY_WIRE)
+        assert started.wait(timeout=30.0)
+        watcher = service.submit(experiment="fig13", scale=TINY_WIRE)
+        final_owner = service.result(owner["id"], wait=True, timeout=60.0)
+        final_watcher = service.result(watcher["id"], wait=True,
+                                       timeout=60.0)
+        assert final_owner["state"] == "failed"
+        assert "boom" in final_owner["error"]
+        assert final_watcher["state"] == "failed"
+
+
+class TestFailureHygiene:
+    """The daemon must fail requests loudly and leak nothing."""
+
+    def test_claim_failure_leaves_no_inflight_futures(self, service):
+        """A pool that cannot accept work mid-claim must not strand
+        registered futures (later requests would coalesce onto them and
+        wait forever)."""
+        service._pool.shutdown(wait=True)
+        payload = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                 wait=True)
+        assert payload["state"] == "failed"
+        assert service._inflight == {}
+        # A replacement pool over the same store still works.
+        service._pool = ThreadPoolExecutor(max_workers=1)
+        recovered = service.submit(experiment="fig13", scale=TINY_WIRE,
+                                   wait=True)
+        assert recovered["state"] == "done"
+
+    def test_finished_requests_are_evicted_beyond_the_cap(
+            self, service, monkeypatch):
+        import repro.service as service_module
+
+        monkeypatch.setattr(service_module, "MAX_FINISHED_REQUESTS", 2)
+        spec = {"workload": "gups", "predictor": "baseline",
+                "num_accesses": 40}
+        ids = [service.submit(jobs=[spec], wait=True)["id"]
+               for _ in range(5)]
+        assert len(service._requests) <= 3
+        with pytest.raises(ServiceError, match="unknown request id"):
+            service.status(ids[0])
+        # The newest finished request is still pollable.
+        assert service.status(ids[-1])["state"] == "done"
+
+
+# ======================================================================
+# The socket layer
+# ======================================================================
+class TestSocketServer:
+    def test_health_and_figures(self, server):
+        health = server.health()
+        assert health["status"] == "ok"
+        assert health["pid"] == os.getpid()
+        figures = server.figures()["experiments"]
+        assert set(figures) == set(EXPERIMENTS)
+
+    def test_submit_over_the_wire(self, server):
+        payload = server.submit(experiment="fig13", scale=TINY_WIRE,
+                                wait=True)
+        assert payload["state"] == "done"
+        assert payload["simulated"] == payload["total_jobs"]
+        again = server.submit(experiment="fig13", scale=TINY_WIRE,
+                              wait=True)
+        assert again["simulated"] == 0
+        assert again["stats"] == payload["stats"]
+
+    def test_async_submit_and_result_over_the_wire(self, server):
+        submitted = server.submit(experiment="fig13", scale=TINY_WIRE)
+        assert submitted["state"] in ("running", "done")
+        final = server.result(submitted["id"], wait=True, timeout=60.0)
+        assert final["state"] == "done"
+        assert final["stats"] is not None
+
+    def test_error_responses_do_not_kill_the_daemon(self, server):
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            server.submit(experiment="fig99", wait=True)
+        with pytest.raises(ServiceError, match="unknown op"):
+            server.request("dance")
+        assert server.health()["status"] == "ok"
+
+    def test_malformed_json_is_answered_not_fatal(self, server):
+        family, location = parse_address(server.address)
+        with socket.create_connection(location, timeout=10.0) as sock:
+            sock.sendall(b"this is not json\n")
+            response = json.loads(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert "JSON" in response["error"]
+        assert server.health()["status"] == "ok"
+
+    def test_unix_socket_server(self, tmp_path):
+        svc = SimulationService(tmp_path / "store", jobs=1)
+        sock_path = tmp_path / "repro.sock"
+        srv, address = create_server(svc, socket_path=sock_path)
+        thread = threading.Thread(target=serve_forever, args=(svc, srv),
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(address, timeout=10.0)
+            assert client.wait_healthy()["status"] == "ok"
+            assert address == f"unix:{sock_path}"
+            client.shutdown()
+        finally:
+            thread.join(timeout=10.0)
+        assert not sock_path.exists()  # unlinked on shutdown
+
+    def test_create_server_needs_exactly_one_binding(self, service):
+        with pytest.raises(ServiceError):
+            create_server(service)
+        with pytest.raises(ServiceError):
+            create_server(service, port=0, socket_path="/tmp/x.sock")
+
+    def test_shutdown_op_stops_the_accept_loop(self, tmp_path):
+        svc = SimulationService(tmp_path / "store", jobs=1)
+        srv, address = create_server(svc, port=0)
+        thread = threading.Thread(target=serve_forever, args=(svc, srv),
+                                  daemon=True)
+        thread.start()
+        client = ServiceClient(address, timeout=10.0)
+        client.wait_healthy()
+        assert client.shutdown()["stopping"] is True
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        with pytest.raises(OSError):
+            ServiceClient(address, timeout=0.5).health()
+
+
+# ======================================================================
+# Daemon subprocess: kill -9 mid-grid, restart, resume
+# ======================================================================
+def _spawn_daemon(tmp_path: Path, store: Path,
+                  jobs: str = "1") -> "tuple[subprocess.Popen, str]":
+    ready = tmp_path / f"ready-{time.monotonic_ns()}.txt"
+    env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_JOBS=jobs,
+               REPRO_TRACE_DIR="")
+    env.pop("REPRO_STORE", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", str(store), "--ready-file", str(ready)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    deadline = time.time() + 30.0
+    while not ready.is_file():
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died on startup: "
+                f"{process.stderr.read().decode()}")  # type: ignore
+        if time.time() > deadline:
+            process.kill()
+            raise AssertionError("daemon never wrote its ready file")
+        time.sleep(0.02)
+    return process, ready.read_text().strip()
+
+
+@pytest.mark.slow
+class TestDaemonRestart:
+    SCALE = {"accesses": 400, "warmup": 120, "mix_accesses": 300}
+
+    def test_kill_and_restart_resumes_with_zero_recomputation(
+            self, tmp_path):
+        store = tmp_path / "store"
+        daemon, address = _spawn_daemon(tmp_path, store)
+        try:
+            client = ServiceClient(address, timeout=30.0)
+            client.wait_healthy(timeout=30.0)
+            submitted = client.submit(experiment="fig13", scale=self.SCALE)
+            total = submitted["total_jobs"]
+            # Let it persist part of the grid, then kill it un-gracefully.
+            deadline = time.time() + 60.0
+            while True:
+                snapshot = client.status(submitted["id"])
+                if snapshot["completed"] >= 1 or \
+                        snapshot["state"] != "running":
+                    break
+                assert time.time() < deadline, "grid never started"
+                time.sleep(0.02)
+        finally:
+            daemon.kill()
+            daemon.wait(timeout=30.0)
+
+        survivors = len(ResultStore(store))
+        assert survivors >= 1  # the kill landed after at least one put
+
+        restarted, address = _spawn_daemon(tmp_path, store)
+        try:
+            client = ServiceClient(address, timeout=30.0)
+            client.wait_healthy(timeout=30.0)
+            payload = client.submit(experiment="fig13", scale=self.SCALE,
+                                    wait=True)
+            assert payload["state"] == "done"
+            # Zero recomputation of stored cells: everything the first
+            # daemon persisted is served, only the remainder simulates.
+            assert payload["stored"] >= survivors
+            assert payload["simulated"] == total - payload["stored"]
+        finally:
+            restarted.terminate()
+            restarted.wait(timeout=30.0)
+
+        # One line per key across both daemon lifetimes: nothing was
+        # simulated (or persisted) twice.
+        final = ResultStore(store)
+        assert len(final) == total
+        assert final.total_lines() == total
+        # And the resumed grid's metrics match a clean local run.
+        local = run_experiment(
+            "fig13", ResultStore(tmp_path / "reference"),
+            Scale(accesses=400, warmup=120, mix_accesses=300))
+        daemon_stats = json.loads(
+            (store / "stats" / "fig13.json").read_text())
+        assert daemon_stats == local.stats
+
+    def test_sigterm_shuts_down_gracefully(self, tmp_path):
+        daemon, address = _spawn_daemon(tmp_path, tmp_path / "store")
+        client = ServiceClient(address, timeout=30.0)
+        client.wait_healthy(timeout=30.0)
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=30.0) == 0
+
+    def test_warm_daemon_answers_from_a_store_written_locally(
+            self, tmp_path):
+        """A daemon pointed at a pre-populated store simulates nothing."""
+        store = tmp_path / "store"
+        run_experiment("fig13", ResultStore(store), TINY)
+        daemon, address = _spawn_daemon(tmp_path, store)
+        try:
+            client = ServiceClient(address, timeout=30.0)
+            client.wait_healthy(timeout=30.0)
+            payload = client.submit(experiment="fig13", scale=TINY_WIRE,
+                                    wait=True)
+            assert payload["simulated"] == 0
+            assert payload["stored"] == payload["total_jobs"]
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=30.0)
+
+
+# ======================================================================
+# CLI integration (--remote against an in-process server)
+# ======================================================================
+class TestRemoteCLI:
+    def test_run_remote_round_trip(self, server, capsys):
+        scale = ["--accesses", "120", "--warmup", "40",
+                 "--mix-accesses", "80"]
+        assert main(["run", "fig13", "--remote", server.address]
+                    + scale) == 0
+        out = capsys.readouterr().out
+        assert "0 from store" in out and "simulated" in out
+        assert main(["run", "fig13", "--remote", server.address]
+                    + scale) == 0
+        assert "0 simulated" in capsys.readouterr().out
+
+    def test_run_remote_check_against_golden(self, server, capsys,
+                                             monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["run", "golden", "--remote", server.address,
+                     "--check"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_run_remote_stats_out(self, server, tmp_path, capsys):
+        out_path = tmp_path / "stats.json"
+        assert main(["run", "fig13", "--remote", server.address,
+                     "--accesses", "120", "--warmup", "40",
+                     "--mix-accesses", "80",
+                     "--stats-out", str(out_path)]) == 0
+        del capsys
+        stats = json.loads(out_path.read_text())
+        local = run_experiment("fig13", ResultStore(tmp_path / "ref"),
+                               TINY)
+        assert stats == local.stats
+
+    def test_status_remote_reports_daemon_coverage(self, server, capsys):
+        scale = ["--accesses", "120", "--warmup", "40",
+                 "--mix-accesses", "80"]
+        assert main(["status", "--remote", server.address] + scale) == 0
+        out = capsys.readouterr().out
+        assert "daemon @" in out and "fig13" in out
+
+    def test_figures_remote_lists_experiments(self, server, capsys):
+        assert main(["figures", "--remote", server.address]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_non_json_peer_is_a_service_error_not_a_crash(self, capsys):
+        """A foreign server (e.g. HTTP) answering garbage must surface as
+        the CLI's clean error message, not a JSONDecodeError traceback."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def answer_like_http():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.sendall(b"HTTP/1.1 400 Bad Request\r\n\r\n")
+            conn.close()
+
+        thread = threading.Thread(target=answer_like_http, daemon=True)
+        thread.start()
+        try:
+            assert main(["run", "fig13", "--remote",
+                         f"127.0.0.1:{port}"]) == 1
+            err = capsys.readouterr().err
+            assert "cannot run against daemon" in err
+            assert "non-JSON" in err
+        finally:
+            thread.join(timeout=10.0)
+            listener.close()
+
+    def test_remote_unreachable_is_a_clean_error(self, tmp_path, capsys):
+        # Grab a port nothing is listening on.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        assert main(["run", "fig13", "--remote", f"127.0.0.1:{port}"]) == 1
+        assert "cannot run against daemon" in capsys.readouterr().err
+        assert main(["status", "--remote", f"127.0.0.1:{port}"]) == 1
+        assert "cannot query daemon" in capsys.readouterr().err

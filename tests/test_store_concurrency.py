@@ -55,6 +55,7 @@ def _subprocess_env() -> dict:
     return env
 
 
+@pytest.mark.slow
 def test_concurrent_writers_lose_nothing(tmp_path):
     """N processes x M puts into one store, then a clean, complete load."""
     job = SimulationJob(workload="gups", predictor="lp", num_accesses=60,
@@ -94,6 +95,7 @@ def test_concurrent_writers_lose_nothing(tmp_path):
     assert report["kept"] == WRITERS * PUTS_PER_WRITER
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("jobs_env", ["1", "2"])
 def test_two_simultaneous_cli_runs_share_one_store(tmp_path, jobs_env):
     """Two `python -m repro run` processes racing on one store stay clean.

@@ -275,3 +275,105 @@ class TestDiskSpill:
         cache.get(workload, 50)
         assert cache.disk_spills == 0
         assert not list(tmp_path.glob("*.npz"))
+
+
+class TestConcurrentSpill:
+    """Regression for the daemon-era spill race: the save() temp name was
+    unique per *process* only, so two worker threads spilling the same
+    trace key shared one temp file — each truncating the other mid-write —
+    and the atomic rename could promote a torn archive."""
+
+    def test_temp_names_are_unique_per_call(self, tmp_path, monkeypatch):
+        import os
+        import re
+
+        from repro.trace import _SAVE_SERIAL
+        del _SAVE_SERIAL  # the serial exists and is importable
+        buffer = build_workload("stream").generate_buffer(50, seed=0)
+        seen = set()
+        original_replace = os.replace
+
+        def record(src, dst):
+            seen.add(str(src))
+            return original_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", record)
+        for _ in range(3):
+            buffer.save(tmp_path / "trace.npz")
+        assert len(seen) == 3
+        for name in seen:
+            assert re.search(r"\.\d+\.\d+\.\d+\.tmp\.npz$", name)
+
+    def test_many_threads_saving_one_path_never_tear_it(self, tmp_path):
+        import threading
+
+        buffer = build_workload("gups").generate_buffer(400, seed=7)
+        path = tmp_path / "trace.npz"
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def spill():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    buffer.save(path)
+                    # Every observable file state must be a complete,
+                    # loadable archive equal to the buffer.
+                    assert TraceBuffer.load(path) == buffer
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=spill) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert TraceBuffer.load(path) == buffer
+        # No temp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.npz"]
+
+    def test_concurrent_cache_spills_of_one_key(self, tmp_path):
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def warm():
+            try:
+                barrier.wait()
+                cache = TraceCache(spill_dir=tmp_path)
+                cache.get("stream", 150, seed=3)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=warm) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        key = trace_key("stream", 150, seed=3)
+        loaded = TraceBuffer.load(tmp_path / f"{key}.npz")
+        assert loaded == build_workload("stream").generate(150, seed=3)
+
+    def test_shared_cache_threads_get_the_identical_buffer(self):
+        """The thread-safe LRU hands every caller of a key one object."""
+        import threading
+
+        cache = TraceCache(spill_dir=None)
+        results = []
+        barrier = threading.Barrier(6)
+
+        def fetch():
+            barrier.wait()
+            results.append(cache.get("gups", 120, seed=1))
+
+        threads = [threading.Thread(target=fetch) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(results) == 6
+        first = results[0]
+        assert all(buffer is first for buffer in results)
