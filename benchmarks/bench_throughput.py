@@ -38,6 +38,12 @@ columns through a fresh trace cache, plus the memory compaction ratio) and
 buffer-replay throughput (one system replaying the same trace from a
 buffer vs. from a record list, asserted bit-identical).
 
+A ``fault_plane`` section records what the fault-injection hooks
+(:mod:`repro.faults`) cost: the per-call price of a disabled
+:func:`~repro.faults.fault_point`, the price when a plane is armed but
+never fires, and a second faults-disabled grid pass asserted to be within
+ordinary run-to-run noise of the ``engine_serial`` measurement.
+
 Per-system end-to-end throughput is also reported for the baseline and
 ``lp`` systems alone.  The benchmark asserts that parallel execution
 reproduces serial results bit-identically; wall-clock speedups are recorded
@@ -307,6 +313,44 @@ def _buffer_replay_report():
     }
 
 
+def _fault_plane_report(engine_serial_seconds: float):
+    """Cost of the fault-injection plane (:mod:`repro.faults`).
+
+    Three numbers: the per-call cost of a disabled :func:`fault_point`
+    (the price every hot-path hook pays when ``REPRO_FAULTS`` is unset),
+    the per-call cost of an armed plane whose rule never fires (p=0),
+    and a second faults-disabled grid pass whose ratio against the
+    ``engine_serial`` measurement bounds the plane's end-to-end overhead
+    by run-to-run noise.
+    """
+    from repro import faults
+    from repro.faults import fault_point
+    from repro.sim.engine import TRACE_CACHE as trace_cache
+
+    iterations = 500_000
+
+    def _hammer():
+        for _ in range(iterations):
+            fault_point("store.append", 128)
+
+    faults.uninstall()
+    _, off_seconds = _timed(_hammer)
+    faults.install("store.append:eio@p=0.0,seed=1")
+    _, armed_seconds = _timed(_hammer)
+    faults.uninstall()
+
+    trace_cache.clear()
+    _, grid_seconds = _timed(lambda: _run_engine(jobs=1))
+
+    return {
+        "calls": iterations,
+        "disabled_ns_per_call": off_seconds / iterations * 1e9,
+        "armed_nonfiring_ns_per_call": armed_seconds / iterations * 1e9,
+        "grid_seconds_with_hooks": grid_seconds,
+        "grid_vs_engine_serial": engine_serial_seconds / grid_seconds,
+    }
+
+
 def _per_system_throughput(predictor: str) -> float:
     """End-to-end accesses/second of one system across all applications."""
     jobs = expand_grid(list(HIGHLIGHTED_APPLICATIONS), (predictor,),
@@ -367,6 +411,7 @@ def test_throughput(benchmark):
 
     trace_report = _trace_substrate_report()
     replay_report = _buffer_replay_report()
+    fault_report = _fault_plane_report(serial_seconds)
 
     report = {
         "schema": "repro-bench-throughput/1",
@@ -405,6 +450,7 @@ def test_throughput(benchmark):
         "store": store_report,
         "trace": trace_report,
         "buffer_replay": replay_report,
+        "fault_plane": fault_report,
         "speedups": {
             "engine_serial_vs_legacy": legacy_seconds / serial_seconds,
             "engine_parallel_vs_legacy": legacy_seconds / parallel_seconds,
@@ -446,6 +492,16 @@ def test_throughput(benchmark):
                  f"{replay_report['buffer_vs_records']:.2f}x "
                  f"({replay_report['buffer']['accesses_per_second']:,.0f}/s)")
     lines.append("")
+    lines.append("Fault plane (REPRO_FAULTS unset unless armed)")
+    lines.append(f"fault_point off   : "
+                 f"{fault_report['disabled_ns_per_call']:8.1f} ns/call")
+    lines.append(f"armed, never fires: "
+                 f"{fault_report['armed_nonfiring_ns_per_call']:8.1f} ns/call")
+    lines.append(f"grid w/ hooks     : "
+                 f"{fault_report['grid_seconds_with_hooks']:.2f}s "
+                 f"({fault_report['grid_vs_engine_serial']:.2f}x of "
+                 f"engine_serial — run-to-run noise)")
+    lines.append("")
     for key, value in report["speedups"].items():
         lines.append(f"{key}: {value:.2f}x")
     text = "\n".join(lines)
@@ -462,3 +518,9 @@ def test_throughput(benchmark):
         assert trace_report["speedups"]["warm_load_vs_generate"] > 1.0
     assert memory["compaction_ratio"] > 2.0
     assert baseline_aps > 0 and lp_aps > 0
+    # The disabled fault plane must stay in check-a-global territory —
+    # microseconds would mean a hidden allocation or lock on the hot path
+    # — and the faults-off grid must stay within ordinary run-to-run
+    # noise of the engine_serial measurement taken moments earlier.
+    assert fault_report["disabled_ns_per_call"] < 2000
+    assert fault_report["grid_vs_engine_serial"] > 0.5

@@ -18,6 +18,8 @@ The package is organised as:
   ``REPRO_JOBS`` worker fan-out) the drivers run on, and the
   content-addressed :mod:`results store <repro.sim.store>` it reads through.
 * :mod:`repro.analysis` — Figure-1 classification and report formatting.
+* :mod:`repro.faults` — the deterministic fault-injection plane
+  (``REPRO_FAULTS`` / ``--faults``) exercising every recovery path above.
 * :mod:`repro.experiments` / :mod:`repro.cli` — the declarative figure/table
   registry and the ``python -m repro`` CLI that runs it through the store.
 
@@ -31,6 +33,8 @@ Quick start::
         predictors=("baseline", "lp"))
     print(results["lp"].speedup_over(results["baseline"]))
 """
+
+from .faults import FaultPlane, FaultRule, FaultSpecError, fault_point
 
 from .core import (
     CacheLevelPredictor,
@@ -69,6 +73,9 @@ __all__ = [
     "CacheLevelPredictor",
     "CoreMemoryHierarchy",
     "DirectToDataPredictor",
+    "FaultPlane",
+    "FaultRule",
+    "FaultSpecError",
     "HIGHLIGHTED_APPLICATIONS",
     "HierarchyConfig",
     "Level",
@@ -90,6 +97,7 @@ __all__ = [
     "TAGELevelPredictor",
     "build_system",
     "build_workload",
+    "fault_point",
     "run_predictor_comparison",
     "__version__",
 ]

@@ -72,6 +72,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from contextlib import contextmanager
 
 from .experiments import EXPERIMENTS, Scale, canonical_json
+from .faults import REPRO_FAULTS_ENV, FaultSpecError, install as install_faults
 from .service import ServiceClient, ServiceError, main_serve
 from .sim.engine import SimulationEngine
 from .sim.store import (
@@ -97,11 +98,15 @@ DEFAULT_SERVICE_PORT = 7341
 # run
 # ======================================================================
 class RunReport:
-    """Outcome of one ``repro run`` experiment (also the test-facing API)."""
+    """Outcome of one ``repro run`` experiment (also the test-facing API).
+
+    ``stats_path`` is ``None`` when the stats file could not be written
+    (a daemon on unwritable media still answers with the stats payload).
+    """
 
     def __init__(self, name: str, total_jobs: int, stored: int,
                  simulated: int, seconds: float, stats: Dict[str, Any],
-                 stats_path: Path) -> None:
+                 stats_path: Optional[Path]) -> None:
         self.name = name
         self.total_jobs = total_jobs
         self.stored = stored
@@ -194,6 +199,33 @@ def _trace_dir_env(args: argparse.Namespace):
             os.environ[REPRO_TRACE_DIR_ENV] = previous
 
 
+@contextmanager
+def _faults_env(args: argparse.Namespace):
+    """Arm ``--faults`` for the run's duration (and worker processes).
+
+    The schedule is installed in-process *and* exported through
+    ``REPRO_FAULTS`` so engine worker processes inherit it; both are
+    undone afterwards so in-process callers (tests) see no lasting
+    fault plane.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        yield
+        return
+    from . import faults as faults_module
+    previous = os.environ.get(REPRO_FAULTS_ENV)
+    install_faults(spec)
+    os.environ[REPRO_FAULTS_ENV] = spec
+    try:
+        yield
+    finally:
+        faults_module.uninstall()
+        if previous is None:
+            os.environ.pop(REPRO_FAULTS_ENV, None)
+        else:
+            os.environ[REPRO_FAULTS_ENV] = previous
+
+
 def _scale_wire(args: argparse.Namespace) -> Dict[str, int]:
     """The scale flags as the service protocol's ``scale`` object."""
     return {"accesses": args.accesses, "warmup": args.warmup,
@@ -227,10 +259,18 @@ def _remote_run(args: argparse.Namespace, names: List[str]) -> int:
             print(f"repro: remote run of {name} failed: "
                   f"{payload.get('error', 'unknown error')}",
                   file=sys.stderr)
+            for failure in payload.get("failed_jobs", []):
+                print(f"  job {failure.get('index')} "
+                      f"[{failure.get('code')}]: {failure.get('error')}",
+                      file=sys.stderr)
             return 1
+        # stats_path may be null: a degraded daemon (unwritable store
+        # media) still answers with the stats payload itself.
+        stats_path = payload.get("stats_path")
         report = RunReport(name, payload["total_jobs"], payload["stored"],
                            payload["simulated"], payload["seconds"],
-                           payload["stats"], Path(payload["stats_path"]))
+                           payload["stats"],
+                           Path(stats_path) if stats_path else None)
         print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
               f"store, {report.simulated} simulated, "
               f"{payload['coalesced']} coalesced "
@@ -256,7 +296,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
     if args.remote:
         try:
-            return _remote_run(args, names)
+            with _faults_env(args):
+                return _remote_run(args, names)
         except (OSError, ServiceError) as exc:
             print(f"repro: cannot run against daemon at {args.remote}: "
                   f"{exc}", file=sys.stderr)
@@ -265,7 +306,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     scale = Scale(accesses=args.accesses, warmup=args.warmup,
                   mix_accesses=args.mix_accesses)
     exit_code = 0
-    with _trace_dir_env(args):
+    with _faults_env(args), _trace_dir_env(args):
         for name in names:
             report = run_experiment(name, store, scale, jobs=args.jobs,
                                     force=args.force)
@@ -408,11 +449,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             return main_serve(args.store, port=port,
                               socket_path=socket_path, jobs=args.jobs,
-                              ready_file=args.ready_file)
+                              ready_file=args.ready_file,
+                              job_retries=args.job_retries,
+                              job_timeout=args.job_timeout,
+                              max_queue=args.max_queue,
+                              faults=args.faults)
+        except FaultSpecError as exc:
+            print(f"repro: bad --faults schedule: {exc}", file=sys.stderr)
+            return 2
         except OSError as exc:
             print(f"repro: cannot start the daemon: {exc}",
                   file=sys.stderr)
             return 1
+
+
+# ======================================================================
+# stats
+# ======================================================================
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Query a daemon's counters (recovery, dedup, store, faults)."""
+    try:
+        client = ServiceClient(args.remote)
+        payload = client.stats()
+    except (OSError, ServiceError) as exc:
+        print(f"repro: cannot query daemon at {args.remote}: {exc}",
+              file=sys.stderr)
+        return 1
+    payload.pop("ok", None)
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    counters = payload["counters"]
+    print(f"daemon @ {client.address}: {payload['workers']} workers, "
+          f"up {payload['uptime_seconds']:.0f}s"
+          + (", DEGRADED" if payload.get("degraded") else ""))
+    print(f"  requests          : {counters['requests']:>10,}  "
+          f"({counters['submissions']:,} grids, "
+          f"{counters['jobs']:,} jobs)")
+    print(f"  job sources       : {counters['store_hits']:>10,} store / "
+          f"{counters['simulations']:,} simulated / "
+          f"{counters['coalesced']:,} coalesced")
+    print(f"  recovery          : {counters['retries']:>10,} retries, "
+          f"{counters['job_failures']:,} failures, "
+          f"{counters['quarantined']:,} quarantined, "
+          f"{counters['shed']:,} shed")
+    print(f"  store writes      : {counters['put_retries']:>10,} put "
+          f"retries, {counters['put_failures']:,} put failures")
+    store = payload["store"]
+    print(f"  store             : {store['entries']:>10,} entries "
+          f"({store['hits']:,} hits / {store['misses']:,} misses / "
+          f"{store['puts']:,} puts)")
+    for rule, counts in payload.get("faults", {}).items():
+        print(f"  fault {rule:<20}: fired {counts['fired']:,} of "
+              f"{counts['evaluated']:,} evaluations")
+    return 0
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
@@ -549,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="on-disk trace cache directory (default: $REPRO_TRACE_DIR or "
              "<store>/traces; '' disables trace spilling)")
+    run_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault schedule, e.g. "
+             "'store.append:eio@p=0.05,seed=7' (same grammar as "
+             "$REPRO_FAULTS; see repro.faults)")
     _add_store_and_scale(run_parser)
     _add_remote_arg(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -573,8 +668,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, metavar="DIR",
         help="on-disk trace cache directory (default: $REPRO_TRACE_DIR or "
              "<store>/traces; '' disables trace spilling)")
+    serve_parser.add_argument(
+        "--job-retries", type=int, default=None, metavar="N",
+        help="attempts per job before quarantine (default: "
+             "$REPRO_JOB_RETRIES or 3)")
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt job deadline (default: $REPRO_JOB_TIMEOUT; "
+             "0 disables)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="shed submits beyond N active jobs (default: "
+             "$REPRO_MAX_QUEUE; 0 disables)")
+    serve_parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm deterministic fault injection, e.g. "
+             "'worker.job:crash@p=0.2,seed=3;service.response:drop@times=2' "
+             "(same grammar as $REPRO_FAULTS; see repro.faults)")
     _add_store_arg(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="query a daemon's counters (recovery, dedup, store)")
+    stats_parser.add_argument(
+        "--remote", required=True, metavar="ADDR",
+        help="daemon address (PORT, HOST:PORT, or a unix socket path)")
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw stats payload as JSON (script-friendly)")
+    stats_parser.set_defaults(func=cmd_stats)
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect a registered workload's trace buffer")

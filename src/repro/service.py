@@ -44,7 +44,31 @@ line, one response line, connection closed::
 Operations: ``submit`` (figure name or an explicit job-spec grid),
 ``status`` (one request, or per-experiment store coverage), ``result``,
 ``stats`` (server counters), ``health``, ``figures`` and ``shutdown``.
-Errors come back as ``{"ok": false, "error": "..."}``.
+Errors come back as ``{"ok": false, "error": "...", "code": "...",
+"retryable": ...}`` — ``code`` is the machine-readable taxonomy clients
+branch on, ``retryable`` whether resubmitting the same request is safe
+and useful (it always is semantically: jobs are content-addressed and
+coalesced, so a duplicate submit costs nothing).
+
+Failure model
+=============
+
+The daemon assumes every layer under it can fail and bounds the damage:
+
+* **per-job isolation** — a job that crashes, exceeds its deadline
+  (``REPRO_JOB_TIMEOUT``) or keeps failing is retried with a bounded
+  budget (``REPRO_JOB_RETRIES``) and then quarantined by its content
+  key; only that job fails, its grid completes the rest and reports a
+  structured ``failed_jobs`` list, and later submits of a quarantined
+  key fail fast (``force`` clears the quarantine);
+* **admission control** — beyond ``REPRO_MAX_QUEUE`` active jobs new
+  grids are shed with a retryable ``overloaded`` error instead of
+  queueing unboundedly;
+* **degraded read-only mode** — when the store media goes unwritable
+  (every put retry exhausted), warm grids keep being served from the
+  store while anything needing a write is refused with code
+  ``degraded`` and ``health`` reports it; writes resume after the
+  daemon is restarted over healthy media.
 
 ``python -m repro serve`` runs the daemon; ``--remote ADDR`` on ``run`` /
 ``status`` / ``figures`` points the existing experiment commands at one.
@@ -54,16 +78,19 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import socketserver
 import sys
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .experiments import EXPERIMENTS, Scale, canonical_json
+from .faults import fault_point
 from .sim.engine import (
     REPRO_JOBS_ENV,
     Job,
@@ -90,9 +117,64 @@ MAX_REQUEST_BYTES = 4 * 1024 * 1024
 #: ones are evicted so a long-lived daemon's memory stays bounded.
 MAX_FINISHED_REQUESTS = 512
 
+#: Per-job retry budget (attempts, including the first) and env override.
+DEFAULT_JOB_RETRIES = 3
+REPRO_JOB_RETRIES_ENV = "REPRO_JOB_RETRIES"
+
+#: Per-attempt job deadline in seconds (0/unset disables) and override.
+REPRO_JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Admission-control bound on active jobs (0/unset disables) and override.
+REPRO_MAX_QUEUE_ENV = "REPRO_MAX_QUEUE"
+
+#: Longest the server blocks one handler thread on ``result wait=true``
+#: before answering with the current snapshot (clients poll in chunks).
+MAX_RESULT_WAIT = 60.0
+
+#: Machine-readable error codes (the values of ``ServiceError.code``).
+ERROR_CODES = (
+    "bad_request",        # malformed / unanswerable request
+    "unknown_experiment", # experiment name not in the registry
+    "unknown_request",    # request id unknown (or evicted)
+    "overloaded",         # admission control shed the submit; retry later
+    "degraded",           # store media unwritable; only warm reads served
+    "timeout",            # client-side deadline expired
+    "connection",         # client could not reach / keep the daemon
+    "job_failed",         # a grid job exhausted its retry budget
+    "quarantined",        # job key poisoned by earlier repeated failure
+    "shutting_down",      # daemon is draining; resubmit elsewhere/later
+    "internal",           # unexpected server-side failure
+)
+
 
 class ServiceError(Exception):
-    """A request the service understood but must refuse."""
+    """A request the service understood but must refuse.
+
+    Args:
+        message: Human-readable explanation.
+        code: Machine-readable taxonomy entry (one of :data:`ERROR_CODES`);
+            travels on the wire so clients can branch without parsing
+            prose.
+        retryable: Whether resubmitting the same request is safe *and*
+            plausibly useful (submits are always semantically safe — jobs
+            are content-addressed and coalesced — so this flags whether a
+            retry can succeed, e.g. after load-shedding or a dropped
+            connection, versus a deterministic refusal).
+    """
+
+    def __init__(self, message: str, code: str = "bad_request",
+                 retryable: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable
+
+
+class ServiceConnectionError(ServiceError, ConnectionError):
+    """The daemon stayed unreachable (or silent) past the retry budget.
+
+    Also a :class:`ConnectionError`, so pre-taxonomy callers catching
+    ``OSError`` for an unreachable daemon keep working unchanged.
+    """
 
 
 # ======================================================================
@@ -211,6 +293,10 @@ class _RequestState:
         self.stats_path: Optional[str] = None
         self.results: Optional[List[Dict[str, Any]]] = None
         self.error: Optional[str] = None
+        #: Structured per-job failures: ``[{"index", "key", "code",
+        #: "error"}, ...]`` — one entry per grid cell that exhausted its
+        #: retry budget (the rest of the grid still completed).
+        self.failed_jobs: List[Dict[str, Any]] = []
         self.done = threading.Event()
 
     def snapshot(self, include_payload: bool = False) -> Dict[str, Any]:
@@ -227,6 +313,8 @@ class _RequestState:
         }
         if self.error is not None:
             data["error"] = self.error
+        if self.failed_jobs:
+            data["failed_jobs"] = list(self.failed_jobs)
         if include_payload and self.state == "done":
             data["stats"] = self.stats
             data["stats_path"] = self.stats_path
@@ -250,10 +338,28 @@ class SimulationService:
         store: Results-store root directory (or an opened store).
         jobs: Worker-thread count; ``None`` reads ``REPRO_JOBS`` from the
             environment, defaulting to 1.
+        job_retries: Attempts per job (including the first) before it is
+            quarantined; ``None`` reads ``REPRO_JOB_RETRIES``, default 3.
+        job_timeout: Per-attempt job deadline in seconds; ``None`` reads
+            ``REPRO_JOB_TIMEOUT``, 0/unset disables.  A timed-out attempt
+            is abandoned (its thread may finish later — puts are
+            idempotent by key, so a late result is harmless) and retried.
+        max_queue: Admission-control bound on active jobs; ``None`` reads
+            ``REPRO_MAX_QUEUE``, 0/unset disables.  Submits beyond the
+            bound are shed with a retryable ``overloaded`` error.
     """
 
+    #: Base per-job retry backoff in seconds (doubled per attempt).
+    RETRY_BACKOFF = 0.05
+    #: Bounded store-append retry inside the daemon (attempts / base s).
+    PUT_ATTEMPTS = 3
+    PUT_BACKOFF = 0.05
+
     def __init__(self, store: Union[str, Path, ResultStore],
-                 jobs: Optional[int] = None) -> None:
+                 jobs: Optional[int] = None,
+                 job_retries: Optional[int] = None,
+                 job_timeout: Optional[float] = None,
+                 max_queue: Optional[int] = None) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
@@ -261,6 +367,19 @@ class SimulationService:
             env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
             jobs = int(env_value) if env_value else 1
         self.num_workers = max(1, jobs)
+        if job_retries is None:
+            env_value = os.environ.get(REPRO_JOB_RETRIES_ENV, "").strip()
+            job_retries = int(env_value) if env_value \
+                else DEFAULT_JOB_RETRIES
+        self.job_retries = max(1, job_retries)
+        if job_timeout is None:
+            env_value = os.environ.get(REPRO_JOB_TIMEOUT_ENV, "").strip()
+            job_timeout = float(env_value) if env_value else 0.0
+        self.job_timeout: Optional[float] = job_timeout or None
+        if max_queue is None:
+            env_value = os.environ.get(REPRO_MAX_QUEUE_ENV, "").strip()
+            max_queue = int(env_value) if env_value else 0
+        self.max_queue = max(0, max_queue)
         self._pool = ThreadPoolExecutor(
             max_workers=self.num_workers,
             thread_name_prefix="repro-service-worker")
@@ -281,7 +400,27 @@ class SimulationService:
             "simulations": 0,    # jobs this daemon actually simulated
             "store_hits": 0,     # jobs answered straight from the store
             "coalesced": 0,      # jobs attached to an in-flight future
+            "retries": 0,        # job attempts retried after a failure
+            "job_failures": 0,   # jobs that exhausted their retry budget
+            "quarantined": 0,    # job keys moved to the poison quarantine
+            "shed": 0,           # submits refused by admission control
+            "put_retries": 0,    # store appends retried after a failure
+            "put_failures": 0,   # store appends abandoned (degraded mode)
         }
+        #: Poison quarantine: job key -> last error message.  A key lands
+        #: here after exhausting its retry budget; later submits of the
+        #: same key fail fast instead of burning the budget again, until
+        #: a ``force`` submit clears it.
+        self._quarantine: Dict[str, str] = {}
+        #: Jobs submitted to the pool and not yet finished (admission
+        #: control).  Guarded by its own lock: the done-callback may fire
+        #: on the submitting thread while ``_lock`` is held.
+        self._active_jobs = 0
+        self._admission_lock = threading.Lock()
+        #: Degraded read-only mode: set when the store media proved
+        #: unwritable (every put retry exhausted); sticky until restart.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -298,7 +437,8 @@ class SimulationService:
         ``result``.
         """
         if self._closed:
-            raise ServiceError("service is shutting down")
+            raise ServiceError("service is shutting down",
+                               code="shutting_down", retryable=True)
         if (experiment is None) == (jobs is None):
             raise ServiceError(
                 "submit needs exactly one of 'experiment' or 'jobs'")
@@ -307,7 +447,8 @@ class SimulationService:
             if experiment not in EXPERIMENTS:
                 raise ServiceError(
                     f"unknown experiment {experiment!r}; known: "
-                    f"{', '.join(EXPERIMENTS)}")
+                    f"{', '.join(EXPERIMENTS)}",
+                    code="unknown_experiment")
             job_list = EXPERIMENTS[experiment].jobs(resolved_scale)
             name, explicit = experiment, False
         else:
@@ -315,6 +456,8 @@ class SimulationService:
                 raise ServiceError("empty job list")
             job_list = [job_from_wire(spec) for spec in jobs]
             name, explicit = "adhoc", True
+        self._admit(len(job_list))
+        self._refuse_if_degraded(job_list, force)
         with self._lock:
             self._next_request += 1
             request_id = f"req-{self._next_request}-{name}"
@@ -338,6 +481,66 @@ class SimulationService:
         thread.start()
         return state.snapshot()
 
+    def _admit(self, incoming: int) -> None:
+        """Load-shed when the active-job backlog exceeds the bound.
+
+        Shedding is honest back-pressure: the refusal is marked
+        ``retryable``, so a well-behaved client backs off and resubmits —
+        and resubmission is free (store hits / coalescing for everything
+        that finished meanwhile).
+        """
+        del incoming  # the bound is on the backlog, not the grid size
+        if not self.max_queue:
+            return
+        with self._admission_lock:
+            active = self._active_jobs
+        if active >= self.max_queue:
+            with self._lock:
+                self.counters["shed"] += 1
+            raise ServiceError(
+                f"service overloaded: {active} jobs active "
+                f"(max {self.max_queue}); retry with backoff",
+                code="overloaded", retryable=True)
+
+    def _refuse_if_degraded(self, job_list: List[Job],
+                            force: bool) -> None:
+        """In degraded mode, admit only grids that need no store write.
+
+        Warm answers keep flowing (reads still work); anything that would
+        have to append — a cold keyed job, or ``force`` recomputation —
+        is refused honestly instead of failing halfway through.
+        Uncacheable jobs never write the store, so they stay admissible.
+        """
+        if not self.degraded:
+            return
+        reason = self.degraded_reason or "store media unwritable"
+        if force:
+            raise ServiceError(
+                f"store is in degraded read-only mode ({reason}); "
+                f"force recomputation needs a writable store",
+                code="degraded")
+        with self._lock:
+            for job in job_list:
+                key = try_job_key(job)
+                if key is not None and key not in self.store:
+                    raise ServiceError(
+                        f"store is in degraded read-only mode ({reason}) "
+                        f"and this grid has unstored jobs; only warm "
+                        f"requests are served", code="degraded")
+
+    def _submit_job(self, job: Job) -> "Future[Any]":
+        """Submit one job to the pool, tracked for admission control."""
+        future = self._pool.submit(execute_job, job)
+        with self._admission_lock:
+            self._active_jobs += 1
+        future.add_done_callback(self._job_finished)
+        return future
+
+    def _job_finished(self, future: "Future[Any]") -> None:
+        del future
+        with self._admission_lock:
+            self._active_jobs -= 1
+
     def _evict_finished_requests(self) -> None:
         """Drop the oldest finished requests beyond the retention cap.
 
@@ -358,30 +561,74 @@ class SimulationService:
         try:
             results = self._run_jobs(state, job_list, force)
             state.seconds = time.perf_counter() - start
+            if state.failed_jobs:
+                # Per-job isolation: the healthy cells completed (and
+                # their puts landed), but a grid with holes has no honest
+                # stats — report the structured failure list instead.
+                state.error = (
+                    f"{len(state.failed_jobs)}/{state.total} jobs failed "
+                    f"after {self.job_retries} attempts")
+                state.state = "failed"
+                return
             if state.explicit:
                 state.results = [serialize_result(result)
                                  for result in results]
             else:
                 experiment = EXPERIMENTS[state.name]
                 state.stats = experiment.summarize(results, scale)
-                stats_path = self.store.root / "stats" / f"{state.name}.json"
-                stats_path.parent.mkdir(parents=True, exist_ok=True)
-                # Temp + rename: concurrent same-experiment requests (or a
-                # kill mid-write) must never leave a torn stats file.
-                tmp = stats_path.with_name(
-                    f".{stats_path.name}.{threading.get_ident()}.tmp")
-                tmp.write_text(canonical_json(state.stats),
-                               encoding="utf-8")
-                os.replace(tmp, stats_path)
-                state.stats_path = str(stats_path)
-            with self._lock:
-                self.store.flush_index()
+                state.stats_path = self._write_stats(state.name,
+                                                     state.stats)
+            try:
+                with self._lock:
+                    self.store.flush_index()
+            except OSError as exc:
+                # A stale index is never wrong, only slower — losing the
+                # flush must not fail an otherwise complete request.
+                print(f"repro.service: could not flush store index "
+                      f"({exc})", file=sys.stderr)
             state.state = "done"
-        except Exception as exc:  # noqa: BLE001 - reported to the client
+        except BaseException as exc:  # noqa: BLE001 - reported to client
+            # BaseException on purpose: *anything* escaping the job run —
+            # including SystemExit/KeyboardInterrupt raised on a worker
+            # thread — must leave the request in a terminal state a
+            # ``status`` poll can see, never wedged at "running".
             state.error = f"{type(exc).__name__}: {exc}"
             state.state = "failed"
+            if not isinstance(exc, Exception):
+                raise
         finally:
             state.done.set()
+
+    def _write_stats(self, name: str,
+                     stats: Dict[str, Any]) -> Optional[str]:
+        """Atomically persist an experiment's stats JSON; None on failure.
+
+        On unwritable media the request still succeeds — the stats are in
+        the response payload; only the on-disk copy is lost — and the
+        daemon flips to degraded read-only mode.
+        """
+        stats_path = self.store.root / "stats" / f"{name}.json"
+        # Temp + rename: concurrent same-experiment requests (or a kill
+        # mid-write) must never leave a torn stats file.
+        tmp = stats_path.with_name(
+            f".{stats_path.name}.{threading.get_ident()}.tmp")
+        try:
+            stats_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(canonical_json(stats), encoding="utf-8")
+            os.replace(tmp, stats_path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            print(f"repro.service: could not write {stats_path} ({exc}); "
+                  f"entering degraded read-only mode", file=sys.stderr)
+            self._enter_degraded(str(exc))
+            return None
+        return str(stats_path)
+
+    def _enter_degraded(self, reason: str) -> None:
+        with self._lock:
+            if not self.degraded:
+                self.degraded = True
+                self.degraded_reason = reason
 
     def _run_jobs(self, state: _RequestState, job_list: List[Job],
                   force: bool) -> List[Any]:
@@ -410,14 +657,21 @@ class SimulationService:
                 for index, key in enumerate(keys):
                     if key is None:
                         plan.append(("direct",
-                                     self._pool.submit(execute_job,
-                                                       job_list[index])))
+                                     self._submit_job(job_list[index])))
                         continue
                     if not force and key in self.store:
                         plan.append(("store", key))
                         self.counters["store_hits"] += 1
                         state.stored += 1
                         continue
+                    if key in self._quarantine:
+                        if force:
+                            # A force submit is the operator saying "try
+                            # again": clear the poison verdict and re-own.
+                            del self._quarantine[key]
+                        else:
+                            plan.append(("poison", key))
+                            continue
                     future = self._inflight.get(key)
                     if future is not None:
                         plan.append(("watch", future))
@@ -428,34 +682,61 @@ class SimulationService:
                     self._inflight[key] = future
                     owned.append(index)
                     plan.append(("own", key,
-                                 self._pool.submit(execute_job,
-                                                   job_list[index])))
+                                 self._submit_job(job_list[index])))
                     self.counters["simulations"] += 1
                     state.simulated += 1
             # Collect phase, strictly in job order: owners persist their
             # results as they arrive, so the shard files the daemon writes
             # are byte-identical to a serial run of the same job list —
             # and an interrupted grid keeps every job persisted before
-            # the kill.
+            # the kill.  Per-job isolation: a step that fails for good is
+            # recorded in ``state.failed_jobs`` and the loop moves on, so
+            # every healthy sibling still lands in the store in job order.
             for index, step in enumerate(plan):
-                if step[0] == "store":
-                    with self._lock:
-                        result = self.store.get(step[1])
-                    if result is None:  # pragma: no cover - fsck'd away
+                try:
+                    if step[0] == "store":
+                        with self._lock:
+                            result = self.store.get(step[1])
+                        if result is None:
+                            # The entry vanished behind us (fsck/compact)
+                            # or the read failed: the store is a cache,
+                            # so recover by recomputing — with the full
+                            # retry/persist machinery.
+                            result = self._collect_owned(
+                                job_list[index], step[1],
+                                self._submit_job(job_list[index]))
+                            self._persist(step[1], specs[index], result)
+                    elif step[0] == "poison":
                         raise ServiceError(
-                            f"store entry for {step[1]} vanished")
-                elif step[0] == "watch":
-                    result = step[1].result()
-                elif step[0] == "direct":
-                    result = step[1].result()
-                else:
-                    _, key, exec_future = step
-                    result = exec_future.result()
-                    with self._lock:
-                        self.store.put(key, specs[index], result)
-                        inflight = self._inflight.pop(key, None)
-                    if inflight is not None:
-                        inflight.set_result(result)
+                            f"job {step[1][:12]}… is quarantined after "
+                            f"repeated failures "
+                            f"({self._quarantine.get(step[1])}); "
+                            f"submit with force to retry it",
+                            code="quarantined")
+                    elif step[0] == "watch" or step[0] == "direct":
+                        result = step[1].result()
+                    else:
+                        _, key, exec_future = step
+                        result = self._collect_owned(
+                            job_list[index], key, exec_future)
+                        self._persist(key, specs[index], result)
+                        with self._lock:
+                            inflight = self._inflight.pop(key, None)
+                        if inflight is not None:
+                            inflight.set_result(result)
+                except Exception as exc:  # noqa: BLE001 - isolated below
+                    code = exc.code if isinstance(exc, ServiceError) \
+                        else "job_failed"
+                    state.failed_jobs.append({
+                        "index": index,
+                        "key": keys[index],
+                        "code": code,
+                        "error": f"{type(exc).__name__}: {exc}"
+                        if not isinstance(exc, ServiceError)
+                        else str(exc),
+                    })
+                    results.append(None)
+                    continue
                 results.append(result)
                 state.completed += 1
             return results
@@ -468,6 +749,73 @@ class SimulationService:
                     if future is not None and not future.done():
                         future.set_exception(exc)
             raise
+
+    def _collect_owned(self, job: Job, key: str,
+                       exec_future: "Future[Any]") -> Any:
+        """One owned job's result, retried within the bounded budget.
+
+        Each attempt may fail (a crashing worker) or exceed the per-
+        attempt deadline (a hung simulation: the attempt is abandoned —
+        its thread may still finish, which is harmless because puts are
+        idempotent by key — and a fresh attempt starts).  After the
+        budget the key is quarantined, the in-flight future is failed so
+        coalesced watchers unblock, and the failure propagates to the
+        per-job isolation handler in :meth:`_run_jobs`.
+        """
+        last_error = "unknown"
+        for attempt in range(1, self.job_retries + 1):
+            try:
+                return exec_future.result(timeout=self.job_timeout)
+            except FutureTimeoutError:
+                exec_future.cancel()
+                last_error = (f"attempt exceeded the {self.job_timeout}s "
+                              f"deadline")
+            except Exception as exc:  # noqa: BLE001 - retried
+                last_error = f"{type(exc).__name__}: {exc}"
+            if attempt < self.job_retries:
+                with self._lock:
+                    self.counters["retries"] += 1
+                time.sleep(self.RETRY_BACKOFF * (2 ** (attempt - 1)))
+                exec_future = self._submit_job(job)
+        error = ServiceError(
+            f"job {key[:12]}… failed after {self.job_retries} attempts: "
+            f"{last_error}", code="job_failed", retryable=True)
+        with self._lock:
+            self.counters["job_failures"] += 1
+            self.counters["quarantined"] += 1
+            self._quarantine[key] = last_error
+            inflight = self._inflight.pop(key, None)
+        if inflight is not None and not inflight.done():
+            inflight.set_exception(error)
+        raise error
+
+    def _persist(self, key: str, spec: Optional[Dict[str, Any]],
+                 result: Any) -> None:
+        """Store one owned result with a bounded retry; never raises.
+
+        A failed append is retried (the shard's torn tail is repaired in
+        place by the next locked append); exhausting the budget flips the
+        daemon into degraded read-only mode but does **not** fail the
+        job — the result is already computed and flows back to every
+        waiter, only the cache entry is lost.
+        """
+        for attempt in range(1, self.PUT_ATTEMPTS + 1):
+            try:
+                with self._lock:
+                    self.store.put(key, spec, result)
+                return
+            except OSError as error:
+                if attempt == self.PUT_ATTEMPTS:
+                    with self._lock:
+                        self.counters["put_failures"] += 1
+                    print(f"repro.service: giving up storing "
+                          f"{key[:12]}… ({error}); entering degraded "
+                          f"read-only mode", file=sys.stderr)
+                    self._enter_degraded(str(error))
+                    return
+                with self._lock:
+                    self.counters["put_retries"] += 1
+                time.sleep(self.PUT_BACKOFF * (2 ** (attempt - 1)))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -490,49 +838,68 @@ class SimulationService:
             for name, grid_keys in grids.items():
                 stored = sum(1 for key in grid_keys if key in self.store)
                 coverage[name] = {"stored": stored, "total": len(grid_keys)}
+            quarantine = dict(self._quarantine)
         return {"store": str(self.store.root), "entries": entries,
-                "experiments": coverage}
+                "experiments": coverage, "quarantine": quarantine}
 
     def result(self, request_id: str, wait: bool = False,
                timeout: Optional[float] = None) -> Dict[str, Any]:
         """A request's final payload (stats/results) once it is done."""
         state = self._request_state(request_id)
         if wait:
-            state.done.wait(timeout)
+            # The server-side wait is clamped so one slow grid can never
+            # pin a handler thread (and its client socket) indefinitely —
+            # clients poll in bounded chunks (see ServiceClient.result).
+            if timeout is None:
+                timeout = MAX_RESULT_WAIT
+            state.done.wait(min(float(timeout), MAX_RESULT_WAIT))
         return state.snapshot(include_payload=True)
 
     def _request_state(self, request_id: str) -> _RequestState:
         state = self._requests.get(request_id)
         if state is None:
-            raise ServiceError(f"unknown request id {request_id!r}")
+            raise ServiceError(f"unknown request id {request_id!r}",
+                               code="unknown_request")
         return state
 
     def stats(self) -> Dict[str, Any]:
         """Server counters: the store/dedup traffic since startup."""
+        from .faults import counters_snapshot
         from .sim.engine import TRACE_CACHE
         with self._lock:
             counters = dict(self.counters)
             inflight = len(self._inflight)
+            quarantined_keys = len(self._quarantine)
             store = {"entries": len(self.store), "hits": self.store.hits,
                      "misses": self.store.misses, "puts": self.store.puts}
+        with self._admission_lock:
+            active = self._active_jobs
         return {
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.num_workers,
             "inflight": inflight,
+            "active_jobs": active,
+            "quarantined_keys": quarantined_keys,
+            "degraded": self.degraded,
             "counters": counters,
             "store": store,
             "trace_cache": {"hits": TRACE_CACHE.hits,
                             "misses": TRACE_CACHE.misses,
                             "disk_hits": TRACE_CACHE.disk_hits,
                             "disk_spills": TRACE_CACHE.disk_spills},
+            "faults": counters_snapshot(),
         }
 
     def health(self) -> Dict[str, Any]:
-        return {"status": "ok", "pid": os.getpid(),
-                "schema": PROTOCOL_SCHEMA,
-                "store": str(self.store.root),
-                "workers": self.num_workers,
-                "uptime_seconds": time.time() - self.started_at}
+        payload = {"status": "degraded" if self.degraded else "ok",
+                   "pid": os.getpid(),
+                   "schema": PROTOCOL_SCHEMA,
+                   "store": str(self.store.root),
+                   "workers": self.num_workers,
+                   "uptime_seconds": time.time() - self.started_at}
+        if self.degraded:
+            payload["reason"] = self.degraded_reason
+        return payload
 
     def figures(self) -> Dict[str, Any]:
         return {"experiments": {name: experiment.title
@@ -577,10 +944,12 @@ class SimulationService:
             else:
                 raise ServiceError(f"unknown op {op!r}")
         except ServiceError as exc:
-            return {"ok": False, "error": str(exc)}
+            return {"ok": False, "error": str(exc), "code": exc.code,
+                    "retryable": exc.retryable}
         except Exception as exc:  # noqa: BLE001 - daemon must not die
             return {"ok": False,
-                    "error": f"{type(exc).__name__}: {exc}"}
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "code": "internal", "retryable": False}
         response = {"ok": True}
         response.update(payload)
         return response
@@ -629,6 +998,11 @@ class _ServiceHandler(socketserver.StreamRequestHandler):
         payload = json.dumps(response, sort_keys=True,
                              separators=(",", ":")) + "\n"
         try:
+            # Fault site: the response connection dying under the daemon.
+            # An injected drop raises the same ConnectionResetError a real
+            # torn socket would; the client sees a closed connection and
+            # drives its reconnect-and-retry path.
+            fault_point("service.response")
             self.wfile.write(payload.encode("utf-8"))
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away; nothing to report to
@@ -692,22 +1066,89 @@ class ServiceClient:
     """Talk to a running daemon: one JSON line per request.
 
     Every method raises :class:`ServiceError` when the daemon answers
-    ``ok: false`` and :class:`ConnectionError`/:class:`OSError` when it is
-    unreachable.
+    ``ok: false`` (carrying the server's machine-readable ``code`` and
+    ``retryable`` flag) or when it stays unreachable after the retry
+    budget (codes ``connection`` / ``timeout``, always retryable).
+
+    Resilience: every request gets a per-op IO deadline (``timeout``),
+    reconnects with exponential backoff plus deterministic jitter, and is
+    safe to resubmit — jobs are content-addressed and coalesced server-
+    side, so a retried ``submit`` whose first response was lost costs
+    nothing.  Long waits (``result(wait=True)``, ``submit(wait=True)``)
+    poll in bounded chunks, so a daemon dying mid-request surfaces as a
+    retryable :class:`ServiceError` instead of a hang.
+
+    Args:
+        address: Daemon address (see :func:`parse_address`).
+        timeout: Per-op socket IO deadline in seconds (None = no limit).
+        retries: Connection attempts per request (default 3).
+        backoff: Base reconnect backoff in seconds, doubled per attempt,
+            plus up to 50% deterministic jitter (seeded by the address).
     """
 
-    def __init__(self, address: str, timeout: Optional[float] = None
-                 ) -> None:
+    #: Defaults for the reconnect budget.
+    DEFAULT_RETRIES = 3
+    DEFAULT_BACKOFF = 0.1
+    #: Server-side wait slice per poll of a running request (seconds).
+    WAIT_CHUNK = 2.0
+    #: Extra socket allowance on top of a server-side wait slice.
+    WAIT_GRACE = 10.0
+
+    def __init__(self, address: str, timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 backoff: Optional[float] = None) -> None:
         self.family, self.location = parse_address(address)
         self.address = format_address(self.family, self.location)
         self.timeout = timeout
+        self.retries = self.DEFAULT_RETRIES if retries is None \
+            else max(1, retries)
+        self.backoff = self.DEFAULT_BACKOFF if backoff is None else backoff
+        # Deterministic jitter: seeded by the address, so a test run (or
+        # a replayed incident) backs off identically every time, while
+        # distinct clients still de-synchronise.
+        self._jitter = random.Random(f"repro-client:{self.address}")
 
     def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One op with reconnect-and-retry; see :meth:`request_once`."""
+        last_error: Optional[ServiceError] = None
+        for attempt in range(1, self.retries + 1):
+            try:
+                return self.request_once(op, **params)
+            except ServiceError as error:
+                if not error.retryable or attempt >= self.retries:
+                    raise
+                last_error = error
+            except socket.timeout as error:
+                last_error = ServiceConnectionError(
+                    f"service at {self.address} did not answer within "
+                    f"{self.timeout}s ({error})", code="timeout",
+                    retryable=True)
+            except OSError as error:
+                last_error = ServiceConnectionError(
+                    f"could not reach service at {self.address} "
+                    f"({error})", code="connection", retryable=True)
+            if attempt >= self.retries:
+                raise last_error
+            self._sleep_backoff(attempt)
+        raise last_error  # pragma: no cover - loop always raises/returns
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        base = self.backoff * (2 ** (attempt - 1))
+        time.sleep(base * (1.0 + 0.5 * self._jitter.random()))
+
+    def request_once(self, op: str, io_timeout: Optional[float] = None,
+                     **params: Any) -> Dict[str, Any]:
+        """One op, one connection, no retry (the building block).
+
+        ``io_timeout`` overrides the client's socket deadline for this
+        request — used by the chunked-wait polls, whose server side
+        legitimately blocks for a bounded slice before answering.
+        """
         payload = {"op": op, **{key: value for key, value in params.items()
                                 if value is not None}}
         line = json.dumps(payload, sort_keys=True,
                           separators=(",", ":")) + "\n"
-        with self._connect() as sock:
+        with self._connect(io_timeout) as sock:
             sock.sendall(line.encode("utf-8"))
             with sock.makefile("rb") as stream:
                 raw = stream.readline()
@@ -725,30 +1166,40 @@ class ServiceClient:
         if not isinstance(response, dict) or "ok" not in response:
             raise ServiceError(f"malformed response from {self.address}")
         if not response["ok"]:
-            raise ServiceError(response.get("error", "unknown error"))
+            raise ServiceError(response.get("error", "unknown error"),
+                               code=response.get("code", "internal"),
+                               retryable=bool(response.get("retryable")))
         return response
 
-    def _connect(self) -> socket.socket:
+    def _connect(self, io_timeout: Optional[float] = None
+                 ) -> socket.socket:
+        timeout = self.timeout if io_timeout is None else io_timeout
+        # Fault site: the connect handshake (refused / dropped / slow).
+        fault_point("client.connect")
         if self.family == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
-                sock.settimeout(self.timeout)
+                sock.settimeout(timeout)
                 sock.connect(self.location)
             except BaseException:
                 sock.close()
                 raise
             return sock
-        return socket.create_connection(self.location,
-                                        timeout=self.timeout)
+        return socket.create_connection(self.location, timeout=timeout)
 
     # Typed convenience wrappers -----------------------------------------
     def submit(self, experiment: Optional[str] = None,
                jobs: Optional[Sequence[Dict[str, Any]]] = None,
                scale: Optional[Dict[str, Any]] = None,
                force: bool = False, wait: bool = False) -> Dict[str, Any]:
-        return self.request("submit", experiment=experiment, jobs=jobs,
-                            scale=scale, force=force or None,
-                            wait=wait or None)
+        response = self.request("submit", experiment=experiment, jobs=jobs,
+                                scale=scale, force=force or None)
+        if not wait:
+            return response
+        # Waiting is submit-then-poll rather than one long blocking call:
+        # each poll is IO-bounded, so a daemon dying mid-grid surfaces as
+        # a retryable error within a chunk instead of a silent hang.
+        return self.result(response["id"], wait=True)
 
     def status(self, request_id: Optional[str] = None,
                scale: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -756,8 +1207,30 @@ class ServiceClient:
 
     def result(self, request_id: str, wait: bool = False,
                timeout: Optional[float] = None) -> Dict[str, Any]:
-        return self.request("result", id=request_id, wait=wait or None,
-                            timeout=timeout)
+        """A request's payload; with ``wait``, poll until terminal.
+
+        ``timeout`` bounds the *overall* wait (None = wait for the grid,
+        however long, while staying responsive to daemon death); expiry
+        raises a retryable :class:`ServiceError` with code ``timeout``.
+        """
+        if not wait:
+            return self.request("result", id=request_id)
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            chunk = self.WAIT_CHUNK
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"request {request_id} still running after "
+                        f"{timeout}s", code="timeout", retryable=True)
+                chunk = min(chunk, max(remaining, 0.05))
+            response = self.request(
+                "result", io_timeout=chunk + self.WAIT_GRACE,
+                id=request_id, wait=True, timeout=chunk)
+            if response.get("state") != "running":
+                return response
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
@@ -804,7 +1277,11 @@ def serve_forever(service: SimulationService,
 def main_serve(store: Union[str, Path], port: Optional[int] = None,
                socket_path: Union[str, Path, None] = None,
                jobs: Optional[int] = None,
-               ready_file: Union[str, Path, None] = None) -> int:
+               ready_file: Union[str, Path, None] = None,
+               job_retries: Optional[int] = None,
+               job_timeout: Optional[float] = None,
+               max_queue: Optional[int] = None,
+               faults: Optional[str] = None) -> int:
     """Entry point behind ``python -m repro serve``.
 
     Binds, announces the address on stdout (and in ``ready_file`` when
@@ -814,7 +1291,18 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
     """
     import signal
 
-    service = SimulationService(store, jobs=jobs)
+    if faults is not None:
+        from . import faults as faults_module
+        # Install in-process *and* export, so any engine worker process
+        # this daemon's jobs spawn inherits the same schedule.
+        faults_module.install(faults)
+        os.environ[faults_module.REPRO_FAULTS_ENV] = faults
+        print(f"repro.service: fault injection armed: {faults}",
+              flush=True, file=sys.stderr)
+
+    service = SimulationService(store, jobs=jobs, job_retries=job_retries,
+                                job_timeout=job_timeout,
+                                max_queue=max_queue)
     server, address = create_server(service, port=port,
                                     socket_path=socket_path)
     print(f"repro.service: listening on {address} "

@@ -64,13 +64,16 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
 import zipfile
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..faults import fault_point
 from ..trace import TraceBuffer
 from ..workloads.base import Workload
 from ..workloads.mixes import get_mix, mix_core_plan
@@ -346,6 +349,11 @@ def execute_job(job: Job, trace_cache: Optional[TraceCache] = None):
     ``trace_cache`` (the process-local :data:`TRACE_CACHE` by default), and
     returns the picklable result.
     """
+    # Fault site: a worker crashing (or being killed) while holding a job.
+    # Sits before any system state is built, so a retried job replays from
+    # scratch and stays bit-identical.
+    fault_point("worker.job")
+
     # Imported here, not at module scope: system.py/multicore.py import this
     # module for their comparison drivers.
     from .multicore import MultiCoreSystem
@@ -421,6 +429,19 @@ class SimulationEngine:
         elif isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store: Optional[ResultStore] = store
+        #: Store appends retried after a transient failure.
+        self.put_retries = 0
+        #: Store appends abandoned after the retry budget (results were
+        #: still returned — the store is a cache, not the ground truth).
+        self.put_failures = 0
+        #: Times a broken worker pool forced the serial fallback mid-run.
+        self.pool_failovers = 0
+
+    #: Bounded store-append retry: attempts and base backoff (seconds,
+    #: doubled per attempt).  Transient EIO heals; persistent ENOSPC gives
+    #: up after ~3 tries and the run continues without persisting.
+    PUT_ATTEMPTS = 3
+    PUT_BACKOFF = 0.05
 
     @property
     def parallel(self) -> bool:
@@ -485,8 +506,31 @@ class SimulationEngine:
             for index, result in zip(missing, fresh):
                 results[index] = result
                 if keys[index] is not None:
-                    self.store.put(keys[index], specs[index], result)
+                    self.store_put(keys[index], specs[index], result)
         return results
+
+    def store_put(self, key: str, spec: dict, result) -> bool:
+        """Persist one result with a bounded retry; never raises.
+
+        A torn/failed append leaves the shard repairable in place (see
+        :func:`repro.sim.store._append_payload`), so retrying is always
+        safe; after the budget the failure is reported and the run keeps
+        its in-memory result — losing a cache entry must never lose work.
+        """
+        for attempt in range(1, self.PUT_ATTEMPTS + 1):
+            try:
+                self.store.put(key, spec, result)
+                return True
+            except OSError as error:
+                if attempt == self.PUT_ATTEMPTS:
+                    self.put_failures += 1
+                    print(f"repro.engine: giving up storing {key[:12]}… "
+                          f"after {attempt} attempts ({error})",
+                          file=sys.stderr)
+                    return False
+                self.put_retries += 1
+                time.sleep(self.PUT_BACKOFF * (2 ** (attempt - 1)))
+        return False
 
     def _iter_execute(self, jobs: List[Job], chunk_align: int = 1):
         """Yield results for ``jobs`` in order: serial path or process pool."""
@@ -512,8 +556,25 @@ class SimulationEngine:
             for job in jobs:
                 yield execute_job(job, cache)
             return
-        with pool:
-            yield from pool.map(execute_job, jobs, chunksize=chunksize)
+        completed = 0
+        try:
+            with pool:
+                for result in pool.map(execute_job, jobs,
+                                       chunksize=chunksize):
+                    completed += 1
+                    yield result
+        except BrokenProcessPool:
+            # A worker died (OOM-kill, injected ``worker.job:kill``, a
+            # segfaulting native extension): the pool poisons every pending
+            # future, but the jobs themselves are deterministic, so finish
+            # the remainder serially instead of discarding the run.
+            self.pool_failovers += 1
+            print(f"repro.engine: worker pool broke after {completed}/"
+                  f"{len(jobs)} jobs; finishing the rest serially",
+                  file=sys.stderr)
+            cache = self.trace_cache
+            for job in jobs[completed:]:
+                yield execute_job(job, cache)
 
     # ------------------------------------------------------------------
     def run_grid(self, workloads: Sequence[WorkloadSpec],

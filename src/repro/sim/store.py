@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import errno
 import hashlib
 import json
 import os
@@ -76,6 +77,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 import fcntl
 
 from ..core.base import PredictionOutcome, PredictorStats
+from ..faults import fault_point
 from ..core.recovery import RecoverySummary
 from ..cpu.ooo_core import ExecutionResult
 from ..memory.block import Level
@@ -513,6 +515,15 @@ def _append_payload(path: Path, payload: bytes) -> int:
             size = _last_newline(fd, size)
             os.ftruncate(fd, size)
         offset = size
+        # Fault site: a failing disk mid-append.  A ``torn`` fault writes
+        # only a prefix of the payload (exactly what a killed writer
+        # leaves behind) before raising; the next locked append repairs it
+        # via the truncation above, so recovery exercises the real path.
+        torn = fault_point("store.append", len(payload))
+        if torn is not None:
+            os.write(fd, payload[:torn])
+            raise OSError(errno.EIO,
+                          f"injected torn append to {path}")
         written = os.write(fd, payload)
         while written < len(payload):  # pragma: no cover - short write
             written += os.write(fd, payload[written:])
@@ -869,7 +880,16 @@ class ResultStore:
         if encoded is None:
             location = self._entries.get(key)
             if location is not None:
-                encoded = self._read_entry(key, location)
+                try:
+                    fault_point("store.read")
+                    encoded = self._read_entry(key, location)
+                except OSError as error:
+                    # Unreadable media degrades to a miss: the engine
+                    # re-simulates, which is the only honest answer.
+                    print(f"repro.store: read of {key[:12]}… failed "
+                          f"({error}); treating as a miss",
+                          file=sys.stderr)
+                    encoded = None
         if encoded is not None:
             self.hits += 1
             self._mem[key] = encoded

@@ -357,8 +357,13 @@ class TestDedup:
         final_watcher = service.result(watcher["id"], wait=True,
                                        timeout=60.0)
         assert final_owner["state"] == "failed"
-        assert "boom" in final_owner["error"]
+        assert final_owner["failed_jobs"]
+        assert any("boom" in failure["error"]
+                   for failure in final_owner["failed_jobs"])
         assert final_watcher["state"] == "failed"
+        # The failing keys were retried up to the budget, then poisoned.
+        assert service.counters["retries"] > 0
+        assert service.counters["quarantined"] > 0
 
 
 class TestFailureHygiene:
