@@ -75,6 +75,7 @@ from .experiments import EXPERIMENTS, Scale, canonical_json
 from .faults import REPRO_FAULTS_ENV, FaultSpecError, install as install_faults
 from .service import ServiceClient, ServiceError, main_serve
 from .sim.engine import SimulationEngine
+from .sim.kernels import DEFAULT_KERNEL, kernel_names
 from .sim.store import (
     REPRO_STORE_ENV,
     REPRO_TRACE_DIR_ENV,
@@ -106,7 +107,8 @@ class RunReport:
 
     def __init__(self, name: str, total_jobs: int, stored: int,
                  simulated: int, seconds: float, stats: Dict[str, Any],
-                 stats_path: Optional[Path]) -> None:
+                 stats_path: Optional[Path],
+                 kernel: Optional[str] = None) -> None:
         self.name = name
         self.total_jobs = total_jobs
         self.stored = stored
@@ -114,14 +116,18 @@ class RunReport:
         self.seconds = seconds
         self.stats = stats
         self.stats_path = stats_path
+        #: Trace-execution kernel the engine used (``None`` for remote
+        #: runs — the daemon's own kernel applies there).
+        self.kernel = kernel
 
 
 def run_experiment(name: str, store: ResultStore, scale: Scale,
                    jobs: Optional[int] = None,
-                   force: bool = False) -> RunReport:
+                   force: bool = False,
+                   kernel: Optional[str] = None) -> RunReport:
     """Run one experiment through the store and persist its metrics."""
     experiment = EXPERIMENTS[name]
-    engine = SimulationEngine(jobs=jobs, store=store)
+    engine = SimulationEngine(jobs=jobs, store=store, kernel=kernel)
     job_list = experiment.jobs(scale)
     hits_before, misses_before = store.hits, store.misses
     start = time.perf_counter()
@@ -136,7 +142,7 @@ def run_experiment(name: str, store: ResultStore, scale: Scale,
     # Keep the next open O(changed shards) instead of O(all lines).
     store.flush_index()
     return RunReport(name, len(job_list), stored, simulated, seconds,
-                     stats, stats_path)
+                     stats, stats_path, kernel=engine.kernel)
 
 
 def _check_stats(report: RunReport, reference_path: Path) -> int:
@@ -309,10 +315,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     with _faults_env(args), _trace_dir_env(args):
         for name in names:
             report = run_experiment(name, store, scale, jobs=args.jobs,
-                                    force=args.force)
+                                    force=args.force, kernel=args.kernel)
             print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
                   f"store, {report.simulated} simulated "
-                  f"({report.seconds:.2f}s) -> {report.stats_path}")
+                  f"({report.seconds:.2f}s, {report.kernel} kernel) "
+                  f"-> {report.stats_path}")
             exit_code |= _report_outputs(report, args)
     return exit_code
 
@@ -453,7 +460,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               job_retries=args.job_retries,
                               job_timeout=args.job_timeout,
                               max_queue=args.max_queue,
-                              faults=args.faults)
+                              faults=args.faults,
+                              kernel=args.kernel)
         except FaultSpecError as exc:
             print(f"repro: bad --faults schedule: {exc}", file=sys.stderr)
             return 2
@@ -626,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment names (see 'figures'), or 'all'")
     run_parser.add_argument("--jobs", type=int, default=None,
                             help="worker processes (default: $REPRO_JOBS)")
+    run_parser.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="trace-execution kernel (default: $REPRO_KERNEL or "
+             f"'{DEFAULT_KERNEL}'; results are bit-identical either way)")
     run_parser.add_argument("--force", action="store_true",
                             help="recompute jobs even when already stored")
     run_parser.add_argument("--check", nargs="?", const="", default=None,
@@ -660,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker threads in the simulation pool (default: $REPRO_JOBS)")
+    serve_parser.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="trace-execution kernel for this daemon's jobs (default: "
+             f"$REPRO_KERNEL or '{DEFAULT_KERNEL}'; results are "
+             "bit-identical either way)")
     serve_parser.add_argument(
         "--ready-file", default=None, metavar="FILE",
         help="write the bound address to FILE once listening (how scripts "

@@ -92,12 +92,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from .experiments import EXPERIMENTS, Scale, canonical_json
 from .faults import fault_point
 from .sim.engine import (
-    REPRO_JOBS_ENV,
     Job,
     MixJob,
     SimulationJob,
     execute_job,
 )
+from .sim.options import EngineOptions
 from .sim.store import (
     ResultStore,
     UncacheableJobError,
@@ -347,6 +347,11 @@ class SimulationService:
         max_queue: Admission-control bound on active jobs; ``None`` reads
             ``REPRO_MAX_QUEUE``, 0/unset disables.  Submits beyond the
             bound are shed with a retryable ``overloaded`` error.
+        kernel: Trace-execution kernel for the jobs this daemon runs
+            (see :mod:`repro.sim.kernels`); ``None`` reads
+            ``REPRO_KERNEL``, defaulting to ``"batch"``.  Never affects
+            results — kernels are bit-identical by construction — and is
+            surfaced in the ``stats`` payload.
     """
 
     #: Base per-job retry backoff in seconds (doubled per attempt).
@@ -359,14 +364,21 @@ class SimulationService:
                  jobs: Optional[int] = None,
                  job_retries: Optional[int] = None,
                  job_timeout: Optional[float] = None,
-                 max_queue: Optional[int] = None) -> None:
+                 max_queue: Optional[int] = None,
+                 kernel: Optional[str] = None) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
-        if jobs is None:
-            env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
-            jobs = int(env_value) if env_value else 1
-        self.num_workers = max(1, jobs)
+        # Worker count and kernel resolve through EngineOptions — the one
+        # place REPRO_JOBS / REPRO_KERNEL are parsed.
+        options = EngineOptions.from_env(kernel=kernel, jobs=jobs)
+        self.num_workers = options.jobs
+        self.kernel = options.kernel
+        # Forward the kernel to execute_job only when explicitly chosen:
+        # workers are threads of this process, so execute_job's own
+        # REPRO_KERNEL fallback resolves identically, and tests that
+        # substitute execute_job keep working with its old signature.
+        self._kernel_arg = kernel
         if job_retries is None:
             env_value = os.environ.get(REPRO_JOB_RETRIES_ENV, "").strip()
             job_retries = int(env_value) if env_value \
@@ -530,7 +542,11 @@ class SimulationService:
 
     def _submit_job(self, job: Job) -> "Future[Any]":
         """Submit one job to the pool, tracked for admission control."""
-        future = self._pool.submit(execute_job, job)
+        if self._kernel_arg is None:
+            future = self._pool.submit(execute_job, job)
+        else:
+            future = self._pool.submit(execute_job, job,
+                                       kernel=self.kernel)
         with self._admission_lock:
             self._active_jobs += 1
         future.add_done_callback(self._job_finished)
@@ -877,6 +893,7 @@ class SimulationService:
         return {
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.num_workers,
+            "kernel": self.kernel,
             "inflight": inflight,
             "active_jobs": active,
             "quarantined_keys": quarantined_keys,
@@ -1281,7 +1298,8 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                job_retries: Optional[int] = None,
                job_timeout: Optional[float] = None,
                max_queue: Optional[int] = None,
-               faults: Optional[str] = None) -> int:
+               faults: Optional[str] = None,
+               kernel: Optional[str] = None) -> int:
     """Entry point behind ``python -m repro serve``.
 
     Binds, announces the address on stdout (and in ``ready_file`` when
@@ -1302,7 +1320,7 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
 
     service = SimulationService(store, jobs=jobs, job_retries=job_retries,
                                 job_timeout=job_timeout,
-                                max_queue=max_queue)
+                                max_queue=max_queue, kernel=kernel)
     server, address = create_server(service, port=port,
                                     socket_path=socket_path)
     print(f"repro.service: listening on {address} "

@@ -70,6 +70,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -79,19 +80,17 @@ from ..workloads.base import Workload
 from ..workloads.mixes import get_mix, mix_core_plan
 from ..workloads.suite import build_workload
 from .config import SystemConfig
+from .options import EngineOptions
 from .store import (
     REPRO_STORE_ENV,
     REPRO_TRACE_DIR_ENV,
     ResultStore,
     UncacheableJobError,
-    default_store,
     job_spec,
+    open_store,
     spec_key,
     try_trace_key,
 )
-
-#: Environment variable controlling the default worker-process count.
-REPRO_JOBS_ENV = "REPRO_JOBS"
 
 WorkloadSpec = Union[str, Workload]
 
@@ -341,13 +340,19 @@ def mix_traces(mix_name: str, accesses_per_core: int, seed: int = 0,
     return traces, list(mix.applications)
 
 
-def execute_job(job: Job, trace_cache: Optional[TraceCache] = None):
+def execute_job(job: Job, trace_cache: Optional[TraceCache] = None,
+                kernel: Optional[str] = None):
     """Run one job to completion in the current process.
 
     This is the single entry point used by both the serial fallback and the
     pool workers; it builds a fresh system, pulls the trace(s) through
     ``trace_cache`` (the process-local :data:`TRACE_CACHE` by default), and
-    returns the picklable result.
+    returns the picklable result.  ``kernel`` selects the trace-execution
+    kernel for single-core replay (see :mod:`repro.sim.kernels`); ``None``
+    falls back to the worker's inherited ``REPRO_KERNEL`` environment.
+    Kernels are bit-identical by construction, so the result — and
+    therefore the store key it is filed under — does not depend on the
+    choice.
     """
     # Fault site: a worker crashing (or being killed) while holding a job.
     # Sits before any system state is built, so a retried job replays from
@@ -376,9 +381,11 @@ def execute_job(job: Job, trace_cache: Optional[TraceCache] = None):
     buffer = cache.get(job.workload, total, seed=job.seed)
     if job.warmup_accesses:
         # Zero-copy split: both halves are views into the cached buffer.
-        system.hierarchy.run_buffer(buffer[:job.warmup_accesses])
+        system.hierarchy.run_buffer(buffer[:job.warmup_accesses],
+                                    kernel=kernel)
         system.reset_statistics()
-    return system.run_trace(buffer[job.warmup_accesses:], workload.name)
+    return system.run_trace(buffer[job.warmup_accesses:], workload.name,
+                            kernel=kernel)
 
 
 # ======================================================================
@@ -402,28 +409,34 @@ class SimulationEngine:
             :class:`~repro.sim.store.ResultStore` at that directory.  With a store attached, :meth:`run` serves
             previously computed jobs from disk and persists fresh ones —
             simulations only happen for jobs the store has never seen.
+        kernel: Trace-execution kernel name (``"scalar"``/``"batch"``,
+            see :mod:`repro.sim.kernels`).  ``None`` reads
+            ``REPRO_KERNEL``, defaulting to ``"batch"``; the choice is
+            threaded through to worker processes and never affects
+            results (kernels are bit-identical by construction).
+        options: A pre-built :class:`~repro.sim.options.EngineOptions`;
+            when given, the environment is not consulted again and the
+            explicit ``jobs``/``kernel`` arguments act as overrides.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  trace_cache: Optional[TraceCache] = None,
-                 store: Union[None, bool, str, Path, ResultStore] = None
-                 ) -> None:
-        if jobs is None:
-            env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
-            if env_value:
-                try:
-                    jobs = int(env_value)
-                except ValueError as exc:
-                    raise ValueError(
-                        f"{REPRO_JOBS_ENV} must be an integer, got "
-                        f"{env_value!r}") from exc
-            else:
-                jobs = 1
-        self.num_workers = max(1, jobs)
+                 store: Union[None, bool, str, Path, ResultStore] = None,
+                 kernel: Optional[str] = None,
+                 options: Optional[EngineOptions] = None) -> None:
+        # All environment resolution (REPRO_JOBS, REPRO_KERNEL,
+        # REPRO_STORE) happens in EngineOptions — explicit arguments win.
+        if options is None:
+            options = EngineOptions.from_env(kernel=kernel, jobs=jobs)
+        else:
+            options = options.with_overrides(kernel=kernel, jobs=jobs)
+        self.options = options
+        self.kernel = options.kernel
+        self.num_workers = options.jobs
         # Explicit None check: an empty TraceCache has len() == 0, is falsy.
         self.trace_cache = TRACE_CACHE if trace_cache is None else trace_cache
         if store is None or store is True:
-            store = default_store()
+            store = open_store(options.store)
         elif store is False:
             store = None
         elif isinstance(store, (str, Path)):
@@ -534,10 +547,11 @@ class SimulationEngine:
 
     def _iter_execute(self, jobs: List[Job], chunk_align: int = 1):
         """Yield results for ``jobs`` in order: serial path or process pool."""
+        kernel = self.kernel
         if self.num_workers <= 1 or len(jobs) == 1:
             cache = self.trace_cache
             for job in jobs:
-                yield execute_job(job, cache)
+                yield execute_job(job, cache, kernel=kernel)
             return
         workers = min(self.num_workers, len(jobs))
         chunksize = max(1, len(jobs) // (workers * 4))
@@ -554,13 +568,16 @@ class SimulationEngine:
             pool.shutdown(wait=False)
             cache = self.trace_cache
             for job in jobs:
-                yield execute_job(job, cache)
+                yield execute_job(job, cache, kernel=kernel)
             return
         completed = 0
         try:
             with pool:
-                for result in pool.map(execute_job, jobs,
-                                       chunksize=chunksize):
+                # The engine's explicit kernel choice travels with each
+                # job, overriding whatever REPRO_KERNEL the workers
+                # inherited from the environment.
+                worker = partial(execute_job, kernel=kernel)
+                for result in pool.map(worker, jobs, chunksize=chunksize):
                     completed += 1
                     yield result
         except BrokenProcessPool:
@@ -574,7 +591,7 @@ class SimulationEngine:
                   file=sys.stderr)
             cache = self.trace_cache
             for job in jobs[completed:]:
-                yield execute_job(job, cache)
+                yield execute_job(job, cache, kernel=kernel)
 
     # ------------------------------------------------------------------
     def run_grid(self, workloads: Sequence[WorkloadSpec],

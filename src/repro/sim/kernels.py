@@ -1,0 +1,225 @@
+"""Trace-execution kernels: the single seam between traces and the model.
+
+Every demand access a simulation services flows through a *kernel* — the
+object that walks a columnar :class:`~repro.trace.TraceBuffer` and drives
+:meth:`~repro.memory.hierarchy.CoreMemoryHierarchy.access_decomposed`, the
+one exact scalar path in the simulator.  Two kernels ship:
+
+:class:`ScalarKernel` (``"scalar"``)
+    The reference loop: one :meth:`access_decomposed` call per access, in
+    trace order.  This is what every version of the simulator up to now
+    did inside ``run_buffer``; it is kept verbatim as the ground truth the
+    batch kernel is checked against.
+
+:class:`BatchKernel` (``"batch"``, the default)
+    A vectorised first pass over the buffer's numpy columns segments the
+    trace into *same-block runs* (consecutive accesses touching one cache
+    line — the dominant pattern streaming and blocked workloads emit).
+    The first access of each run takes the exact scalar path; the tail of
+    the run is then provably uninteresting — the head access either hit L1
+    or filled it, leaving the line MRU and the TLB page warm — and is
+    resolved in bulk by
+    :meth:`~repro.memory.hierarchy.CoreMemoryHierarchy.bulk_repeat_hits`,
+    which replays the exact side effects of ``n`` repeat hits (integer
+    counters in one add, float accumulators fold-left so the addition
+    order is preserved) without touching the per-access machinery.  The
+    bulk path *verifies* its preconditions against the true model state
+    (line resident and not prefetch-tagged, page resident, LRU-managed L1,
+    next-line/null L1 prefetcher) and falls back to the scalar path for
+    any access where the guarantee does not hold — misses, fills,
+    prefetch-tagged hits, non-LRU sweeps — so results are bit-identical
+    by construction, not by tolerance.
+
+Selection
+=========
+
+``CoreMemoryHierarchy.run_buffer(buffer, kernel=...)`` accepts a kernel
+name, a kernel object, or ``None`` — which resolves ``REPRO_KERNEL`` from
+the environment (default ``"batch"``).  The engine and the service daemon
+thread an explicit kernel name through to worker processes, so a CLI
+``--kernel`` choice wins over the workers' inherited environment.
+
+Scope: the batch kernel accelerates the single-core buffer replay path.
+Multi-core mixes interleave per-core streams access-by-access (see
+:meth:`repro.sim.multicore.MultiCoreSystem.run_traces`) and always use
+the scalar per-access path, whatever kernel is selected.  Non-memory
+instructions never reach a kernel at all — they live in the buffer's
+``non_memory`` column and are charged by the core model.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from ..memory.block import AccessType
+from ..trace import KIND_STORE
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+
+#: Environment variable selecting the default kernel.
+REPRO_KERNEL_ENV = "REPRO_KERNEL"
+
+#: The kernel used when neither an argument nor the environment chooses.
+DEFAULT_KERNEL = "batch"
+
+
+class Kernel:
+    """Protocol for trace-execution kernels.
+
+    A kernel is stateless; all simulation state lives in the hierarchy it
+    drives.  ``run`` must produce results bit-identical to the scalar
+    reference loop for every buffer.
+    """
+
+    #: Stable selection name (``--kernel`` / ``REPRO_KERNEL`` value).
+    name: str = "abstract"
+
+    def run(self, hierarchy, buffer) -> List:
+        """Service every access in ``buffer`` through ``hierarchy``.
+
+        Returns the per-access :class:`~repro.memory.hierarchy.AccessResult`
+        list the core model consumes, in trace order.
+        """
+        raise NotImplementedError
+
+
+class ScalarKernel(Kernel):
+    """The reference kernel: the exact per-access loop, nothing skipped."""
+
+    name = "scalar"
+
+    def run(self, hierarchy, buffer) -> List:
+        addresses, blocks, pages, is_store, pcs = buffer.replay_columns(
+            hierarchy._block_size, hierarchy._l1_page_size)
+        service = hierarchy.access_decomposed
+        load = _LOAD
+        store = _STORE
+        return [
+            service(address, block, page, store if stored else load, pc)
+            for address, block, page, stored, pc in zip(
+                addresses, blocks, pages, is_store, pcs)
+        ]
+
+
+class BatchKernel(Kernel):
+    """Run-segmented kernel: scalar heads, bulk-resolved repeat tails."""
+
+    name = "batch"
+
+    def run(self, hierarchy, buffer) -> List:
+        n = len(buffer)
+        service = hierarchy.access_decomposed
+        load = _LOAD
+        store = _STORE
+        if n < 2:
+            addresses, blocks, pages, is_store, pcs = buffer.replay_columns(
+                hierarchy._block_size, hierarchy._l1_page_size)
+            return [
+                service(addresses[i], blocks[i], pages[i],
+                        store if is_store[i] else load, pcs[i])
+                for i in range(n)
+            ]
+
+        kind = buffer.kind
+        if int(kind.max()) > KIND_STORE:
+            raise ValueError("trace contains non-demand accesses; the "
+                             "demand replay path only services "
+                             "loads/stores")
+
+        # Vectorised first pass: segment the trace at block boundaries.
+        # Only the *run heads* are materialised as native-int lists (a
+        # fancy-index per column, O(runs) conversion); the tail accesses
+        # of each run never touch per-access Python values unless the
+        # bulk path declines and the exact scalar fallback needs them.
+        # The block/page columns are cached on the buffer, so repeated
+        # replays (warm-up plus measured phase) reuse them.
+        block_column = buffer.block_column(hierarchy._block_size)
+        page_column = buffer.page_column(hierarchy._l1_page_size)
+        address_column = buffer.address
+        pc_column = buffer.pc
+        heads = np.empty(n, dtype=bool)
+        heads[0] = True
+        np.not_equal(block_column[1:], block_column[:-1], out=heads[1:])
+        starts = np.flatnonzero(heads)
+        bounds = starts.tolist()
+        bounds.append(n)
+        head_addresses = address_column[starts].tolist()
+        head_blocks = block_column[starts].tolist()
+        head_pages = page_column[starts].tolist()
+        head_stores = (kind[starts] == KIND_STORE).tolist()
+        head_pcs = pc_column[starts].tolist()
+        is_store = kind == KIND_STORE
+        store_prefix = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(is_store, out=store_prefix[1:])
+
+        results: List = []
+        append = results.append
+        extend = results.extend
+        bulk = hierarchy.bulk_repeat_hits
+        hit_result = hierarchy._l1_hit_result
+        # zip stops at the shortest sequence, so the trailing n appended
+        # to bounds pairs each head with its run's end offset.
+        for address, block, page, stored, pc, index, end in zip(
+                head_addresses, head_blocks, head_pages, head_stores,
+                head_pcs, bounds, bounds[1:]):
+            # The head of every run takes the exact scalar path: it may
+            # hit, miss, fill, train prefetchers — all of it interesting.
+            append(service(address, block, page,
+                           store if stored else load, pc))
+            index += 1
+            while index < end:
+                count = end - index
+                # Same block for the whole run, hence same page too (the
+                # block size divides the page size).
+                if bulk(block, page, count,
+                        int(store_prefix[end]) - int(store_prefix[index])):
+                    if count == 1:
+                        append(hit_result)
+                    else:
+                        extend([hit_result] * count)
+                    break
+                # Precondition not met (prefetch-tagged line, non-LRU
+                # policy, evicted page...): service one access exactly,
+                # then retry the remainder in bulk.
+                append(service(int(address_column[index]), block, page,
+                               store if is_store[index] else load,
+                               int(pc_column[index])))
+                index += 1
+        return results
+
+
+#: Registry of selectable kernels, keyed by their stable names.
+KERNELS = {
+    ScalarKernel.name: ScalarKernel(),
+    BatchKernel.name: BatchKernel(),
+}
+
+
+def kernel_names() -> List[str]:
+    """The selectable kernel names, default first."""
+    names = sorted(KERNELS, key=lambda name: name != DEFAULT_KERNEL)
+    return names
+
+
+def resolve_kernel(kernel: Union[None, str, Kernel] = None) -> Kernel:
+    """Resolve a kernel argument to a kernel instance.
+
+    ``None`` consults the ``REPRO_KERNEL`` environment variable and falls
+    back to :data:`DEFAULT_KERNEL`; a string selects from
+    :data:`KERNELS`; a kernel object passes through unchanged.
+    """
+    if kernel is None:
+        kernel = os.environ.get(REPRO_KERNEL_ENV, "").strip() \
+            or DEFAULT_KERNEL
+    if isinstance(kernel, Kernel):
+        return kernel
+    try:
+        return KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; known: "
+            f"{', '.join(kernel_names())}") from None

@@ -1,0 +1,127 @@
+"""``EngineOptions``: one resolution point for the execution knobs.
+
+Before this module existed the execution knobs travelled three different
+ways — ``REPRO_*`` environment variables parsed ad hoc at each consumer
+(engine, daemon, trace cache), constructor kwargs, and argparse
+namespaces — and a knob like the worker count was resolved in two places
+with slightly different error behaviour.  :class:`EngineOptions` is the
+single place environment resolution happens: the CLI, the
+:class:`~repro.sim.engine.SimulationEngine` and the
+:class:`~repro.service.SimulationService` all build one (explicit
+arguments win over the environment, the environment wins over defaults)
+and read plain attributes afterwards.
+
+The knobs and their environment variables:
+
+============  ==================  ==========================================
+attribute     environment          meaning
+============  ==================  ==========================================
+``kernel``    ``REPRO_KERNEL``    trace-execution kernel name (``batch``)
+``jobs``      ``REPRO_JOBS``      worker process/thread count (1 = serial)
+``store``     ``REPRO_STORE``     results-store root, ``None`` = no store
+``trace_dir`` ``REPRO_TRACE_DIR`` trace-cache spill dir (``""`` disables;
+                                  ``None`` = derive from the store)
+``faults``    ``REPRO_FAULTS``    fault-injection schedule spec
+============  ==================  ==========================================
+
+``trace_dir`` and ``faults`` still *propagate* to worker processes through
+the environment (workers resolve them lazily in their own process), but
+the parsing/precedence logic lives only here.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..faults import REPRO_FAULTS_ENV
+from .kernels import Kernel, resolve_kernel
+from .store import REPRO_STORE_ENV, REPRO_TRACE_DIR_ENV
+
+#: Environment variable selecting the worker count (engine processes /
+#: daemon threads).  Unset or empty means 1 (deterministic serial path).
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Explicit worker count, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return int(jobs)
+    env_value = os.environ.get(REPRO_JOBS_ENV, "").strip()
+    if not env_value:
+        return 1
+    try:
+        return int(env_value)
+    except ValueError as exc:
+        raise ValueError(
+            f"{REPRO_JOBS_ENV} must be an integer, got "
+            f"{env_value!r}") from exc
+
+
+def _resolve_kernel_name(kernel: Union[None, str, Kernel]) -> str:
+    """Explicit kernel (name or instance), else ``REPRO_KERNEL``/default.
+
+    Always validates through :func:`~repro.sim.kernels.resolve_kernel`, so
+    a typo in ``--kernel``/``REPRO_KERNEL`` fails loudly at option-building
+    time, not deep inside a worker process.
+    """
+    return resolve_kernel(kernel).name
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Resolved execution knobs (kernel, workers, store, traces, faults).
+
+    Instances are immutable; build one with :meth:`from_env` (the normal
+    path — applies the explicit-over-environment-over-default precedence)
+    or directly when a test wants full control.  ``store``/``trace_dir``/
+    ``faults`` are kept as raw strings (paths / spec), not opened objects:
+    the options must stay cheap to construct and pickle.
+    """
+
+    kernel: str = "batch"
+    jobs: int = 1
+    store: Optional[str] = None
+    trace_dir: Optional[str] = None
+    faults: Optional[str] = None
+
+    @classmethod
+    def from_env(cls, kernel: Union[None, str, Kernel] = None,
+                 jobs: Optional[int] = None,
+                 store: Optional[str] = None,
+                 trace_dir: Optional[str] = None,
+                 faults: Optional[str] = None) -> "EngineOptions":
+        """Build options: explicit arguments win, then environment, then
+        defaults.
+
+        ``store`` and ``faults`` treat an empty string like ``None``
+        (disabled).  ``trace_dir`` preserves the empty string — an empty
+        ``REPRO_TRACE_DIR`` explicitly disables trace spilling, while
+        ``None`` means "derive from the store location".
+        """
+        if store is None:
+            store = os.environ.get(REPRO_STORE_ENV, "").strip() or None
+        elif not str(store).strip():
+            store = None
+        else:
+            store = str(store)
+        if trace_dir is None:
+            trace_dir = os.environ.get(REPRO_TRACE_DIR_ENV)
+        else:
+            trace_dir = str(trace_dir)
+        if faults is None:
+            faults = os.environ.get(REPRO_FAULTS_ENV, "").strip() or None
+        return cls(kernel=_resolve_kernel_name(kernel),
+                   jobs=max(1, _resolve_jobs(jobs)),
+                   store=store, trace_dir=trace_dir, faults=faults)
+
+    def with_overrides(self, kernel: Union[None, str, Kernel] = None,
+                       jobs: Optional[int] = None) -> "EngineOptions":
+        """A copy with non-``None`` overrides applied (no env consulted)."""
+        updated = self
+        if kernel is not None:
+            updated = replace(updated, kernel=_resolve_kernel_name(kernel))
+        if jobs is not None:
+            updated = replace(updated, jobs=max(1, int(jobs)))
+        return updated

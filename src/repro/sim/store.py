@@ -1175,9 +1175,22 @@ def default_store() -> Optional[ResultStore]:
     one benchmark session constructs share a single loaded index instead
     of re-parsing ``store.jsonl`` each time.
     """
-    root = os.environ.get(REPRO_STORE_ENV, "").strip()
-    if not root:
-        return None
+    return open_store(None)
+
+
+def open_store(root: Union[None, str, Path] = None) -> Optional[ResultStore]:
+    """Open (or reuse) the results store at ``root``.
+
+    ``None``/empty consults ``REPRO_STORE`` and returns ``None`` when that
+    is unset too.  Stores are memoized per resolved path — repeated opens
+    (one per engine, one per figure benchmark) share a single loaded index
+    instead of re-parsing ``store.jsonl`` each time.  This is the blessed
+    public entry point re-exported by :mod:`repro.api`.
+    """
+    if root is None or not str(root).strip():
+        root = os.environ.get(REPRO_STORE_ENV, "").strip()
+        if not root:
+            return None
     resolved = str(Path(root).resolve())
     store = _DEFAULT_STORES.get(resolved)
     if store is None:

@@ -137,16 +137,18 @@ class SimulatedSystem:
     # Running
     # ------------------------------------------------------------------
     def run_trace(self, trace: Trace,
-                  workload_name: str = "trace") -> SimulationResult:
+                  workload_name: str = "trace",
+                  kernel: Optional[str] = None) -> SimulationResult:
         """Run a pre-generated trace through the hierarchy and core model.
 
         Accepts a columnar :class:`~repro.trace.TraceBuffer` (the engine's
-        representation — replayed through the hierarchy's vectorised
-        block/page columns) or a legacy record sequence; both produce
-        bit-identical results for the same access stream.
+        representation — replayed through the kernel seam, see
+        :mod:`repro.sim.kernels`) or a legacy record sequence; both produce
+        bit-identical results for the same access stream, whatever
+        ``kernel`` selects.
         """
         if isinstance(trace, TraceBuffer):
-            results = self.hierarchy.run_buffer(trace)
+            results = self.hierarchy.run_buffer(trace, kernel=kernel)
         else:
             results: List[AccessResult] = [self.hierarchy.access(a)
                                            for a in trace]
