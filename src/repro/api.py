@@ -78,6 +78,8 @@ def run_figure(name: str,
                options: Optional[EngineOptions] = None,
                jobs: Optional[int] = None,
                kernel: Optional[str] = None,
+               shards: Optional[int] = None,
+               sharding: Optional[str] = None,
                force: bool = False):
     """Run one named figure/table experiment grid; returns its RunReport.
 
@@ -85,6 +87,9 @@ def run_figure(name: str,
     ``"figure2"``, ``"golden"``).  ``store`` defaults to the configured
     results store (``REPRO_STORE``) or ``./results``; stats are written
     under ``<store>/stats/<name>.json`` exactly like ``repro run``.
+    ``shards``/``sharding`` select within-job trace sharding (exact mode
+    is bit-identical; approx mode bypasses the store — see
+    :mod:`repro.sim.options`).
     """
     # Imported lazily: the CLI imports this module's siblings freely and
     # the facade must stay importable without argparse side effects.
@@ -94,16 +99,19 @@ def run_figure(name: str,
         known = ", ".join(sorted(EXPERIMENTS))
         raise ValueError(f"unknown experiment {name!r}; known: {known}")
     if options is None:
-        options = EngineOptions.from_env(kernel=kernel, jobs=jobs)
+        options = EngineOptions.from_env(kernel=kernel, jobs=jobs,
+                                         shards=shards, sharding=sharding)
     else:
-        options = options.with_overrides(kernel=kernel, jobs=jobs)
+        options = options.with_overrides(kernel=kernel, jobs=jobs,
+                                         shards=shards, sharding=sharding)
     if store is None:
         store = open_store(options.store) or ResultStore("results")
     elif not isinstance(store, ResultStore):
         store = ResultStore(store)
     return run_experiment(name, store, scale or Scale(),
                           jobs=options.jobs, force=force,
-                          kernel=options.kernel)
+                          kernel=options.kernel, shards=options.shards,
+                          sharding=options.sharding)
 
 
 def connect(address: Union[str, int]) -> ServiceClient:

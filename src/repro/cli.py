@@ -76,6 +76,7 @@ from .faults import REPRO_FAULTS_ENV, FaultSpecError, install as install_faults
 from .service import ServiceClient, ServiceError, main_serve
 from .sim.engine import SimulationEngine
 from .sim.kernels import DEFAULT_KERNEL, kernel_names
+from .sim.options import POOL_KINDS, SHARDING_MODES, EngineOptions
 from .sim.store import (
     REPRO_STORE_ENV,
     REPRO_TRACE_DIR_ENV,
@@ -124,10 +125,19 @@ class RunReport:
 def run_experiment(name: str, store: ResultStore, scale: Scale,
                    jobs: Optional[int] = None,
                    force: bool = False,
-                   kernel: Optional[str] = None) -> RunReport:
-    """Run one experiment through the store and persist its metrics."""
+                   kernel: Optional[str] = None,
+                   shards: Optional[int] = None,
+                   sharding: Optional[str] = None) -> RunReport:
+    """Run one experiment through the store and persist its metrics.
+
+    ``shards``/``sharding`` select within-job trace sharding (see
+    :mod:`repro.sim.options`): exact mode stays bit-identical to the
+    unsharded run; approx mode bypasses the results store entirely.
+    """
     experiment = EXPERIMENTS[name]
-    engine = SimulationEngine(jobs=jobs, store=store, kernel=kernel)
+    options = EngineOptions.from_env(kernel=kernel, jobs=jobs,
+                                     shards=shards, sharding=sharding)
+    engine = SimulationEngine(store=store, options=options)
     job_list = experiment.jobs(scale)
     hits_before, misses_before = store.hits, store.misses
     start = time.perf_counter()
@@ -315,7 +325,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     with _faults_env(args), _trace_dir_env(args):
         for name in names:
             report = run_experiment(name, store, scale, jobs=args.jobs,
-                                    force=args.force, kernel=args.kernel)
+                                    force=args.force, kernel=args.kernel,
+                                    shards=args.shards,
+                                    sharding=args.sharding)
             print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
                   f"store, {report.simulated} simulated "
                   f"({report.seconds:.2f}s, {report.kernel} kernel) "
@@ -461,7 +473,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               job_timeout=args.job_timeout,
                               max_queue=args.max_queue,
                               faults=args.faults,
-                              kernel=args.kernel)
+                              kernel=args.kernel,
+                              shards=args.shards,
+                              sharding=args.sharding,
+                              pool=args.pool)
         except FaultSpecError as exc:
             print(f"repro: bad --faults schedule: {exc}", file=sys.stderr)
             return 2
@@ -488,9 +503,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
     counters = payload["counters"]
-    print(f"daemon @ {client.address}: {payload['workers']} workers, "
+    pool = payload.get("pool") or {}
+    print(f"daemon @ {client.address}: {payload['workers']} "
+          f"{pool.get('type', 'thread')} workers, "
           f"up {payload['uptime_seconds']:.0f}s"
           + (", DEGRADED" if payload.get("degraded") else ""))
+    if pool:
+        children = pool.get("children") or []
+        detail = f"{len(children)} children" if children else "in-process"
+        if pool.get("fallback_reason"):
+            detail += f"; fell back: {pool['fallback_reason']}"
+        print(f"  pool              : {pool.get('type', '?'):>10} "
+              f"({detail})")
+    if "sharding" in payload:
+        print(f"  sharding          : {payload['sharding']:>10} "
+              f"({payload.get('shards', 1)} shards/job, "
+              f"{counters.get('shards_executed', 0):,} shards run, "
+              f"{counters.get('shard_merges', 0):,} merges, "
+              f"{counters.get('pool_failovers', 0):,} pool failovers)")
     print(f"  requests          : {counters['requests']:>10,}  "
           f"({counters['submissions']:,} grids, "
           f"{counters['jobs']:,} jobs)")
@@ -638,6 +668,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=kernel_names(), default=None,
         help="trace-execution kernel (default: $REPRO_KERNEL or "
              f"'{DEFAULT_KERNEL}'; results are bit-identical either way)")
+    run_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="trace shards per job (default: $REPRO_SHARDS or 1; "
+             "0 = one shard per host core)")
+    run_parser.add_argument(
+        "--sharding", choices=SHARDING_MODES, default=None,
+        help="shard mode (default: $REPRO_SHARDING or 'exact'). exact is "
+             "bit-identical to unsharded; approx runs shards concurrently "
+             "with a bounded stats delta and bypasses the results store")
     run_parser.add_argument("--force", action="store_true",
                             help="recompute jobs even when already stored")
     run_parser.add_argument("--check", nargs="?", const="", default=None,
@@ -671,12 +710,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="listen on a unix socket at PATH instead of TCP")
     serve_parser.add_argument(
         "--jobs", type=int, default=None,
-        help="worker threads in the simulation pool (default: $REPRO_JOBS)")
+        help="workers in the simulation pool (default: $REPRO_JOBS)")
     serve_parser.add_argument(
         "--kernel", choices=kernel_names(), default=None,
         help="trace-execution kernel for this daemon's jobs (default: "
              f"$REPRO_KERNEL or '{DEFAULT_KERNEL}'; results are "
              "bit-identical either way)")
+    serve_parser.add_argument(
+        "--pool", choices=POOL_KINDS, default=None,
+        help="worker-pool kind (default: $REPRO_POOL or 'process'; "
+             "'process' saturates a many-core host, 'thread' keeps jobs "
+             "in-process)")
+    serve_parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="trace shards per job in approx mode (default: $REPRO_SHARDS "
+             "or 1; 0 = one shard per host core)")
+    serve_parser.add_argument(
+        "--sharding", choices=SHARDING_MODES, default=None,
+        help="shard mode (default: $REPRO_SHARDING or 'exact'); approx "
+             "results are never persisted to the store")
     serve_parser.add_argument(
         "--ready-file", default=None, metavar="FILE",
         help="write the bound address to FILE once listening (how scripts "

@@ -84,8 +84,14 @@ import socketserver
 import sys
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import (
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -96,6 +102,9 @@ from .sim.engine import (
     MixJob,
     SimulationJob,
     execute_job,
+    execute_shard,
+    merge_shard_results,
+    plan_shard_tasks,
 )
 from .sim.options import EngineOptions
 from .sim.store import (
@@ -352,6 +361,22 @@ class SimulationService:
             ``REPRO_KERNEL``, defaulting to ``"batch"``.  Never affects
             results — kernels are bit-identical by construction — and is
             surfaced in the ``stats`` payload.
+        shards: Within-job trace shard count; ``None`` reads
+            ``REPRO_SHARDS``, defaulting to 1 (0 = one shard per host
+            core).  Only takes effect in ``approx`` sharding mode — the
+            daemon's store holds exact results only, so exact mode keeps
+            the unsharded per-job path.
+        sharding: ``"exact"`` (default) or ``"approx"``; ``None`` reads
+            ``REPRO_SHARDING``.  Approx mode fans each owned job's shards
+            over the worker pool and merges the per-shard statistics —
+            deterministic but *not* bit-identical, so approx results are
+            returned to the caller and **never persisted** to the store.
+        pool: Worker-pool kind, ``"process"`` (default: saturates a
+            many-core host; jobs must pickle) or ``"thread"`` (in-process:
+            what tests that monkeypatch ``execute_job`` or install an
+            in-process fault plane rely on); ``None`` reads
+            ``REPRO_POOL``.  If process workers cannot spawn on this host
+            the daemon falls back to threads and says so in ``stats``.
     """
 
     #: Base per-job retry backoff in seconds (doubled per attempt).
@@ -365,15 +390,24 @@ class SimulationService:
                  job_retries: Optional[int] = None,
                  job_timeout: Optional[float] = None,
                  max_queue: Optional[int] = None,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 shards: Optional[int] = None,
+                 sharding: Optional[str] = None,
+                 pool: Optional[str] = None) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
-        # Worker count and kernel resolve through EngineOptions — the one
-        # place REPRO_JOBS / REPRO_KERNEL are parsed.
-        options = EngineOptions.from_env(kernel=kernel, jobs=jobs)
+        # Worker count, kernel and the shard/pool knobs all resolve
+        # through EngineOptions — the one place REPRO_JOBS / REPRO_KERNEL /
+        # REPRO_SHARDS / REPRO_SHARDING / REPRO_POOL are parsed.
+        options = EngineOptions.from_env(kernel=kernel, jobs=jobs,
+                                         shards=shards, sharding=sharding,
+                                         pool=pool)
         self.num_workers = options.jobs
         self.kernel = options.kernel
+        self.shards = options.shards
+        self.sharding = options.sharding
+        self.pool_kind = options.pool
         # Forward the kernel to execute_job only when explicitly chosen:
         # workers are threads of this process, so execute_job's own
         # REPRO_KERNEL fallback resolves identically, and tests that
@@ -392,9 +426,12 @@ class SimulationService:
             env_value = os.environ.get(REPRO_MAX_QUEUE_ENV, "").strip()
             max_queue = int(env_value) if env_value else 0
         self.max_queue = max(0, max_queue)
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.num_workers,
-            thread_name_prefix="repro-service-worker")
+        #: Why a requested process pool fell back to threads (or None).
+        self._pool_fallback_reason: Optional[str] = None
+        #: Guards pool replacement after a BrokenProcessPool failover.
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        self._pool = self._build_pool()
         #: One lock for the claim phase and every store operation: a job is
         #: classified (stored / in flight / owned) atomically with respect
         #: to other requests' claims and puts.
@@ -418,6 +455,9 @@ class SimulationService:
             "shed": 0,           # submits refused by admission control
             "put_retries": 0,    # store appends retried after a failure
             "put_failures": 0,   # store appends abandoned (degraded mode)
+            "shards_executed": 0,  # approx-mode shard tasks completed
+            "shard_merges": 0,   # per-job merges of shard partials
+            "pool_failovers": 0,  # broken process pools rebuilt mid-run
         }
         #: Poison quarantine: job key -> last error message.  A key lands
         #: here after exhausting its retry budget; later submits of the
@@ -433,7 +473,64 @@ class SimulationService:
         #: unwritable (every put retry exhausted); sticky until restart.
         self.degraded = False
         self.degraded_reason: Optional[str] = None
-        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _build_pool(self):
+        """Build the worker pool of the configured kind.
+
+        A requested process pool is probed immediately (submit + result):
+        hosts where worker processes cannot spawn — sandboxes,
+        RLIMIT_NPROC — fall back to the thread pool at startup, recorded
+        in ``stats()["pool"]["fallback_reason"]``, instead of failing the
+        first grid.
+        """
+        if self.pool_kind == "process":
+            pool = ProcessPoolExecutor(max_workers=self.num_workers)
+            try:
+                pool.submit(os.getpid).result()
+                return pool
+            except OSError as exc:
+                pool.shutdown(wait=False)
+                self.pool_kind = "thread"
+                self._pool_fallback_reason = (
+                    f"process workers unavailable ({exc})")
+                print(f"repro.service: {self._pool_fallback_reason}; "
+                      f"using thread workers", file=sys.stderr)
+        return ThreadPoolExecutor(
+            max_workers=self.num_workers,
+            thread_name_prefix="repro-service-worker")
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken process pool (a worker died) with a fresh one.
+
+        Mirrors the engine's ``BrokenProcessPool`` failover: the jobs are
+        deterministic, so resubmitting to a fresh pool loses nothing.
+        Thread pools never break this way.
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError(
+                    "cannot schedule new futures after shutdown")
+            if isinstance(self._pool, ProcessPoolExecutor):
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self.counters["pool_failovers"] += 1
+                print("repro.service: worker pool broke; rebuilding",
+                      file=sys.stderr)
+                self._pool = self._build_pool()
+
+    def _submit_raw(self, fn, *args: Any, **kwargs: Any) -> "Future[Any]":
+        """Submit a callable to the pool, surviving one broken-pool event.
+
+        ``RuntimeError`` from a shut-down pool propagates untouched (the
+        retry machinery upstream treats it like any failed attempt).
+        """
+        try:
+            return self._pool.submit(fn, *args, **kwargs)
+        except BrokenProcessPool:
+            self._rebuild_pool()
+            return self._pool.submit(fn, *args, **kwargs)
 
     # ------------------------------------------------------------------
     # Submission
@@ -541,16 +638,70 @@ class SimulationService:
                         f"requests are served", code="degraded")
 
     def _submit_job(self, job: Job) -> "Future[Any]":
-        """Submit one job to the pool, tracked for admission control."""
-        if self._kernel_arg is None:
-            future = self._pool.submit(execute_job, job)
+        """Submit one job to the pool, tracked for admission control.
+
+        In ``approx`` sharding mode a job that the planner can split fans
+        out as shard tasks over the pool and comes back as one merged
+        future; everything else (exact mode, mixes, tiny traces) runs
+        the unsharded single-job path.  Either way the job counts once
+        against admission control.
+        """
+        plan = None
+        if self.sharding == "approx" and self.shards > 1:
+            plan = plan_shard_tasks(
+                job, self.shards,
+                kernel=self.kernel if self._kernel_arg is not None
+                else None)
+        if plan is not None:
+            future = self._submit_sharded(plan)
+        elif self._kernel_arg is None:
+            future = self._submit_raw(execute_job, job)
         else:
-            future = self._pool.submit(execute_job, job,
-                                       kernel=self.kernel)
+            future = self._submit_raw(execute_job, job,
+                                      kernel=self.kernel)
         with self._admission_lock:
             self._active_jobs += 1
         future.add_done_callback(self._job_finished)
         return future
+
+    def _submit_sharded(self, plan: List[Any]) -> "Future[Any]":
+        """Fan one job's shard tasks over the pool; one merged future.
+
+        The returned future resolves to the merged
+        :class:`~repro.sim.system.SimulationResult` once every shard
+        lands (merge order is the plan order, so the result is
+        deterministic regardless of completion order).  A failing shard
+        cancels its queued siblings and fails the merged future, which
+        then flows through the ordinary retry/quarantine machinery.
+        """
+        shard_futures = [self._submit_raw(execute_shard, task)
+                         for task in plan]
+        merged: "Future[Any]" = Future()
+
+        def _collect() -> None:
+            try:
+                partials = [future.result() for future in shard_futures]
+                result = merge_shard_results(partials)
+            except BaseException as exc:  # noqa: BLE001 - to the future
+                for future in shard_futures:
+                    future.cancel()
+                if not merged.cancelled():
+                    try:
+                        merged.set_exception(exc)
+                    except InvalidStateError:
+                        pass  # abandoned by a timed-out collect
+                return
+            with self._lock:
+                self.counters["shards_executed"] += len(partials)
+                self.counters["shard_merges"] += 1
+            if not merged.cancelled():
+                try:
+                    merged.set_result(result)
+                except InvalidStateError:
+                    pass  # abandoned by a timed-out collect
+        threading.Thread(target=_collect, name="repro-shard-merge",
+                         daemon=True).start()
+        return merged
 
     def _job_finished(self, future: "Future[Any]") -> None:
         del future
@@ -654,9 +805,14 @@ class SimulationService:
         # ("own", key, exec_future) | ("direct", exec_future).
         specs: List[Optional[Dict[str, Any]]] = []
         keys: List[Optional[str]] = []
+        approx = self.sharding == "approx" and self.shards > 1
         for job in job_list:
             try:
-                spec = job_spec(job)
+                # Approx-mode results are deterministic but not
+                # bit-identical to the exact replay, so they must never
+                # be served from, deduplicated against, or persisted
+                # into the exact-only store: every job runs direct.
+                spec = None if approx else job_spec(job)
             except UncacheableJobError:
                 spec = None
             specs.append(spec)
@@ -672,8 +828,12 @@ class SimulationService:
             with self._lock:
                 for index, key in enumerate(keys):
                     if key is None:
+                        # Unkeyed jobs (uncacheable specs, approx-sharded
+                        # runs) always simulate — report them as such.
                         plan.append(("direct",
                                      self._submit_job(job_list[index])))
+                        self.counters["simulations"] += 1
+                        state.simulated += 1
                         continue
                     if not force and key in self.store:
                         plan.append(("store", key))
@@ -890,10 +1050,19 @@ class SimulationService:
                      "misses": self.store.misses, "puts": self.store.puts}
         with self._admission_lock:
             active = self._active_jobs
+        processes = getattr(self._pool, "_processes", None)
         return {
             "uptime_seconds": time.time() - self.started_at,
             "workers": self.num_workers,
             "kernel": self.kernel,
+            "shards": self.shards,
+            "sharding": self.sharding,
+            "pool": {
+                "type": self.pool_kind,
+                "workers": self.num_workers,
+                "children": sorted(processes.keys()) if processes else [],
+                "fallback_reason": self._pool_fallback_reason,
+            },
             "inflight": inflight,
             "active_jobs": active,
             "quarantined_keys": quarantined_keys,
@@ -977,13 +1146,45 @@ class SimulationService:
         Jobs already executing run to completion (their puts land, so a
         restart resumes past them); queued jobs are cancelled.  Request
         threads are given ``timeout`` seconds to finish their bookkeeping.
+
+        Process pools need more than the thread pool's drain: a SIGTERM'd
+        daemon must not leave orphaned worker children running
+        simulations nobody will collect, so after the cooperative
+        shutdown any child still alive past the deadline is terminated
+        (then killed).  Thread workers die with the process, which is why
+        the pre-process-pool daemon never needed this.
         """
-        self._closed = True
-        self._pool.shutdown(wait=wait, cancel_futures=True)
+        with self._pool_lock:
+            self._closed = True
+            pool = self._pool
+        if isinstance(pool, ProcessPoolExecutor):
+            self._shutdown_process_pool(pool, wait, timeout)
+        else:
+            pool.shutdown(wait=wait, cancel_futures=True)
         if wait:
             deadline = time.time() + timeout
             for thread in self._request_threads:
                 thread.join(max(0.0, deadline - time.time()))
+
+    @staticmethod
+    def _shutdown_process_pool(pool: ProcessPoolExecutor, wait: bool,
+                               timeout: float) -> None:
+        """Shut a process pool down without leaving orphaned children."""
+        children = list((getattr(pool, "_processes", None) or {}).values())
+        # Cooperative first: cancel the queue and let running jobs finish
+        # within the grace period (their puts land before the restart).
+        pool.shutdown(wait=False, cancel_futures=True)
+        deadline = time.time() + (timeout if wait else 0.5)
+        for child in children:
+            child.join(max(0.0, deadline - time.time()))
+        survivors = [child for child in children if child.is_alive()]
+        for child in survivors:
+            child.terminate()
+        deadline = time.time() + 1.0
+        for child in survivors:
+            child.join(max(0.0, deadline - time.time()))
+            if child.is_alive():
+                child.kill()
 
 
 # ======================================================================
@@ -1299,7 +1500,10 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                job_timeout: Optional[float] = None,
                max_queue: Optional[int] = None,
                faults: Optional[str] = None,
-               kernel: Optional[str] = None) -> int:
+               kernel: Optional[str] = None,
+               shards: Optional[int] = None,
+               sharding: Optional[str] = None,
+               pool: Optional[str] = None) -> int:
     """Entry point behind ``python -m repro serve``.
 
     Binds, announces the address on stdout (and in ``ready_file`` when
@@ -1320,11 +1524,14 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
 
     service = SimulationService(store, jobs=jobs, job_retries=job_retries,
                                 job_timeout=job_timeout,
-                                max_queue=max_queue, kernel=kernel)
+                                max_queue=max_queue, kernel=kernel,
+                                shards=shards, sharding=sharding,
+                                pool=pool)
     server, address = create_server(service, port=port,
                                     socket_path=socket_path)
     print(f"repro.service: listening on {address} "
-          f"(store {service.store.root}, {service.num_workers} worker"
+          f"(store {service.store.root}, {service.num_workers} "
+          f"{service.pool_kind} worker"
           f"{'s' if service.num_workers != 1 else ''})", flush=True)
     if ready_file is not None:
         ready = Path(ready_file)

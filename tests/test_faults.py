@@ -305,7 +305,8 @@ class TestEngineFaults:
 class TestServiceRecovery:
     def test_crashing_jobs_are_retried_to_success(self, tmp_path):
         faults.install("worker.job:crash@times=2")
-        service = SimulationService(tmp_path / "store", jobs=2)
+        service = SimulationService(tmp_path / "store", jobs=2,
+                                    pool="thread")
         try:
             payload = service.submit(experiment="golden", wait=True)
         finally:
@@ -331,7 +332,7 @@ class TestServiceRecovery:
 
         monkeypatch.setattr(service_module, "execute_job", poisoned)
         service = SimulationService(tmp_path / "store", jobs=1,
-                                    job_retries=2)
+                                    job_retries=2, pool="thread")
         try:
             payload = service.submit(jobs=[spec, sibling], wait=True)
             assert payload["state"] == "failed"
@@ -374,7 +375,7 @@ class TestServiceRecovery:
 
         monkeypatch.setattr(service_module, "execute_job", sleepy)
         service = SimulationService(tmp_path / "store", jobs=2,
-                                    job_timeout=0.5)
+                                    job_timeout=0.5, pool="thread")
         spec = {"workload": "gups", "predictor": "lp", "num_accesses": 40}
         try:
             start = time.monotonic()
@@ -400,7 +401,8 @@ class TestServiceRecovery:
 
         monkeypatch.setattr(service_module, "execute_job", stuck)
         service = SimulationService(tmp_path / "store", jobs=1,
-                                    max_queue=1, job_retries=1)
+                                    max_queue=1, job_retries=1,
+                                    pool="thread")
         spec = {"workload": "gups", "predictor": "lp", "num_accesses": 40}
         try:
             service.submit(jobs=[spec])
@@ -507,7 +509,8 @@ class TestClientResilience:
 
         monkeypatch.setattr(service_module, "execute_job", forever)
         monkeypatch.setattr(ServiceClient, "WAIT_CHUNK", 0.2)
-        service = SimulationService(tmp_path / "store", jobs=1)
+        service = SimulationService(tmp_path / "store", jobs=1,
+                                    pool="thread")
         server, address = create_server(service, port=0)
         thread = threading.Thread(target=serve_forever,
                                   args=(service, server), daemon=True)
@@ -538,7 +541,8 @@ class TestClientResilience:
 
         monkeypatch.setattr(service_module, "execute_job", forever)
         monkeypatch.setattr(ServiceClient, "WAIT_CHUNK", 0.2)
-        service = SimulationService(tmp_path / "store", jobs=1)
+        service = SimulationService(tmp_path / "store", jobs=1,
+                                    pool="thread")
         try:
             submitted = service.submit(jobs=[{
                 "workload": "gups", "predictor": "lp",
@@ -610,7 +614,8 @@ class TestChaosGolden:
         retries — and the golden stats stay bit-identical."""
         reference = json.loads(GOLDEN_STATS.read_text(encoding="utf-8"))
         faults.install(CHAOS_SCHEDULE)
-        service = SimulationService(tmp_path / "store", jobs=2)
+        service = SimulationService(tmp_path / "store", jobs=2,
+                                    pool="thread")
         server, address = create_server(service, port=0)
         thread = threading.Thread(target=serve_forever,
                                   args=(service, server), daemon=True)
@@ -642,7 +647,8 @@ class TestChaosGolden:
         report = fsck_store(tmp_path / "store")
         assert report["torn"] == report["corrupt"] == 0
         # And a clean serial engine agrees with everything persisted.
-        rerun = SimulationService(tmp_path / "store", jobs=1)
+        rerun = SimulationService(tmp_path / "store", jobs=1,
+                                    pool="thread")
         try:
             warm = rerun.submit(experiment="golden", wait=True)
             assert warm["stats"] == reference

@@ -237,11 +237,15 @@ class TestKernelSelection:
 class TestEngineOptions:
     def test_defaults(self, monkeypatch):
         for var in ("REPRO_KERNEL", "REPRO_JOBS", "REPRO_STORE",
-                    "REPRO_TRACE_DIR", "REPRO_FAULTS"):
+                    "REPRO_TRACE_DIR", "REPRO_FAULTS", "REPRO_SHARDS",
+                    "REPRO_SHARDING", "REPRO_POOL"):
             monkeypatch.delenv(var, raising=False)
         options = EngineOptions.from_env()
         assert options == EngineOptions(kernel="batch", jobs=1, store=None,
                                         trace_dir=None, faults=None)
+        assert options.shards == 1
+        assert options.sharding == "exact"
+        assert options.pool == "process"
 
     def test_environment_resolution(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "scalar")
@@ -274,6 +278,54 @@ class TestEngineOptions:
         updated = options.with_overrides(kernel="batch")
         assert updated.kernel == "batch" and updated.jobs == 2
         assert options.kernel == "scalar"  # frozen, copy-on-write
+
+    def test_sharding_knobs_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        monkeypatch.setenv("REPRO_SHARDING", "approx")
+        monkeypatch.setenv("REPRO_POOL", "thread")
+        options = EngineOptions.from_env()
+        assert options.shards == 4
+        assert options.sharding == "approx"
+        assert options.pool == "thread"
+
+    def test_shards_zero_means_one_per_core(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        options = EngineOptions.from_env(shards=0)
+        assert options.shards == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        assert EngineOptions.from_env().shards == (os.cpu_count() or 1)
+
+    def test_explicit_sharding_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        monkeypatch.setenv("REPRO_SHARDING", "approx")
+        monkeypatch.setenv("REPRO_POOL", "thread")
+        options = EngineOptions.from_env(shards=2, sharding="exact",
+                                         pool="process")
+        assert options.shards == 2
+        assert options.sharding == "exact"
+        assert options.pool == "process"
+
+    def test_bad_sharding_knobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "several")
+        with pytest.raises(ValueError,
+                           match="REPRO_SHARDS must be an integer"):
+            EngineOptions.from_env()
+        monkeypatch.delenv("REPRO_SHARDS")
+        # Negative counts clamp to the serial path instead of raising.
+        assert EngineOptions.from_env(shards=-3).shards == 1
+        with pytest.raises(ValueError, match="sharding mode"):
+            EngineOptions.from_env(sharding="fuzzy")
+        monkeypatch.setenv("REPRO_SHARDING", "fuzzy")
+        with pytest.raises(ValueError, match="sharding mode"):
+            EngineOptions.from_env()
+        monkeypatch.delenv("REPRO_SHARDING")
+        with pytest.raises(ValueError, match="pool kind"):
+            EngineOptions.from_env(pool="fibers")
+        monkeypatch.setenv("REPRO_POOL", "fibers")
+        with pytest.raises(ValueError, match="pool kind"):
+            EngineOptions.from_env()
 
 
 # ======================================================================

@@ -60,7 +60,10 @@ def _isolated_env(monkeypatch):
 
 @pytest.fixture
 def service(tmp_path):
-    svc = SimulationService(tmp_path / "store", jobs=2)
+    # Thread workers: this suite monkeypatches execute_job and reaches
+    # into pool internals, which needs jobs to stay in-process.  The
+    # process-pool path has its own coverage in TestProcessPool below.
+    svc = SimulationService(tmp_path / "store", jobs=2, pool="thread")
     yield svc
     svc.close(wait=True)
 
@@ -484,15 +487,16 @@ class TestSocketServer:
 # ======================================================================
 # Daemon subprocess: kill -9 mid-grid, restart, resume
 # ======================================================================
-def _spawn_daemon(tmp_path: Path, store: Path,
-                  jobs: str = "1") -> "tuple[subprocess.Popen, str]":
+def _spawn_daemon(tmp_path: Path, store: Path, jobs: str = "1",
+                  extra: "tuple[str, ...]" = ()
+                  ) -> "tuple[subprocess.Popen, str]":
     ready = tmp_path / f"ready-{time.monotonic_ns()}.txt"
     env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_JOBS=jobs,
                REPRO_TRACE_DIR="")
     env.pop("REPRO_STORE", None)
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
-         "--store", str(store), "--ready-file", str(ready)],
+         "--store", str(store), "--ready-file", str(ready), *extra],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
     deadline = time.time() + 30.0
     while not ready.is_file():
@@ -587,6 +591,139 @@ class TestDaemonRestart:
         finally:
             daemon.terminate()
             daemon.wait(timeout=30.0)
+
+
+# ======================================================================
+# Process-pool workers (the daemon default) and within-job sharding
+# ======================================================================
+def _assert_pids_exit(pids, timeout: float = 15.0) -> None:
+    """Every pid must disappear (or be reaped) within the deadline."""
+    deadline = time.time() + timeout
+    for pid in pids:
+        while True:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            assert time.time() < deadline, \
+                f"pool child {pid} survived shutdown"
+            time.sleep(0.05)
+
+
+class TestProcessPool:
+    def _process_service(self, tmp_path, **kwargs):
+        svc = SimulationService(tmp_path / "store", **kwargs)
+        if svc.pool_kind != "process":
+            svc.close(wait=True)
+            pytest.skip("process pool unavailable on this host: "
+                        f"{svc._pool_fallback_reason}")
+        return svc
+
+    def test_jobs_run_on_pool_children(self, tmp_path):
+        svc = self._process_service(tmp_path, jobs=2)
+        try:
+            payload = svc.submit(experiment="fig13", scale=TINY_WIRE,
+                                 wait=True)
+            assert payload["state"] == "done"
+            assert payload["simulated"] == payload["total_jobs"]
+            stats = svc.stats()
+            assert stats["pool"]["type"] == "process"
+            assert stats["pool"]["workers"] == 2
+            assert stats["pool"]["children"]  # live worker pids
+            assert stats["pool"]["fallback_reason"] is None
+        finally:
+            svc.close(wait=True)
+
+    def test_process_pool_results_match_thread_pool(self, tmp_path):
+        svc = self._process_service(tmp_path, jobs=2)
+        try:
+            pooled = svc.submit(experiment="fig13", scale=TINY_WIRE,
+                                wait=True)
+        finally:
+            svc.close(wait=True)
+        serial = SimulationService(tmp_path / "serial-store", jobs=1,
+                                   pool="thread")
+        try:
+            reference = serial.submit(experiment="fig13", scale=TINY_WIRE,
+                                      wait=True)
+        finally:
+            serial.close(wait=True)
+        assert pooled["stats"] == reference["stats"]
+
+    def test_close_terminates_pool_children(self, tmp_path):
+        # Regression: a SIGTERM'd daemon used to leak its pool children;
+        # close() must reap (or terminate) every worker process.
+        svc = self._process_service(tmp_path, jobs=2)
+        try:
+            svc.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+            children = svc.stats()["pool"]["children"]
+            assert children
+        finally:
+            svc.close(wait=True)
+        _assert_pids_exit(children)
+        svc.close(wait=True)  # idempotent after the pool is gone
+
+    def test_approx_sharded_daemon_counters_and_store_bypass(
+            self, tmp_path):
+        # Thread pool keeps the sharded path fast and in-process here;
+        # the process-pool path is covered by the tests above.  fig07 is
+        # all SimulationJobs — the plannable kind (mixes never shard).
+        svc = SimulationService(tmp_path / "store", jobs=2, shards=4,
+                                sharding="approx", pool="thread")
+        try:
+            payload = svc.submit(experiment="fig07", scale=TINY_WIRE,
+                                 wait=True)
+            assert payload["state"] == "done"
+            assert payload["simulated"] == payload["total_jobs"] == 21
+            assert svc.counters["shard_merges"] == 21
+            assert svc.counters["shards_executed"] == 21 * 4
+            # Approximate results never touch the exact-only store...
+            assert svc.store.puts == 0
+            # ...so a repeat request simulates from scratch.
+            again = svc.submit(experiment="fig07", scale=TINY_WIRE,
+                               wait=True)
+            assert again["stored"] == 0
+            assert again["simulated"] == again["total_jobs"]
+            stats = svc.stats()
+            assert stats["sharding"] == "approx"
+            assert stats["shards"] == 4
+        finally:
+            svc.close(wait=True)
+
+    def test_stats_payload_shape_for_exact_thread_pool(self, service):
+        stats = service.stats()
+        assert stats["sharding"] == "exact"
+        assert stats["shards"] == 1
+        assert stats["pool"]["type"] == "thread"
+        assert stats["pool"]["children"] == []
+        for counter in ("shards_executed", "shard_merges",
+                        "pool_failovers"):
+            assert stats["counters"][counter] == 0
+
+
+@pytest.mark.slow
+class TestDaemonPoolShutdown:
+    def test_sigterm_reaps_process_pool_children(self, tmp_path):
+        # Regression for the leak: SIGTERM must take the pool's child
+        # processes down with the daemon, not orphan them.
+        daemon, address = _spawn_daemon(tmp_path, tmp_path / "store",
+                                        jobs="2",
+                                        extra=("--pool", "process"))
+        try:
+            client = ServiceClient(address, timeout=30.0)
+            client.wait_healthy(timeout=30.0)
+            client.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+            stats = client.stats()
+            assert stats["pool"]["type"] == "process"
+            children = stats["pool"]["children"]
+            assert children
+        except BaseException:
+            daemon.kill()
+            daemon.wait(timeout=30.0)
+            raise
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=30.0) == 0
+        _assert_pids_exit(children)
 
 
 # ======================================================================
