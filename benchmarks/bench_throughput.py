@@ -209,6 +209,47 @@ def _sweep_store_report(store_dir: str):
     }
 
 
+def _hierarchy_sweep_report(store_dir: str):
+    """Populate/replay the ``hierarchy-sweep`` lattice through a store.
+
+    The lattice is the declarative config-space grid (chain depth x LLC
+    size x LLC latency x predictor; see
+    :class:`repro.experiments.HierarchySweepExperiment`) — every job runs
+    a :class:`~repro.memory.spec.HierarchySpec`-configured system, so the
+    measurement covers the N-level chain path end to end.  Asserts the
+    replay pass recomputes nothing: spec-keyed jobs must dedup exactly
+    like the fixed paper configurations.
+    """
+    from repro.experiments import EXPERIMENTS, Scale
+
+    jobs = EXPERIMENTS["hierarchy-sweep"].jobs(Scale(**SWEEP_STORE_SCALE))
+    populate_store = ResultStore(store_dir)
+    _, populate_seconds = _timed(
+        lambda: SimulationEngine(jobs=1, store=populate_store).run(jobs))
+    populate_store.flush_index()
+    replay_store = ResultStore(store_dir)
+    _, replay_seconds = _timed(
+        lambda: SimulationEngine(jobs=1, store=replay_store).run(jobs))
+
+    assert replay_store.misses == 0  # zero recomputation on re-run
+    assert replay_store.hits == len(jobs)
+
+    return {
+        "jobs": len(jobs),
+        "per_job_scale": dict(SWEEP_STORE_SCALE),
+        "populate": {
+            "seconds": populate_seconds,
+            "jobs_per_second": len(jobs) / populate_seconds,
+        },
+        "replay": {
+            "seconds": replay_seconds,
+            "jobs_per_second": len(jobs) / replay_seconds,
+            "hits": replay_store.hits,
+            "misses": replay_store.misses,
+        },
+    }
+
+
 def _timed(fn):
     start = time.perf_counter()
     value = fn()
@@ -612,6 +653,8 @@ def test_throughput(benchmark):
             _run_store_passes(store_dir)
     with tempfile.TemporaryDirectory() as sweep_dir:
         store_report["sweep"] = _sweep_store_report(sweep_dir)
+    with tempfile.TemporaryDirectory() as hsweep_dir:
+        hierarchy_sweep_report = _hierarchy_sweep_report(hsweep_dir)
 
     # The engine's parallel path must reproduce serial results bit-for-bit
     # (and both must agree with the legacy driver, which shares every
@@ -670,6 +713,7 @@ def test_throughput(benchmark):
             "lp": lp_aps,
         },
         "store": store_report,
+        "hierarchy_sweep": hierarchy_sweep_report,
         "trace": trace_report,
         "buffer_replay": replay_report,
         "fault_plane": fault_report,
@@ -709,6 +753,12 @@ def test_throughput(benchmark):
                  f"{sweep['shards']} shards; populate "
                  f"{sweep['populate']['jobs_per_second']:,.0f} jobs/s, "
                  f"replay {sweep['replay']['jobs_per_second']:,.0f} jobs/s")
+    hsweep = hierarchy_sweep_report
+    lines.append(f"hierarchy sweep   : {hsweep['jobs']} spec-keyed jobs; "
+                 f"populate {hsweep['populate']['jobs_per_second']:,.0f} "
+                 f"jobs/s, replay "
+                 f"{hsweep['replay']['jobs_per_second']:,.0f} jobs/s "
+                 f"({hsweep['replay']['misses']} recomputed)")
     lines.append("")
     lines.append("Trace substrate (accesses/second)")
     for key in ("generate_legacy", "generate_buffer", "generate_and_spill",

@@ -1,0 +1,66 @@
+"""Byte-compatibility driver for the declarative hierarchy refactor.
+
+Runs the golden grid with every job's system config rewritten onto a
+:class:`~repro.memory.spec.HierarchySpec` built *from* its legacy
+hierarchy — names and every other config field preserved — and writes
+the stats file exactly like ``repro run golden`` would.  Because a
+legacy-exact spec canonicalizes to the legacy store key, the resulting
+store must be byte-identical to a plain golden run; the CI
+``hierarchy-compat`` job diffs the two.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/hierarchy_compat.py <store-dir>
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+
+from repro.experiments import EXPERIMENTS, GOLDEN_SCALE, canonical_json
+from repro.memory.spec import HierarchySpec
+from repro.sim.config import SystemConfig
+from repro.sim.engine import MixJob, SimulationEngine
+from repro.sim.store import ResultStore
+
+
+def spec_substituted_jobs():
+    """The golden job list with every hierarchy replaced by its spec."""
+    experiment = EXPERIMENTS["golden"]
+    rewritten = []
+    for job in experiment.jobs(GOLDEN_SCALE):
+        if job.config is not None:
+            base = job.config
+        elif isinstance(job, MixJob):
+            base = SystemConfig.paper_multi_core()
+        else:
+            base = SystemConfig.paper_single_core()
+        spec = HierarchySpec.from_legacy(base.hierarchy)
+        assert spec.is_legacy_exact(), base.name
+        config = dataclasses.replace(base, hierarchy=spec)
+        rewritten.append(dataclasses.replace(job, config=config))
+    return experiment, rewritten
+
+
+def main(store_root: str) -> int:
+    store = ResultStore(store_root)
+    experiment, jobs = spec_substituted_jobs()
+    engine = SimulationEngine(store=store)
+    results = engine.run(jobs)
+    stats = experiment.summarize(results, GOLDEN_SCALE)
+    stats_path = store.root / "stats" / "golden.json"
+    stats_path.parent.mkdir(parents=True, exist_ok=True)
+    stats_path.write_text(canonical_json(stats), encoding="utf-8")
+    store.flush_index()
+    print(f"golden grid via HierarchySpec configs: {len(jobs)} jobs, "
+          f"{store.misses} simulated, {store.hits} from store "
+          f"-> {stats_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        raise SystemExit(2)
+    raise SystemExit(main(sys.argv[1]))

@@ -32,8 +32,17 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from .experiments import EXPERIMENTS, Scale
+from .memory.spec import (
+    HierarchySpec,
+    InterconnectSpec,
+    LevelSpec,
+    MemorySpec,
+    TLBSpec,
+    load_hierarchy,
+)
 from .service import ServiceClient
-from .sim.engine import MixJob, SimulationEngine, SimulationJob
+from .sim.engine import MixJob, SimulationEngine, SimulationJob, \
+    apply_hierarchy
 from .sim.kernels import DEFAULT_KERNEL, kernel_names, resolve_kernel
 from .sim.options import EngineOptions
 from .sim.store import ResultStore, open_store
@@ -41,14 +50,21 @@ from .sim.store import ResultStore, open_store
 __all__ = [
     "DEFAULT_KERNEL",
     "EngineOptions",
+    "HierarchySpec",
+    "InterconnectSpec",
+    "LevelSpec",
+    "MemorySpec",
     "MixJob",
     "ResultStore",
     "Scale",
     "ServiceClient",
     "SimulationEngine",
     "SimulationJob",
+    "TLBSpec",
+    "apply_hierarchy",
     "connect",
     "kernel_names",
+    "load_hierarchy",
     "open_store",
     "resolve_kernel",
     "run_figure",
@@ -80,6 +96,7 @@ def run_figure(name: str,
                kernel: Optional[str] = None,
                shards: Optional[int] = None,
                sharding: Optional[str] = None,
+               hierarchy: Union[str, Path, HierarchySpec, None] = None,
                force: bool = False):
     """Run one named figure/table experiment grid; returns its RunReport.
 
@@ -89,7 +106,9 @@ def run_figure(name: str,
     under ``<store>/stats/<name>.json`` exactly like ``repro run``.
     ``shards``/``sharding`` select within-job trace sharding (exact mode
     is bit-identical; approx mode bypasses the store — see
-    :mod:`repro.sim.options`).
+    :mod:`repro.sim.options`).  ``hierarchy`` substitutes a declarative
+    hierarchy spec (a :class:`HierarchySpec` or a path to its JSON file)
+    into every job of the grid, like ``repro run --hierarchy``.
     """
     # Imported lazily: the CLI imports this module's siblings freely and
     # the facade must stay importable without argparse side effects.
@@ -104,6 +123,8 @@ def run_figure(name: str,
     else:
         options = options.with_overrides(kernel=kernel, jobs=jobs,
                                          shards=shards, sharding=sharding)
+    if hierarchy is None:
+        hierarchy = options.hierarchy
     if store is None:
         store = open_store(options.store) or ResultStore("results")
     elif not isinstance(store, ResultStore):
@@ -111,7 +132,8 @@ def run_figure(name: str,
     return run_experiment(name, store, scale or Scale(),
                           jobs=options.jobs, force=force,
                           kernel=options.kernel, shards=options.shards,
-                          sharding=options.sharding)
+                          sharding=options.sharding,
+                          hierarchy=hierarchy)
 
 
 def connect(address: Union[str, int]) -> ServiceClient:

@@ -127,18 +127,39 @@ def run_experiment(name: str, store: ResultStore, scale: Scale,
                    force: bool = False,
                    kernel: Optional[str] = None,
                    shards: Optional[int] = None,
-                   sharding: Optional[str] = None) -> RunReport:
+                   sharding: Optional[str] = None,
+                   hierarchy: Optional[str] = None) -> RunReport:
     """Run one experiment through the store and persist its metrics.
 
     ``shards``/``sharding`` select within-job trace sharding (see
     :mod:`repro.sim.options`): exact mode stays bit-identical to the
     unsharded run; approx mode bypasses the results store entirely.
+    ``hierarchy`` names a declarative hierarchy spec file (JSON, see
+    :mod:`repro.memory.spec`) — or is a :class:`HierarchySpec` passed
+    programmatically via :func:`repro.api.run_figure` — applied to every
+    job of the experiment; the system name becomes the file's stem (or
+    ``"custom"``), so the rewritten jobs get their own store keys and
+    never collide with the paper systems.
     """
+    from .memory.spec import HierarchySpec, load_hierarchy
+    from .sim.engine import apply_hierarchy
+
     experiment = EXPERIMENTS[name]
+    spec = spec_name = None
+    if isinstance(hierarchy, HierarchySpec):
+        spec, spec_name, hierarchy = hierarchy, "custom", None
+    elif hierarchy is not None:
+        hierarchy = str(hierarchy)
     options = EngineOptions.from_env(kernel=kernel, jobs=jobs,
-                                     shards=shards, sharding=sharding)
+                                     shards=shards, sharding=sharding,
+                                     hierarchy=hierarchy)
     engine = SimulationEngine(store=store, options=options)
     job_list = experiment.jobs(scale)
+    if spec is None and options.hierarchy:
+        spec = load_hierarchy(options.hierarchy)
+        spec_name = Path(options.hierarchy).stem
+    if spec is not None:
+        job_list = apply_hierarchy(job_list, spec, spec_name)
     hits_before, misses_before = store.hits, store.misses
     start = time.perf_counter()
     results = engine.run(job_list, force=force)
@@ -311,6 +332,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                   "--check')", file=sys.stderr)
             return 2
     if args.remote:
+        if getattr(args, "hierarchy", None):
+            print("repro: --hierarchy does not travel over the wire; "
+                  "start the daemon with 'serve --hierarchy FILE' instead",
+                  file=sys.stderr)
+            return 2
         try:
             with _faults_env(args):
                 return _remote_run(args, names)
@@ -327,7 +353,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             report = run_experiment(name, store, scale, jobs=args.jobs,
                                     force=args.force, kernel=args.kernel,
                                     shards=args.shards,
-                                    sharding=args.sharding)
+                                    sharding=args.sharding,
+                                    hierarchy=args.hierarchy)
             print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
                   f"store, {report.simulated} simulated "
                   f"({report.seconds:.2f}s, {report.kernel} kernel) "
@@ -336,9 +363,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
-#: Experiments excluded from the implicit "all" expansion: the sweep grid
-#: is several times the paper's largest and must be asked for by name.
-OPT_IN_EXPERIMENTS = ("sweep",)
+#: Experiments excluded from the implicit "all" expansion: the sweep and
+#: hierarchy-sweep grids are several times the paper's largest and must
+#: be asked for by name.
+OPT_IN_EXPERIMENTS = ("sweep", "hierarchy-sweep")
 
 
 def _resolve_targets(requested: Sequence[str]) -> Optional[List[str]]:
@@ -476,9 +504,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               kernel=args.kernel,
                               shards=args.shards,
                               sharding=args.sharding,
-                              pool=args.pool)
+                              pool=args.pool,
+                              hierarchy=args.hierarchy)
         except FaultSpecError as exc:
             print(f"repro: bad --faults schedule: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro: bad --hierarchy spec: {exc}", file=sys.stderr)
             return 2
         except OSError as exc:
             print(f"repro: cannot start the daemon: {exc}",
@@ -695,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault schedule, e.g. "
              "'store.append:eio@p=0.05,seed=7' (same grammar as "
              "$REPRO_FAULTS; see repro.faults)")
+    run_parser.add_argument(
+        "--hierarchy", default=None, metavar="FILE",
+        help="declarative hierarchy spec (JSON, see repro.memory.spec) "
+             "applied to every job (default: $REPRO_HIERARCHY)")
     _add_store_and_scale(run_parser)
     _add_remote_arg(run_parser)
     run_parser.set_defaults(func=cmd_run)
@@ -754,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm deterministic fault injection, e.g. "
              "'worker.job:crash@p=0.2,seed=3;service.response:drop@times=2' "
              "(same grammar as $REPRO_FAULTS; see repro.faults)")
+    serve_parser.add_argument(
+        "--hierarchy", default=None, metavar="FILE",
+        help="declarative hierarchy spec (JSON, see repro.memory.spec) "
+             "applied to every job this daemon runs (default: "
+             "$REPRO_HIERARCHY)")
     _add_store_arg(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
 

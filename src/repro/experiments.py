@@ -85,6 +85,47 @@ MIX_PREDICTORS: Tuple[str, ...] = ("baseline", "lp", "ideal")
 #: Seeds of the ``sweep`` design-space grid (several times the paper grid).
 SWEEP_SEEDS: Tuple[int, ...] = (0, 1, 2)
 
+#: The ``hierarchy-sweep`` lattice: chain depths x LLC capacities x LLC
+#: data latencies x predictors, run over :data:`HSWEEP_APPS`.
+HSWEEP_DEPTHS: Tuple[int, ...] = (2, 3, 4)
+HSWEEP_LLC_SIZES: Tuple[int, ...] = (1 * 1024 * 1024, 2 * 1024 * 1024,
+                                     4 * 1024 * 1024)
+HSWEEP_LLC_LATENCIES: Tuple[int, ...] = (28, 35)
+HSWEEP_PREDICTORS: Tuple[str, ...] = ("baseline", "lp")
+HSWEEP_APPS: Tuple[str, ...] = ("gapbs.pr", "605.mcf")
+
+
+def hierarchy_lattice_spec(depth: int, llc_size_bytes: int,
+                           llc_data_latency: int):
+    """One point of the ``hierarchy-sweep`` lattice as a HierarchySpec.
+
+    Depth 3 is the paper chain with a derived LLC; depth 2 drops the
+    private L2; depth 4 inserts a 512 KB private L3 between the paper L2
+    and the LLC.  Everything not named here (TLB, DRAM, interconnect,
+    energy model) is the paper configuration, so lattice points differ
+    from the paper system only in the dimensions being swept.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .memory.spec import HierarchySpec
+
+    paper = HierarchySpec.paper_single_core()
+    l1, l2 = paper.levels[0], paper.levels[1]
+    llc = dc_replace(paper.levels[-1], size_bytes=llc_size_bytes,
+                     data_latency=llc_data_latency)
+    if depth == 2:
+        levels = (l1, dc_replace(llc, name="L2"))
+    elif depth == 3:
+        levels = (l1, l2, llc)
+    elif depth == 4:
+        mid = dc_replace(l2, name="L3", size_bytes=512 * 1024,
+                         tag_latency=16)
+        levels = (l1, l2, mid, dc_replace(llc, name="L4"))
+    else:
+        raise ValueError(f"hierarchy-sweep depth must be 2, 3 or 4, "
+                         f"got {depth}")
+    return dc_replace(paper, levels=levels)
+
 
 def canonical_json(value: Any) -> str:
     """Deterministic JSON: sorted keys, exact float reprs, no whitespace
@@ -430,6 +471,87 @@ class SweepExperiment(Experiment):
         }
 
 
+class HierarchySweepExperiment(Experiment):
+    """A generated lattice over the declarative hierarchy config space.
+
+    Chain depth x LLC capacity x LLC data latency x predictor, over two
+    memory-intensive applications — 72 jobs, none of which is expressible
+    through the fixed paper configurations.  Every job's system carries a
+    :class:`~repro.memory.spec.HierarchySpec` built by
+    :func:`hierarchy_lattice_spec`, so the grid exercises the full
+    declarative path: spec -> N-level chain -> scalar/batch kernels ->
+    content-addressed store.  Job keys are pure functions of the spec, so
+    the store dedups lattice points across re-runs and daemons serve the
+    sweep incrementally — a re-run against a warm store recomputes
+    nothing.
+    """
+
+    name = "hierarchy-sweep"
+    title = "Hierarchy config-space sweep: depth x LLC size x latency"
+
+    def points(self) -> List[Tuple[int, int, int]]:
+        """The lattice points in deterministic job order."""
+        return [(depth, size, latency)
+                for depth in HSWEEP_DEPTHS
+                for size in HSWEEP_LLC_SIZES
+                for latency in HSWEEP_LLC_LATENCIES]
+
+    @staticmethod
+    def point_name(depth: int, size: int, latency: int) -> str:
+        return f"hsweep-d{depth}-llc{size // 1024}k-lat{latency}"
+
+    def jobs(self, scale: Scale) -> List[Job]:
+        jobs: List[Job] = []
+        for app in HSWEEP_APPS:
+            for depth, size, latency in self.points():
+                spec = hierarchy_lattice_spec(depth, size, latency)
+                config = SystemConfig(
+                    name=self.point_name(depth, size, latency),
+                    hierarchy=spec)
+                for predictor in HSWEEP_PREDICTORS:
+                    jobs.append(SimulationJob(
+                        workload=app, predictor=predictor,
+                        num_accesses=scale.accesses,
+                        warmup_accesses=scale.warmup, seed=0,
+                        config=config))
+        return jobs
+
+    def summarize(self, results: Sequence[Any], scale: Scale
+                  ) -> Dict[str, Any]:
+        per_point: Dict[str, Dict[str, Dict[str, float]]] = {}
+        index = 0
+        grid: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for app in HSWEEP_APPS:
+            for depth, size, latency in self.points():
+                point = self.point_name(depth, size, latency)
+                for predictor in HSWEEP_PREDICTORS:
+                    grid.setdefault(point, {}).setdefault(app, {})[
+                        predictor] = results[index]
+                    index += 1
+        for point, apps in grid.items():
+            ipc = {predictor: geometric_mean(
+                       [apps[app][predictor].ipc for app in HSWEEP_APPS])
+                   for predictor in HSWEEP_PREDICTORS}
+            amat = {predictor: sum(
+                        apps[app][predictor].average_memory_access_latency
+                        for app in HSWEEP_APPS) / len(HSWEEP_APPS)
+                    for predictor in HSWEEP_PREDICTORS}
+            speedup = geometric_mean(
+                [apps[app]["lp"].speedup_over(apps[app]["baseline"])
+                 for app in HSWEEP_APPS])
+            per_point[point] = {"geomean_ipc": ipc, "mean_amat": amat,
+                                "lp_geomean_speedup": speedup}
+        return {
+            "jobs": len(results),
+            "applications": list(HSWEEP_APPS),
+            "depths": list(HSWEEP_DEPTHS),
+            "llc_sizes": list(HSWEEP_LLC_SIZES),
+            "llc_data_latencies": list(HSWEEP_LLC_LATENCIES),
+            "predictors": list(HSWEEP_PREDICTORS),
+            "points": per_point,
+        }
+
+
 # ======================================================================
 # Golden experiment
 # ======================================================================
@@ -549,6 +671,7 @@ def _build_registry() -> Dict[str, Experiment]:
         SensitivityExperiment(),
         GoldenExperiment(),
         SweepExperiment(apps, mixes),
+        HierarchySweepExperiment(),
     ]
     return {experiment.name: experiment for experiment in experiments}
 

@@ -1,10 +1,24 @@
-"""Three-level memory hierarchy with sequential and level-predicted lookup.
+"""N-level memory hierarchy with sequential and level-predicted lookup.
 
 This is the central substrate of the reproduction: a functional model of the
 paper's simulated system (Table I) — private L1 and L2, a shared non-inclusive
 L3 with a collocated directory, a DDR4 channel, per-level prefetchers with
 throttling, TLBs — plus the *level-predicted* lookup path that the paper adds
 on the L1 miss path.
+
+The hierarchy is no longer fixed to that triple: construct a
+:class:`CoreMemoryHierarchy` from a declarative
+:class:`~repro.memory.spec.HierarchySpec` and any chain of two or more
+cache levels runs through the same scalar and batch kernels.  The level
+predictor's target space stays the paper's — the whole private
+intermediate group is classified as ``Level.L2`` and the shared LLC as
+``Level.L3`` — so predictors, statistics and stored results keep their
+exact shapes at any depth.  Three-level hierarchies (legacy
+:class:`HierarchyConfig` or an equivalent spec) run the original
+specialised path bit-for-bit; other depths take the generalised chain
+walkers (``_locate_chain`` / ``_timed_path_chain`` /
+``_fill_on_response_chain``), which are selected by one flag test on the
+miss path only — the L1-hit fast path is depth-agnostic.
 
 The model is trace driven: :meth:`CoreMemoryHierarchy.access` services one
 memory reference, returning an :class:`AccessResult` with the load latency,
@@ -55,6 +69,7 @@ from .cache import Cache, CacheConfig, EvictionInfo
 from .directory import Directory
 from .dram import DRAMConfig, DRAMModel
 from .interconnect import Interconnect, InterconnectConfig
+from .spec import HierarchySpec
 from .tlb import TLBHierarchy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
@@ -218,14 +233,21 @@ class SharedMemorySystem:
     """Resources shared by every core: the LLC, directory, DRAM and the
     LLC prefetcher."""
 
-    def __init__(self, config: HierarchyConfig, num_cores: int = 1,
+    def __init__(self, config, num_cores: int = 1,
                  llc_prefetcher: Optional[Prefetcher] = None,
                  energy_params: Optional[EnergyParameters] = None) -> None:
         self.config = config
         self.num_cores = num_cores
-        self.l3 = Cache(config.l3, name="L3")
+        if isinstance(config, HierarchySpec):
+            self.spec: Optional[HierarchySpec] = config
+            self.l3 = Cache(config.llc.cache_config(Level.L3),
+                            name=config.llc.name)
+            self.dram = DRAMModel(config.memory.dram_config())
+        else:
+            self.spec = None
+            self.l3 = Cache(config.l3, name="L3")
+            self.dram = DRAMModel(config.dram)
         self.directory = Directory(num_cores=num_cores)
-        self.dram = DRAMModel(config.dram)
         self.llc_prefetcher = llc_prefetcher or NullPrefetcher()
         self.energy_params = energy_params or EnergyParameters()
         self.dram_writebacks = 0
@@ -242,29 +264,37 @@ class SharedMemorySystem:
 
 
 class CoreMemoryHierarchy:
-    """The per-core view of the memory system (private L1/L2 + shared LLC).
+    """The per-core view of the memory system (private levels + shared LLC).
 
     Args:
-        config: Hierarchy configuration.
+        config: Hierarchy configuration — a legacy 3-level
+            :class:`HierarchyConfig` or a declarative
+            :class:`~repro.memory.spec.HierarchySpec` of any depth ≥ 2.
         shared: The shared LLC/directory/DRAM; construct one
-            :class:`SharedMemorySystem` and pass it to every core.
+            :class:`SharedMemorySystem` (from the same config) and pass it
+            to every core.
         predictor: The level predictor on the L1 miss path.  Defaults to the
             :class:`SequentialPredictor`, which reproduces the baseline.
         l1_prefetcher / l2_prefetcher: Prefetchers attached to the private
-            levels (tagged next-line in the paper's baseline).
+            levels (tagged next-line in the paper's baseline).  The L2
+            prefetcher trains for the first private intermediate; deeper
+            intermediates carry no prefetcher.
         core_id: This core's index in the directory.
     """
 
     __slots__ = (
-        "config", "shared", "predictor", "l1", "l2", "tlb",
+        "config", "spec", "shared", "predictor", "l1", "l2", "tlb",
         "l1_prefetcher", "l2_prefetcher", "interconnect", "energy", "stats",
         "core_id", "_block_size", "_block_mask", "_page_shift",
         "_l1_page_size",
+        "_general", "_intermediates",
+        "_chain_hit_latency", "_chain_miss_detect", "_chain_nj",
         "_l1_hit_latency", "_l1_miss_detect", "_l2_hit_latency",
         "_l2_miss_detect", "_l3_hit_latency", "_l3_tag_latency",
         "_port_penalty", "_memory_speculative", "_ideal_miss_latency",
         "_ic_l1_l2", "_ic_l2_llc", "_ic_llc_mem",
         "_tlb_nj", "_l1_nj", "_tlb_l1_nj", "_l2_nj", "_l3_nj", "_l3_tag_nj",
+        "_l3_wb_nj",
         "_dram_nj", "_bus_nj", "_directory_nj", "_prefetch_budget",
         "_l1_hit_result", "_pf_access",
         "_inflight_misses", "_inflight_miss_count", "_recent_prefetches",
@@ -273,7 +303,7 @@ class CoreMemoryHierarchy:
 
     def __init__(
         self,
-        config: Optional[HierarchyConfig] = None,
+        config=None,
         shared: Optional[SharedMemorySystem] = None,
         predictor: Optional[LevelPredictor] = None,
         l1_prefetcher: Optional[Prefetcher] = None,
@@ -287,19 +317,44 @@ class CoreMemoryHierarchy:
 
         _bind_core_types()
         self.config = config or HierarchyConfig.paper_single_core()
-        self.shared = shared or SharedMemorySystem(self.config, num_cores=1)
+        cfg = self.config
+        spec = cfg if isinstance(cfg, HierarchySpec) else None
+        self.spec = spec
+        self.shared = shared or SharedMemorySystem(cfg, num_cores=1)
         self.predictor = predictor or SequentialPredictor()
-        self.l1 = Cache(self.config.l1, name=f"L1.{core_id}")
-        self.l2 = Cache(self.config.l2, name=f"L2.{core_id}")
-        self.tlb = TLBHierarchy()
+        if spec is None:
+            level_names = ("L1", "L2", "L3")
+            l1_cfg = cfg.l1
+            inter_cfgs: Tuple[CacheConfig, ...] = (cfg.l2,)
+            llc_cfg = cfg.l3
+            self.tlb = TLBHierarchy()
+        else:
+            level_names = tuple(level.name for level in spec.levels)
+            l1_cfg = spec.l1.cache_config(Level.L1)
+            inter_cfgs = tuple(level.cache_config(Level.L2)
+                               for level in spec.intermediates)
+            llc_cfg = spec.llc.cache_config(Level.L3)
+            self.tlb = spec.tlb.build()
+        self.l1 = Cache(l1_cfg, name=f"{level_names[0]}.{core_id}")
+        self._intermediates = tuple(
+            Cache(inter_cfg, name=f"{level_names[1 + index]}.{core_id}")
+            for index, inter_cfg in enumerate(inter_cfgs))
+        # Compat alias: the first private intermediate (the paper's L2), or
+        # None in a 2-level hierarchy.
+        self.l2 = self._intermediates[0] if self._intermediates else None
+        # Three-level chains — legacy configs and equivalent specs — run the
+        # original specialised path; other depths take the chain walkers.
+        self._general = len(inter_cfgs) != 1
         self.l1_prefetcher = l1_prefetcher or NullPrefetcher()
         self.l2_prefetcher = l2_prefetcher or NullPrefetcher()
-        self.interconnect = Interconnect(self.config.interconnect,
+        ic_config = cfg.interconnect if spec is None \
+            else spec.interconnect.interconnect_config()
+        self.interconnect = Interconnect(ic_config,
                                          active_cores=active_cores)
         self.energy = EnergyAccount(params=self.shared.energy_params)
         self.stats = HierarchyStats()
         self.core_id = core_id
-        self._block_size = self.config.l1.block_size
+        self._block_size = l1_cfg.block_size
         # Hot-path precomputation: block mask (power-of-two line sizes),
         # per-level latencies as floats and per-structure energies, so
         # access() performs no repeated config/dataclass attribute chains.
@@ -309,13 +364,18 @@ class CoreMemoryHierarchy:
         # and the columnar replay path compute identical page numbers.
         self._l1_page_size = self.tlb.l1.config.page_size
         self._page_shift = self.tlb.l1._page_shift
-        cfg = self.config
-        self._l1_hit_latency = float(cfg.l1.hit_latency)
-        self._l1_miss_detect = float(cfg.l1.miss_detect_latency)
-        self._l2_hit_latency = float(cfg.l2.hit_latency)
-        self._l2_miss_detect = float(cfg.l2.miss_detect_latency)
-        self._l3_hit_latency = float(cfg.l3.hit_latency)
-        self._l3_tag_latency = float(cfg.l3.tag_latency)
+        self._l1_hit_latency = float(l1_cfg.hit_latency)
+        self._l1_miss_detect = float(l1_cfg.miss_detect_latency)
+        self._chain_hit_latency = tuple(float(c.hit_latency)
+                                        for c in inter_cfgs)
+        self._chain_miss_detect = tuple(float(c.miss_detect_latency)
+                                        for c in inter_cfgs)
+        self._l2_hit_latency = self._chain_hit_latency[0] \
+            if inter_cfgs else 0.0
+        self._l2_miss_detect = self._chain_miss_detect[0] \
+            if inter_cfgs else 0.0
+        self._l3_hit_latency = float(llc_cfg.hit_latency)
+        self._l3_tag_latency = float(llc_cfg.tag_latency)
         self._port_penalty = cfg.parallel_port_penalty
         self._memory_speculative = cfg.memory_speculative_launch
         self._ideal_miss_latency = cfg.ideal_miss_latency
@@ -330,16 +390,38 @@ class CoreMemoryHierarchy:
         self._ic_llc_mem = ic_cfg.llc_to_memory + contention
         params = self.shared.energy_params
         self._tlb_nj = params.tlb_access_nj
-        self._l1_nj = params.l1_access_nj
-        self._tlb_l1_nj = params.tlb_access_nj + params.l1_access_nj
-        self._l2_nj = params.l2_access_nj
-        self._l3_nj = params.llc_tag_access_nj + params.llc_data_access_nj
-        self._l3_tag_nj = params.llc_tag_access_nj
+        # Spec-level read_energy_nj overrides replace the role-based default
+        # for the full per-access energy of that level (for the LLC it also
+        # stands in for the tag-only probe — a documented simplification);
+        # write_energy_nj prices the dirty-writeback deposit into the LLC.
+        l1_read = spec.l1.read_energy_nj if spec is not None else None
+        self._l1_nj = params.l1_access_nj if l1_read is None else l1_read
+        self._tlb_l1_nj = params.tlb_access_nj + self._l1_nj
+        if spec is None:
+            self._chain_nj = (params.l2_access_nj,)
+        else:
+            self._chain_nj = tuple(
+                params.l2_access_nj if level.read_energy_nj is None
+                else level.read_energy_nj
+                for level in spec.intermediates)
+        self._l2_nj = self._chain_nj[0] if self._chain_nj \
+            else params.l2_access_nj
+        llc_read = spec.llc.read_energy_nj if spec is not None else None
+        if llc_read is None:
+            self._l3_nj = params.llc_tag_access_nj \
+                + params.llc_data_access_nj
+            self._l3_tag_nj = params.llc_tag_access_nj
+        else:
+            self._l3_nj = llc_read
+            self._l3_tag_nj = llc_read
+        llc_write = spec.llc.write_energy_nj if spec is not None else None
+        self._l3_wb_nj = self._l3_nj if llc_write is None else llc_write
         self._dram_nj = params.dram_access_nj
         self._bus_nj = params.bus_transfer_nj
         self._directory_nj = params.directory_access_nj
-        self._prefetch_budget = (1.0 - cfg.l2.mshr_demand_reserve) \
-            * cfg.l2.mshr_entries
+        budget_cfg = inter_cfgs[-1] if inter_cfgs else l1_cfg
+        self._prefetch_budget = (1.0 - budget_cfg.mshr_demand_reserve) \
+            * budget_cfg.mshr_entries
         # Shared result object for the overwhelmingly common outcome: an L1
         # hit with a first-level TLB hit (translation latency 0).  The object
         # is read-only by every consumer (the core model reads .latency).
@@ -449,7 +531,11 @@ class CoreMemoryHierarchy:
         l1.mshrs.allocate(block, atype)
 
         predictor = self.predictor
-        actual, remote_core = self._locate(block)
+        general = self._general
+        if general:
+            actual, remote_core, holder = self._locate_chain(block)
+        else:
+            actual, remote_core = self._locate(block)
         if self._ideal_miss_latency:
             # The paper's Ideal system: a perfect, zero-cost level prediction
             # on every L1 miss — the request goes straight to the level that
@@ -465,8 +551,13 @@ class CoreMemoryHierarchy:
         outcome = predictor.train(block, pc, prediction, actual)
         predictor.on_hit(actual)
 
-        path_latency, looked_up, recovered = self._timed_path(
-            prediction, actual, address, pc, atype, remote_core, block)
+        if general:
+            path_latency, looked_up, recovered = self._timed_path_chain(
+                prediction, actual, address, pc, atype, remote_core, block,
+                holder)
+        else:
+            path_latency, looked_up, recovered = self._timed_path(
+                prediction, actual, address, pc, atype, remote_core, block)
         latency += path_latency
         if recovered:
             stats.recoveries += 1
@@ -480,7 +571,10 @@ class CoreMemoryHierarchy:
                 stats.remote_cache_hits += 1
         else:
             stats.memory_accesses += 1
-        self._fill_on_response(block, atype, actual)
+        if general:
+            self._fill_on_response_chain(block, atype, actual, holder)
+        else:
+            self._fill_on_response(block, atype, actual)
         l1.mshrs.release(block)
 
         stats.total_demand_latency += latency
@@ -675,6 +769,24 @@ class CoreMemoryHierarchy:
             return Level.L3, remote
         return Level.MEM, None
 
+    def _locate_chain(self, block: int
+                      ) -> Tuple[Level, Optional[int], Optional[int]]:
+        """Chain-walking :meth:`_locate` for depths other than three.
+
+        Returns ``(level, remote_core, holder)`` where ``holder`` is the
+        index of the private intermediate that holds the block (``None``
+        unless ``level`` is the private group ``Level.L2``).
+        """
+        for index, cache in enumerate(self._intermediates):
+            if cache.contains_block(block):
+                return _L2, None, index
+        if self.shared.l3.contains_block(block):
+            return _L3, None, None
+        remote = self.shared.directory.remote_holder(block, self.core_id)
+        if remote is not None:
+            return _L3, remote, None
+        return _MEM, None, None
+
     @staticmethod
     def _bypassed(prediction: Prediction, actual: Level) -> Tuple[Level, ...]:
         levels = prediction.levels or _BYPASSED_L2
@@ -821,6 +933,154 @@ class CoreMemoryHierarchy:
         self.shared.l3.mshrs.force_release(block)
         return latency
 
+    def _timed_path_chain(
+        self,
+        prediction: Prediction,
+        actual: Level,
+        address: int,
+        pc: int,
+        atype: AccessType,
+        remote_core: Optional[int],
+        block: int,
+        holder: Optional[int],
+    ) -> Tuple[float, Tuple[Level, ...], bool]:
+        """:meth:`_timed_path` generalised to an arbitrary private chain.
+
+        A ``Level.L2`` prediction probes the whole private intermediate
+        group in order; the private-only sequential fallback serialises
+        each level's miss detection before forwarding.  Hop latencies:
+        ``l1_to_l2`` per hop between private levels, ``l2_to_llc`` into
+        the shared LLC (a 2-level hierarchy pays only the LLC hop).  The
+        MSHR entry for the return path is allocated at the deepest
+        private intermediate — the fill deposit point — even when the
+        group is bypassed.
+        """
+        levels = prediction.levels or _BYPASSED_L2
+        probe_l2 = Level.L2 in levels
+        probe_l3 = Level.L3 in levels
+        probe_mem = Level.MEM in levels
+        charge = self.energy.charge
+        is_load = atype is _LOAD
+        intermediates = self._intermediates
+
+        cache_probes = probe_l2 + probe_l3 + (Level.L1 in levels)
+        if cache_probes > 1:
+            port_penalty = self._port_penalty * (cache_probes - 1)
+            self.stats.parallel_cache_probes += 1
+        else:
+            port_penalty = 0.0
+
+        interconnect = self.interconnect
+        latency = 0.0
+        hierarchy_nj = 0.0
+        deposit_mshrs = intermediates[-1].mshrs if intermediates else None
+        if deposit_mshrs is not None:
+            deposit_mshrs.allocate(block, atype)
+        if intermediates:
+            interconnect.transfers += 1
+            latency += self._ic_l1_l2
+            hierarchy_nj += self._bus_nj
+
+        # ---------------- Private intermediate stage ----------------
+        if intermediates:
+            if probe_l2:
+                sequential = not (probe_l3 or probe_mem)
+                for index, cache in enumerate(intermediates):
+                    if index:
+                        interconnect.transfers += 1
+                        latency += self._ic_l1_l2
+                        hierarchy_nj += self._bus_nj
+                    cache.access_block(block, atype)
+                    hierarchy_nj += self._chain_nj[index]
+                    if index == holder:
+                        latency += self._chain_hit_latency[index] \
+                            + port_penalty
+                        charge("hierarchy", hierarchy_nj)
+                        self._train_l2_prefetcher(address, pc, is_load,
+                                                  hit=True)
+                        deposit_mshrs.release(block)
+                        return latency, _PATH_L2, False
+                    if sequential:
+                        latency += self._chain_miss_detect[index]
+            elif actual is Level.L2:
+                # Harmful misprediction: a private level held the block
+                # but the whole group was bypassed.
+                charge("hierarchy", hierarchy_nj)
+                latency += self._recover_to_chain(atype, block, holder)
+                latency += port_penalty
+                self._train_l2_prefetcher(address, pc, is_load, hit=True)
+                deposit_mshrs.release(block)
+                return latency, _PATH_RECOVERY, True
+            else:
+                # Bypassed but absent: the request still traverses the
+                # private chain's bus on the way to the LLC.
+                for _ in range(len(intermediates) - 1):
+                    interconnect.transfers += 1
+                    latency += self._ic_l1_l2
+                    hierarchy_nj += self._bus_nj
+
+        # ---------------- LLC / directory stage ----------------
+        interconnect.transfers += 1
+        latency += self._ic_l2_llc
+        hierarchy_nj += self._bus_nj + self._directory_nj
+
+        if actual is Level.L3:
+            self.shared.l3.access_block(block, atype)
+            hierarchy_nj += self._l3_nj
+            llc_latency = self._l3_hit_latency
+            if remote_core is not None:
+                llc_latency = (self._l3_tag_latency
+                               + self.interconnect.cache_to_cache_latency())
+            if probe_mem and self._memory_speculative:
+                charge("dram", self._dram_nj)
+                self.stats.cancelled_dram_launches += 1
+            latency += llc_latency + port_penalty
+            charge("hierarchy", hierarchy_nj)
+            self._train_llc_prefetcher(address, pc, is_load, hit=True)
+            if deposit_mshrs is not None:
+                deposit_mshrs.release(block)
+            return latency, (_PATH_L2_L3 if probe_l2 else _PATH_L3), False
+
+        # Block is in main memory.
+        self.shared.l3.access_block(block, atype)
+        hierarchy_nj += self._l3_tag_nj
+        charge("hierarchy", hierarchy_nj)
+        self._train_llc_prefetcher(address, pc, is_load, hit=False)
+        dram_latency = self.shared.dram.access(address)
+        charge("dram", self._dram_nj)
+        interconnect.transfers += 1
+        hop_to_memory = self._ic_llc_mem
+
+        if probe_mem and self._memory_speculative:
+            self.stats.speculative_dram_launches += 1
+            latency += max(self._l3_tag_latency,
+                           hop_to_memory + dram_latency)
+        else:
+            latency += self._l3_tag_latency + hop_to_memory + dram_latency
+        latency += port_penalty
+        if deposit_mshrs is not None:
+            deposit_mshrs.release(block)
+        return latency, (_PATH_L2_L3_MEM if probe_l2 else _PATH_L3_MEM), False
+
+    def _recover_to_chain(self, atype: AccessType, block: int,
+                          holder: int) -> float:
+        """:meth:`_recover_to_l2` aimed at the holding intermediate."""
+        charge = self.energy.charge
+        latency = self.interconnect.l2_to_llc_latency()
+        charge("hierarchy", self._bus_nj)
+        latency += self._l3_tag_latency
+        charge("hierarchy", self._l3_tag_nj)
+        charge("hierarchy", self._directory_nj)
+        self.shared.directory.detect_bypass_misprediction(block, self.core_id)
+        latency += self.interconnect.recovery_latency()
+        self.energy.charge_recovery(self._bus_nj + self._directory_nj)
+        cache = self._intermediates[holder]
+        cache.access_block(block, atype)
+        charge("hierarchy", self._chain_nj[holder])
+        latency += self._chain_hit_latency[holder]
+        self.shared.l3.mshrs.force_release(block)
+        return latency
+
     # ==================================================================
     # Data movement (fills, evictions, writebacks)
     # ==================================================================
@@ -886,7 +1146,7 @@ class CoreMemoryHierarchy:
             l3_eviction = self.shared.l3.fill_block(
                 eviction.block_addr, AccessType.WRITEBACK, dirty=True,
                 state=CoherenceState.MODIFIED)
-            self.energy.charge("hierarchy", self._l3_nj)
+            self.energy.charge("hierarchy", self._l3_wb_nj)
             self._handle_l3_eviction(l3_eviction)
 
     def _handle_l3_eviction(self, eviction: Optional[EvictionInfo]) -> None:
@@ -895,6 +1155,105 @@ class CoreMemoryHierarchy:
         self.shared.l3_eviction_to_memory(eviction, self.energy)
         self.predictor.on_eviction(eviction.block_addr, Level.L3,
                                    dirty=eviction.dirty)
+
+    def _fill_on_response_chain(self, block: int, atype: AccessType,
+                                actual: Level,
+                                holder: Optional[int]) -> None:
+        """:meth:`_fill_on_response` generalised to the private chain.
+
+        Fills propagate deepest-first through every private intermediate
+        (each is inclusive of the levels above it), then into L1.  In a
+        2-level hierarchy L1 *is* the deepest private level, so the
+        directory tracks L1 fills directly and the private-group
+        (``Level.L2``) predictor notifications are skipped — the group is
+        empty.
+        """
+        dirty = atype is AccessType.STORE
+        state = CoherenceState.MODIFIED if dirty else CoherenceState.EXCLUSIVE
+        predictor = self.predictor
+        intermediates = self._intermediates
+
+        if actual is Level.MEM:
+            l3_eviction = self.shared.l3.fill_block(block, atype,
+                                                    dirty=False, state=state)
+            if l3_eviction is not None:
+                self._handle_l3_eviction(l3_eviction)
+            predictor.on_fill(block, Level.L3)
+
+        if actual is Level.MEM or actual is Level.L3:
+            if intermediates:
+                for index in range(len(intermediates) - 1, -1, -1):
+                    eviction = intermediates[index].fill_block(
+                        block, atype, dirty=dirty, state=state)
+                    if eviction is not None:
+                        self._handle_chain_eviction(eviction, index)
+                predictor.on_fill(block, Level.L2)
+            self.shared.directory.record_private_fill(block, self.core_id,
+                                                      dirty=dirty)
+        elif actual is Level.L2:
+            predictor.on_fill(block, Level.L2)
+            if dirty:
+                intermediates[holder].mark_dirty(block)
+            # Inclusion upward: levels between the holder and L1 also fill.
+            for index in range(holder - 1, -1, -1):
+                eviction = intermediates[index].fill_block(
+                    block, atype, dirty=dirty, state=state)
+                if eviction is not None:
+                    self._handle_chain_eviction(eviction, index)
+
+        l1_eviction = self.l1.fill_block(block, atype,
+                                         dirty=dirty, state=state)
+        if l1_eviction is not None:
+            self._handle_l1_eviction_chain(l1_eviction)
+
+    def _handle_l1_eviction_chain(self, eviction: EvictionInfo) -> None:
+        if eviction.prefetched_unused:
+            self.l1_prefetcher.record_useless()
+        intermediates = self._intermediates
+        if intermediates:
+            if eviction.dirty:
+                # The next private level is inclusive of L1: merge.
+                intermediates[0].mark_dirty(eviction.block_addr)
+            return
+        # 2-level hierarchy: L1 is the deepest private level — the
+        # directory tracked this block, and dirty victims write back
+        # straight into the (non-inclusive) LLC.
+        self.shared.directory.record_private_eviction(eviction.block_addr,
+                                                      self.core_id)
+        if eviction.dirty:
+            l3_eviction = self.shared.l3.fill_block(
+                eviction.block_addr, AccessType.WRITEBACK, dirty=True,
+                state=CoherenceState.MODIFIED)
+            self.energy.charge("hierarchy", self._l3_wb_nj)
+            self._handle_l3_eviction(l3_eviction)
+
+    def _handle_chain_eviction(self, eviction: EvictionInfo,
+                               index: int) -> None:
+        """Eviction from the private intermediate at ``index``."""
+        if eviction.prefetched_unused and index == 0:
+            self.l2_prefetcher.record_useless()
+        block_addr = eviction.block_addr
+        # Inclusion: a block leaving this level leaves every closer level.
+        self.l1.invalidate(block_addr)
+        intermediates = self._intermediates
+        for closer in range(index):
+            intermediates[closer].invalidate(block_addr)
+        if index == len(intermediates) - 1:
+            # Leaving the deepest private level: the block leaves this
+            # core's private group entirely.
+            self.shared.directory.record_private_eviction(block_addr,
+                                                          self.core_id)
+            self.predictor.on_eviction(block_addr, Level.L2,
+                                       dirty=eviction.dirty)
+            if eviction.dirty:
+                l3_eviction = self.shared.l3.fill_block(
+                    block_addr, AccessType.WRITEBACK, dirty=True,
+                    state=CoherenceState.MODIFIED)
+                self.energy.charge("hierarchy", self._l3_wb_nj)
+                self._handle_l3_eviction(l3_eviction)
+        elif eviction.dirty:
+            # Dirty victims merge into the next-deeper private level.
+            intermediates[index + 1].mark_dirty(block_addr)
 
     # ==================================================================
     # Prefetching
@@ -956,7 +1315,9 @@ class CoreMemoryHierarchy:
             else block_address(address, self._block_size)
         self.stats.prefetches_issued += 1
         self._prefetches_this_access += 1
-        if level is Level.L1:
+        if self._general and level is not Level.L3:
+            self._issue_chain_prefetch(block, level)
+        elif level is Level.L1:
             if self.l1.contains_block(block):
                 return
             # L1/L2 are inclusive: the prefetched block is installed in both.
@@ -987,6 +1348,36 @@ class CoreMemoryHierarchy:
             self.predictor.on_fill(block, Level.L3, from_prefetch=True)
             self.energy.charge("hierarchy", self._l3_nj)
 
+    def _issue_chain_prefetch(self, block: int, level: Level) -> None:
+        """Install a private-level prefetch in a general chain.
+
+        Inclusion holds by filling every private intermediate
+        deepest-first; an L1-targeted prefetch additionally fills L1.  In
+        a 2-level hierarchy both targets collapse to an L1 install (L1 is
+        the only private level), recorded with the directory.
+        """
+        intermediates = self._intermediates
+        target_l1 = level is Level.L1 or not intermediates
+        if target_l1:
+            if self.l1.contains_block(block):
+                return
+        elif intermediates[0].contains_block(block):
+            return
+        for index in range(len(intermediates) - 1, -1, -1):
+            eviction = intermediates[index].fill_block(
+                block, AccessType.PREFETCH)
+            if eviction is not None:
+                self._handle_chain_eviction(eviction, index)
+        if target_l1:
+            l1_eviction = self.l1.fill_block(block, AccessType.PREFETCH)
+            if l1_eviction is not None:
+                self._handle_l1_eviction_chain(l1_eviction)
+        if intermediates:
+            self.predictor.on_fill(block, Level.L2, from_prefetch=True)
+        self.shared.directory.record_private_fill(block, self.core_id)
+        self.energy.charge("hierarchy",
+                           self._l1_nj if target_l1 else self._chain_nj[0])
+
     # ==================================================================
     # Reporting
     # ==================================================================
@@ -1002,7 +1393,8 @@ class CoreMemoryHierarchy:
         self.stats.reset()
         self.energy.reset()
         self.l1.reset_statistics()
-        self.l2.reset_statistics()
+        for cache in self._intermediates:
+            cache.reset_statistics()
         self.predictor.reset_statistics()
         self.tlb.reset_statistics()
         self.interconnect.reset_statistics()

@@ -1,0 +1,593 @@
+"""Declarative hierarchy specifications: the memory system as data.
+
+The reproduction originally hard-coded the paper's Table I topology —
+private L1/L2, a shared L3, one DDR4 channel — as attributes of
+:class:`~repro.memory.hierarchy.HierarchyConfig`.  This module makes an
+arbitrary hierarchy a *declarative spec* in the zigzag idiom: each cache
+level is a frozen :class:`LevelSpec` (geometry, latencies, MSHR shape,
+ports, optional per-access energy and area), and a :class:`HierarchySpec`
+composes an ordered chain of levels plus a memory backend
+(:class:`MemorySpec`), an interconnect (:class:`InterconnectSpec`) and a
+TLB (:class:`TLBSpec`).
+
+Specs are validated at construction — zero ways, non-power-of-two blocks,
+shrinking capacities, non-monotone latencies, duplicate level names and
+illegal inclusivity patterns all raise a contextual ``ValueError`` — and
+round-trip *exactly* through JSON: ``HierarchySpec.from_json(s.to_json())
+== s`` and ``to_json`` is a fixed point of the round trip.
+
+Topology model
+==============
+
+``levels[0]`` is the private L1; ``levels[-1]`` is the shared LLC with
+the collocated directory; everything in between is a private
+intermediate level.  The level predictor's target space stays the
+paper's (L2 / L3 / MEM): the whole private intermediate group is
+classified as ``Level.L2``, the LLC as ``Level.L3`` — so predictors,
+statistics and stored results keep their exact shapes for any depth.
+Intermediate levels must be inclusive of the levels above them; only the
+LLC may be non-inclusive (the paper's configuration).
+
+Key stability
+=============
+
+``HierarchySpec.paper_single_core()`` / ``paper_multi_core()`` describe
+exactly the legacy :class:`HierarchyConfig` defaults, and any spec that
+is *legacy-exact* (a faithful image of a 3-level ``HierarchyConfig``:
+default names, default TLB, no energy/area/port extras) canonicalises as
+that legacy config via the ``__canonical__`` hook the store honours — so
+the SHA-256 job keys of the paper systems are bit-identical whether the
+hierarchy travels as legacy config or as spec, and the golden store
+never moves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .block import DEFAULT_BLOCK_SIZE, Level
+from .cache import CacheConfig
+from .dram import DRAMConfig
+from .interconnect import InterconnectConfig
+
+#: Schema tag embedded in every serialized hierarchy spec.
+HIERARCHY_SCHEMA = "repro-hierarchy/1"
+
+#: The default level names of the paper's 3-level chain (legacy-exact).
+_LEGACY_NAMES = ("L1", "L2", "L3")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """One cache level of a declarative hierarchy.
+
+    Attributes:
+        name: Unique level name (``"L1"``, ``"L2.5"``, ``"LLC"``...).
+        size_bytes / associativity / block_size: Geometry.  The block
+            size must be a power of two and identical across the chain.
+        tag_latency / data_latency / sequential_tag_data: Access timing;
+            a sequential level resolves tags before data
+            (``hit = tag + data``), a parallel one overlaps them.
+        mshr_entries / mshr_demand_reserve: Miss-status-holding-register
+            geometry; the reserve is the demand-only fraction.
+        ports: Tag-port count (declarative, zigzag-style; the timing
+            model's global ``parallel_port_penalty`` models port
+            pressure, so ``ports`` is data for sweeps and reports).
+        inclusive: Whether this level is inclusive of the levels above
+            it.  Intermediate levels must be inclusive; only the LLC may
+            opt out (the paper's non-inclusive L3).
+        read_energy_nj / write_energy_nj: Optional zigzag-style
+            per-access energies; ``None`` selects the role-based default
+            from :class:`~repro.energy.model.EnergyParameters`.
+        area_mm2: Optional area annotation (reporting only).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_size: int = DEFAULT_BLOCK_SIZE
+    tag_latency: int = 1
+    data_latency: int = 0
+    sequential_tag_data: bool = False
+    mshr_entries: int = 16
+    mshr_demand_reserve: float = 0.25
+    ports: int = 1
+    inclusive: bool = True
+    read_energy_nj: Optional[float] = None
+    write_energy_nj: Optional[float] = None
+    area_mm2: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "cache level needs a non-empty name")
+        _require(self.size_bytes > 0,
+                 f"level {self.name!r}: size_bytes must be positive, "
+                 f"got {self.size_bytes}")
+        _require(self.associativity > 0,
+                 f"level {self.name!r}: associativity must be at least 1 "
+                 f"way, got {self.associativity}")
+        _require(self.block_size > 0
+                 and (self.block_size & (self.block_size - 1)) == 0,
+                 f"level {self.name!r}: block_size must be a power of "
+                 f"two, got {self.block_size}")
+        way_bytes = self.block_size * self.associativity
+        _require(self.size_bytes % way_bytes == 0,
+                 f"level {self.name!r}: size_bytes ({self.size_bytes}) "
+                 f"must be a multiple of block_size x associativity "
+                 f"({way_bytes})")
+        _require(self.tag_latency >= 0 and self.data_latency >= 0,
+                 f"level {self.name!r}: latencies must be non-negative")
+        _require(self.mshr_entries > 0,
+                 f"level {self.name!r}: mshr_entries must be positive")
+        _require(0.0 <= self.mshr_demand_reserve < 1.0,
+                 f"level {self.name!r}: mshr_demand_reserve must be in "
+                 f"[0, 1), got {self.mshr_demand_reserve}")
+        _require(self.ports >= 1,
+                 f"level {self.name!r}: ports must be at least 1")
+        for label in ("read_energy_nj", "write_energy_nj", "area_mm2"):
+            value = getattr(self, label)
+            _require(value is None or value >= 0.0,
+                     f"level {self.name!r}: {label} must be "
+                     f"non-negative, got {value}")
+
+    @property
+    def hit_latency(self) -> int:
+        """Cycles to return data on a hit."""
+        if self.sequential_tag_data:
+            return self.tag_latency + self.data_latency
+        return max(self.tag_latency, self.data_latency)
+
+    def cache_config(self, level: Level) -> CacheConfig:
+        """The runtime :class:`CacheConfig` this spec describes."""
+        return CacheConfig(
+            level=level, size_bytes=self.size_bytes,
+            associativity=self.associativity, block_size=self.block_size,
+            tag_latency=self.tag_latency, data_latency=self.data_latency,
+            sequential_tag_data=self.sequential_tag_data,
+            mshr_entries=self.mshr_entries,
+            mshr_demand_reserve=self.mshr_demand_reserve)
+
+    @staticmethod
+    def from_cache_config(name: str, config: CacheConfig,
+                          inclusive: bool = True) -> "LevelSpec":
+        return LevelSpec(
+            name=name, size_bytes=config.size_bytes,
+            associativity=config.associativity,
+            block_size=config.block_size, tag_latency=config.tag_latency,
+            data_latency=config.data_latency,
+            sequential_tag_data=config.sequential_tag_data,
+            mshr_entries=config.mshr_entries,
+            mshr_demand_reserve=config.mshr_demand_reserve,
+            inclusive=inclusive)
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    """The (possibly asymmetric) two-level TLB attached to each core.
+
+    The defaults reproduce the paper hierarchy's TLB: a 64-entry 4-way
+    L1 TLB (1 cycle) over a 1536-entry 4-way L2 TLB (4 cycles) with a
+    50-cycle page walk and 4 KiB pages.
+    """
+
+    l1_entries: int = 64
+    l1_associativity: int = 4
+    l1_latency: int = 1
+    l2_entries: int = 1536
+    l2_associativity: int = 4
+    l2_latency: int = 4
+    page_size: int = 4096
+    page_walk_latency: int = 50
+
+    def __post_init__(self) -> None:
+        for prefix in ("l1", "l2"):
+            entries = getattr(self, f"{prefix}_entries")
+            ways = getattr(self, f"{prefix}_associativity")
+            _require(entries > 0,
+                     f"TLB {prefix}: entries must be positive, "
+                     f"got {entries}")
+            _require(ways > 0 and entries % ways == 0,
+                     f"TLB {prefix}: entries ({entries}) must be a "
+                     f"positive multiple of associativity ({ways})")
+            _require(getattr(self, f"{prefix}_latency") >= 0,
+                     f"TLB {prefix}: latency must be non-negative")
+        _require(self.page_size > 0
+                 and (self.page_size & (self.page_size - 1)) == 0,
+                 f"TLB: page_size must be a power of two, "
+                 f"got {self.page_size}")
+        _require(self.page_walk_latency >= 0,
+                 "TLB: page_walk_latency must be non-negative")
+
+    def build(self):
+        """Construct the runtime :class:`~repro.memory.tlb.TLBHierarchy`."""
+        from .tlb import TLBConfig, TLBHierarchy
+
+        return TLBHierarchy(
+            l1_config=TLBConfig(entries=self.l1_entries,
+                                associativity=self.l1_associativity,
+                                page_size=self.page_size,
+                                access_latency=self.l1_latency),
+            l2_config=TLBConfig(entries=self.l2_entries,
+                                associativity=self.l2_associativity,
+                                page_size=self.page_size,
+                                access_latency=self.l2_latency),
+            page_walk_latency=self.page_walk_latency)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """The DRAM backend, mirroring :class:`~repro.memory.dram.DRAMConfig`."""
+
+    core_frequency_ghz: float = 4.0
+    dram_frequency_mhz: float = 1200.0
+    cas_latency: int = 17
+    trcd: int = 17
+    trp: int = 17
+    tras: int = 39
+    burst_cycles: int = 4
+    num_banks: int = 16
+    num_ranks: int = 1
+    row_size_bytes: int = 8192
+    channel_capacity_gb: int = 16
+    controller_latency_core_cycles: int = 15
+    refresh_penalty_core_cycles: float = 1.0
+    max_queue_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require(self.core_frequency_ghz > 0
+                 and self.dram_frequency_mhz > 0,
+                 "memory: clock frequencies must be positive")
+        _require(self.num_banks > 0 and self.num_ranks > 0,
+                 "memory: bank/rank counts must be positive")
+        _require(self.row_size_bytes > 0,
+                 "memory: row_size_bytes must be positive")
+
+    def dram_config(self) -> DRAMConfig:
+        return DRAMConfig(**{f.name: getattr(self, f.name)
+                             for f in fields(self)})
+
+    @staticmethod
+    def from_dram_config(config: DRAMConfig) -> "MemorySpec":
+        return MemorySpec(**{f.name: getattr(config, f.name)
+                             for f in fields(MemorySpec)})
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Hop latencies, mirroring :class:`InterconnectConfig`.
+
+    ``l1_to_l2`` is charged on every hop between private levels (L1 to
+    the first intermediate, and between intermediates in chains deeper
+    than three levels); ``l2_to_llc`` on the hop into the shared LLC.
+    """
+
+    l1_to_l2: int = 2
+    l2_to_llc: int = 4
+    llc_to_memory: int = 6
+    recovery_transaction: int = 8
+    contention_per_extra_core: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("l1_to_l2", "l2_to_llc", "llc_to_memory",
+                     "recovery_transaction"):
+            _require(getattr(self, name) >= 0,
+                     f"interconnect: {name} must be non-negative")
+        _require(self.contention_per_extra_core >= 0.0,
+                 "interconnect: contention_per_extra_core must be "
+                 "non-negative")
+
+    def interconnect_config(self) -> InterconnectConfig:
+        return InterconnectConfig(**{f.name: getattr(self, f.name)
+                                     for f in fields(self)})
+
+    @staticmethod
+    def from_interconnect_config(config: InterconnectConfig
+                                 ) -> "InterconnectSpec":
+        return InterconnectSpec(**{f.name: getattr(config, f.name)
+                                   for f in fields(InterconnectSpec)})
+
+
+def _paper_levels(llc_size_bytes: int) -> Tuple[LevelSpec, ...]:
+    return (
+        LevelSpec(name="L1", size_bytes=32 * 1024, associativity=4,
+                  tag_latency=4, data_latency=0, sequential_tag_data=False,
+                  mshr_entries=16, mshr_demand_reserve=0.25),
+        LevelSpec(name="L2", size_bytes=256 * 1024, associativity=8,
+                  tag_latency=12, data_latency=0, sequential_tag_data=False,
+                  mshr_entries=32, mshr_demand_reserve=0.25),
+        LevelSpec(name="L3", size_bytes=llc_size_bytes, associativity=16,
+                  tag_latency=20, data_latency=35, sequential_tag_data=True,
+                  mshr_entries=64, mshr_demand_reserve=0.25,
+                  inclusive=False),
+    )
+
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A declarative memory hierarchy: an ordered cache chain + backend.
+
+    ``levels[0]`` is the private L1, ``levels[-1]`` the shared LLC (with
+    the collocated directory); levels in between are private
+    intermediates.  Validated at construction and exactly
+    JSON-round-trippable (:meth:`to_json` / :meth:`from_json`).
+    """
+
+    levels: Tuple[LevelSpec, ...]
+    tlb: TLBSpec = field(default_factory=TLBSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    interconnect: InterconnectSpec = field(
+        default_factory=InterconnectSpec)
+    memory_speculative_launch: bool = True
+    parallel_port_penalty: float = 2.0
+    prefetch_inflight_window: int = 32
+    ideal_miss_latency: bool = False
+
+    def __post_init__(self) -> None:
+        levels = tuple(self.levels)
+        object.__setattr__(self, "levels", levels)
+        _require(len(levels) >= 2,
+                 f"a hierarchy needs at least 2 cache levels (an L1 and "
+                 f"an LLC), got {len(levels)}")
+        names = [level.name for level in levels]
+        seen = set()
+        for name in names:
+            _require(name not in seen,
+                     f"duplicate level name {name!r} in hierarchy "
+                     f"(levels: {', '.join(names)})")
+            seen.add(name)
+        block_sizes = {level.block_size for level in levels}
+        _require(len(block_sizes) == 1,
+                 f"all levels must share one block size, got "
+                 f"{sorted(block_sizes)}")
+        for closer, deeper in zip(levels, levels[1:]):
+            _require(deeper.size_bytes >= closer.size_bytes,
+                     f"capacity must not shrink down the chain: "
+                     f"{deeper.name!r} ({deeper.size_bytes} B) is "
+                     f"smaller than {closer.name!r} "
+                     f"({closer.size_bytes} B)")
+            _require(deeper.hit_latency >= closer.hit_latency,
+                     f"hit latency must not shrink down the chain: "
+                     f"{deeper.name!r} ({deeper.hit_latency} cy) is "
+                     f"faster than {closer.name!r} "
+                     f"({closer.hit_latency} cy)")
+        for level in levels[:-1]:
+            _require(level.inclusive,
+                     f"intermediate level {level.name!r} must be "
+                     f"inclusive of the levels above it; only the LLC "
+                     f"({levels[-1].name!r}) may be non-inclusive")
+        _require(self.parallel_port_penalty >= 0.0,
+                 "parallel_port_penalty must be non-negative")
+        _require(self.prefetch_inflight_window > 0,
+                 "prefetch_inflight_window must be positive")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of cache levels in the chain (excluding memory)."""
+        return len(self.levels)
+
+    @property
+    def l1(self) -> LevelSpec:
+        return self.levels[0]
+
+    @property
+    def llc(self) -> LevelSpec:
+        return self.levels[-1]
+
+    @property
+    def intermediates(self) -> Tuple[LevelSpec, ...]:
+        """The private levels between L1 and the LLC (possibly empty)."""
+        return self.levels[1:-1]
+
+    # ------------------------------------------------------------------
+    # Paper topologies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper_single_core() -> "HierarchySpec":
+        """The single-core Table I topology (2 MB LLC) as a spec."""
+        return HierarchySpec(levels=_paper_levels(2 * 1024 * 1024))
+
+    @staticmethod
+    def paper_multi_core() -> "HierarchySpec":
+        """The quad-core Table I topology (8 MB shared LLC) as a spec."""
+        return HierarchySpec(levels=_paper_levels(8 * 1024 * 1024))
+
+    # ------------------------------------------------------------------
+    # Legacy interop
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_legacy(config) -> "HierarchySpec":
+        """Lift a legacy 3-level :class:`HierarchyConfig` into a spec."""
+        return HierarchySpec(
+            levels=(
+                LevelSpec.from_cache_config("L1", config.l1),
+                LevelSpec.from_cache_config("L2", config.l2),
+                LevelSpec.from_cache_config("L3", config.l3,
+                                            inclusive=False),
+            ),
+            memory=MemorySpec.from_dram_config(config.dram),
+            interconnect=InterconnectSpec.from_interconnect_config(
+                config.interconnect),
+            memory_speculative_launch=config.memory_speculative_launch,
+            parallel_port_penalty=config.parallel_port_penalty,
+            prefetch_inflight_window=config.prefetch_inflight_window,
+            ideal_miss_latency=config.ideal_miss_latency)
+
+    def to_legacy(self):
+        """Lower a 3-level spec to a legacy :class:`HierarchyConfig`.
+
+        Only exact 3-level chains lower; extras the legacy config cannot
+        express (custom TLBs, per-level energies...) are dropped — use
+        :meth:`is_legacy_exact` to know whether the lowering is lossless.
+        """
+        from .hierarchy import HierarchyConfig
+
+        _require(self.depth == 3,
+                 f"only 3-level hierarchies lower to the legacy config, "
+                 f"this one has {self.depth} levels")
+        return HierarchyConfig(
+            l1=self.levels[0].cache_config(Level.L1),
+            l2=self.levels[1].cache_config(Level.L2),
+            l3=self.levels[2].cache_config(Level.L3),
+            dram=self.memory.dram_config(),
+            interconnect=self.interconnect.interconnect_config(),
+            memory_speculative_launch=self.memory_speculative_launch,
+            parallel_port_penalty=self.parallel_port_penalty,
+            prefetch_inflight_window=self.prefetch_inflight_window,
+            ideal_miss_latency=self.ideal_miss_latency)
+
+    def is_legacy_exact(self) -> bool:
+        """True when this spec is a faithful image of a legacy config.
+
+        Holds exactly when lowering to :class:`HierarchyConfig` and
+        lifting back reproduces this spec — 3 levels with the default
+        names and inclusivity pattern, the default TLB, and no
+        energy/area/port extras.
+        """
+        if self.depth != 3:
+            return False
+        if tuple(level.name for level in self.levels) != _LEGACY_NAMES:
+            return False
+        return HierarchySpec.from_legacy(self.to_legacy()) == self
+
+    def __canonical__(self, canonicalize):
+        """Store-canonicalisation hook (see ``repro.sim.store``).
+
+        Legacy-exact specs canonicalise as the :class:`HierarchyConfig`
+        they describe, so the SHA-256 job key of a paper system is
+        bit-identical whether its hierarchy travels as legacy config or
+        as spec — the golden store never moves.  Anything the legacy
+        config cannot express falls through to the generic dataclass
+        canonical form.
+        """
+        if self.is_legacy_exact():
+            return canonicalize(self.to_legacy())
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON serialization (a fixed point of the round trip)."""
+        payload: Dict[str, Any] = {
+            "schema": HIERARCHY_SCHEMA,
+            "levels": [
+                {f.name: getattr(level, f.name)
+                 for f in fields(LevelSpec)}
+                for level in self.levels
+            ],
+            "tlb": {f.name: getattr(self.tlb, f.name)
+                    for f in fields(TLBSpec)},
+            "memory": {f.name: getattr(self.memory, f.name)
+                       for f in fields(MemorySpec)},
+            "interconnect": {f.name: getattr(self.interconnect, f.name)
+                             for f in fields(InterconnectSpec)},
+            "memory_speculative_launch": self.memory_speculative_launch,
+            "parallel_port_penalty": self.parallel_port_penalty,
+            "prefetch_inflight_window": self.prefetch_inflight_window,
+            "ideal_miss_latency": self.ideal_miss_latency,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @staticmethod
+    def from_json(text: str) -> "HierarchySpec":
+        """Parse (and validate) a spec serialized by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"hierarchy spec is not valid JSON: {exc}") \
+                from None
+        if not isinstance(payload, dict):
+            raise ValueError("hierarchy spec must be a JSON object")
+        schema = payload.get("schema")
+        if schema != HIERARCHY_SCHEMA:
+            raise ValueError(
+                f"unsupported hierarchy spec schema {schema!r} "
+                f"(expected {HIERARCHY_SCHEMA!r})")
+        known = {"schema", "levels", "tlb", "memory", "interconnect",
+                 "memory_speculative_launch", "parallel_port_penalty",
+                 "prefetch_inflight_window", "ideal_miss_latency"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown hierarchy spec field(s): "
+                             f"{', '.join(sorted(unknown))}")
+        raw_levels = payload.get("levels")
+        if not isinstance(raw_levels, list) or not raw_levels:
+            raise ValueError("hierarchy spec needs a non-empty "
+                             "'levels' list")
+        return HierarchySpec(
+            levels=tuple(_parse_section(LevelSpec, entry,
+                                        f"levels[{index}]")
+                         for index, entry in enumerate(raw_levels)),
+            tlb=_parse_section(TLBSpec, payload.get("tlb", {}), "tlb"),
+            memory=_parse_section(MemorySpec, payload.get("memory", {}),
+                                  "memory"),
+            interconnect=_parse_section(
+                InterconnectSpec, payload.get("interconnect", {}),
+                "interconnect"),
+            memory_speculative_launch=bool(
+                payload.get("memory_speculative_launch", True)),
+            parallel_port_penalty=float(
+                payload.get("parallel_port_penalty", 2.0)),
+            prefetch_inflight_window=int(
+                payload.get("prefetch_inflight_window", 32)),
+            ideal_miss_latency=bool(
+                payload.get("ideal_miss_latency", False)))
+
+    def describe(self) -> str:
+        """A one-line human summary (used by CLI/reporting)."""
+        chain = " -> ".join(
+            f"{level.name}:{level.size_bytes // 1024}KB"
+            for level in self.levels)
+        return f"{self.depth}-level [{chain}] + DRAM"
+
+
+def _parse_section(spec_type, data: Any, where: str):
+    """Build one nested spec dataclass from its JSON object."""
+    if not isinstance(data, dict):
+        raise ValueError(f"hierarchy spec: {where} must be an object, "
+                         f"got {data!r}")
+    known = {f.name for f in fields(spec_type)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"hierarchy spec: unknown field(s) in {where}: "
+                         f"{', '.join(sorted(unknown))}")
+    try:
+        return spec_type(**data)
+    except TypeError as exc:
+        raise ValueError(f"hierarchy spec: malformed {where}: {exc}") \
+            from None
+
+
+def load_hierarchy(path: Union[str, Path]) -> HierarchySpec:
+    """Load (and validate) a hierarchy spec from a JSON file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read hierarchy spec {path}: {exc}") \
+            from None
+    try:
+        return HierarchySpec.from_json(text)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def derive_llc(spec: HierarchySpec, **overrides) -> HierarchySpec:
+    """A copy of ``spec`` with its LLC level replaced field-by-field.
+
+    ``dataclasses.replace``-style derivation: every unnamed field is
+    carried over from the existing LLC spec, so adding a field to
+    :class:`LevelSpec` can never silently drop it from derived variants.
+    """
+    llc = replace(spec.levels[-1], **overrides)
+    return replace(spec, levels=spec.levels[:-1] + (llc,))

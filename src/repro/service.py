@@ -393,7 +393,8 @@ class SimulationService:
                  kernel: Optional[str] = None,
                  shards: Optional[int] = None,
                  sharding: Optional[str] = None,
-                 pool: Optional[str] = None) -> None:
+                 pool: Optional[str] = None,
+                 hierarchy: Optional[str] = None) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
@@ -402,12 +403,20 @@ class SimulationService:
         # REPRO_SHARDS / REPRO_SHARDING / REPRO_POOL are parsed.
         options = EngineOptions.from_env(kernel=kernel, jobs=jobs,
                                          shards=shards, sharding=sharding,
-                                         pool=pool)
+                                         pool=pool, hierarchy=hierarchy)
         self.num_workers = options.jobs
         self.kernel = options.kernel
         self.shards = options.shards
         self.sharding = options.sharding
         self.pool_kind = options.pool
+        # Load the hierarchy spec once at startup: a bad file must refuse
+        # the daemon, not poison every submitted experiment later.
+        self.hierarchy_spec = None
+        self.hierarchy_name: Optional[str] = None
+        if options.hierarchy:
+            from .memory.spec import load_hierarchy
+            self.hierarchy_spec = load_hierarchy(options.hierarchy)
+            self.hierarchy_name = Path(options.hierarchy).stem
         # Forward the kernel to execute_job only when explicitly chosen:
         # workers are threads of this process, so execute_job's own
         # REPRO_KERNEL fallback resolves identically, and tests that
@@ -565,6 +574,10 @@ class SimulationService:
                 raise ServiceError("empty job list")
             job_list = [job_from_wire(spec) for spec in jobs]
             name, explicit = "adhoc", True
+        if self.hierarchy_spec is not None:
+            from .sim.engine import apply_hierarchy
+            job_list = apply_hierarchy(job_list, self.hierarchy_spec,
+                                       self.hierarchy_name)
         self._admit(len(job_list))
         self._refuse_if_degraded(job_list, force)
         with self._lock:
@@ -1503,7 +1516,8 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                kernel: Optional[str] = None,
                shards: Optional[int] = None,
                sharding: Optional[str] = None,
-               pool: Optional[str] = None) -> int:
+               pool: Optional[str] = None,
+               hierarchy: Optional[str] = None) -> int:
     """Entry point behind ``python -m repro serve``.
 
     Binds, announces the address on stdout (and in ``ready_file`` when
@@ -1526,13 +1540,17 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                                 job_timeout=job_timeout,
                                 max_queue=max_queue, kernel=kernel,
                                 shards=shards, sharding=sharding,
-                                pool=pool)
+                                pool=pool, hierarchy=hierarchy)
     server, address = create_server(service, port=port,
                                     socket_path=socket_path)
     print(f"repro.service: listening on {address} "
           f"(store {service.store.root}, {service.num_workers} "
           f"{service.pool_kind} worker"
           f"{'s' if service.num_workers != 1 else ''})", flush=True)
+    if service.hierarchy_spec is not None:
+        print(f"repro.service: hierarchy override "
+              f"{service.hierarchy_name!r} "
+              f"({service.hierarchy_spec.depth}-level)", flush=True)
     if ready_file is not None:
         ready = Path(ready_file)
         ready.parent.mkdir(parents=True, exist_ok=True)

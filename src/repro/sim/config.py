@@ -13,8 +13,6 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List
 
 from ..cpu.ooo_core import CoreConfig
-from ..memory.cache import CacheConfig
-from ..memory.block import Level
 from ..memory.hierarchy import HierarchyConfig
 
 #: Names of the systems compared in Figures 10-12 (plus the baseline).
@@ -85,14 +83,13 @@ class SystemConfig:
         base = SystemConfig.paper_single_core(predictor)
 
         def with_llc(tag: int, data: int, sequential: bool) -> HierarchyConfig:
+            # Spec-style derivation: every field not named here carries
+            # over from the paper LLC, so a new CacheConfig field can
+            # never be silently dropped from the Figure 15 variants.
             hierarchy = HierarchyConfig.paper_single_core()
-            hierarchy.l3 = CacheConfig(
-                level=Level.L3, size_bytes=hierarchy.l3.size_bytes,
-                associativity=hierarchy.l3.associativity,
-                tag_latency=tag, data_latency=data,
-                sequential_tag_data=sequential,
-                mshr_entries=hierarchy.l3.mshr_entries,
-                mshr_demand_reserve=hierarchy.l3.mshr_demand_reserve)
+            hierarchy.l3 = replace(hierarchy.l3, tag_latency=tag,
+                                   data_latency=data,
+                                   sequential_tag_data=sequential)
             return hierarchy
 
         # The "parallel" LLC of the paper delivers hit data after 40 cycles
@@ -118,29 +115,89 @@ class SystemConfig:
         return variants
 
 
-def table1_description() -> Dict[str, str]:
-    """A textual rendering of Table I used by the configuration benchmark."""
-    config = SystemConfig.paper_single_core()
-    h = config.hierarchy
-    return {
+#: Prefetcher class names -> the Table I wording.
+_PREFETCHER_WORDING = {
+    "TaggedNextLinePrefetcher": "tagged next-line",
+    "DCPTPrefetcher": "DCPT",
+}
+
+
+def _prefetcher_phrase(prefetcher) -> str:
+    """Describe an instantiated prefetcher (unwrapping throttling)."""
+    inner = getattr(prefetcher, "inner", prefetcher)
+    kind = type(inner).__name__
+    if kind == "NullPrefetcher":
+        return "no prefetcher"
+    wording = _PREFETCHER_WORDING.get(kind, kind)
+    return f"{wording} prefetcher degree {inner.degree}"
+
+
+def _size_phrase(size_bytes: int) -> str:
+    if size_bytes >= 1024 * 1024 and size_bytes % (1024 * 1024) == 0:
+        return f"{size_bytes // (1024 * 1024)} MB"
+    return f"{size_bytes // 1024} KB"
+
+
+def table1_description(config: "SystemConfig" = None) -> Dict[str, str]:
+    """A textual rendering of Table I used by the configuration benchmark.
+
+    Every line is derived from the configuration itself — the cache rows
+    from the (N-level) hierarchy spec, the coherency row from the levels'
+    inclusivity, the memory row from the DRAM geometry and the prefetcher
+    phrases from the prefetchers the simulator would actually build — so
+    the table stays truthful for any declarative hierarchy, not just the
+    paper's three-level one.
+    """
+    from ..memory.spec import HierarchySpec
+    from .system import _make_private_prefetchers, make_llc_prefetcher
+
+    config = config or SystemConfig.paper_single_core()
+    hierarchy = config.hierarchy
+    spec = hierarchy if isinstance(hierarchy, HierarchySpec) \
+        else HierarchySpec.from_legacy(hierarchy)
+    l1_pf, mid_pf = _make_private_prefetchers(config)
+    llc_pf = make_llc_prefetcher(config)
+
+    table = {
         "Processor": (f"{config.num_cores}-core, "
                       f"{config.core.frequency_ghz:.1f} GHz, ROB "
                       f"{config.core.rob_entries}, LQ "
                       f"{config.core.load_queue_entries}, SQ "
                       f"{config.core.store_queue_entries}, fetch width "
                       f"{config.core.fetch_width}"),
-        "L1 Cache": (f"{h.l1.size_bytes // 1024} KB, {h.l1.associativity}-way, "
-                     f"{h.l1.block_size} B lines, {h.l1.tag_latency} cycles, "
-                     "tagged next-line prefetcher degree 1"),
-        "L2 Cache": (f"{h.l2.size_bytes // 1024} KB, {h.l2.associativity}-way, "
-                     f"{h.l2.tag_latency} cycles, tagged next-line prefetcher "
-                     "degree 2"),
-        "L3 Cache": (f"{h.l3.size_bytes // (1024 * 1024)} MB, "
-                     f"{h.l3.associativity}-way, sequential "
-                     f"({h.l3.tag_latency}+{h.l3.data_latency}), DCPT "
-                     "prefetcher degree 2"),
-        "Coherency": "MOESI directory; L1/L2 inclusive, L3 non-inclusive",
-        "Main Memory": "16 GB DDR4-2400 x64, single channel",
-        "Level Predictor": (f"LocMap + PLD, {config.metadata_cache_bytes} B "
-                            "metadata cache, 1-cycle prediction latency"),
     }
+    last = len(spec.levels) - 1
+    for index, level in enumerate(spec.levels):
+        parts = [_size_phrase(level.size_bytes),
+                 f"{level.associativity}-way"]
+        if index == 0:
+            parts.append(f"{level.block_size} B lines")
+        if level.sequential_tag_data:
+            parts.append(f"sequential "
+                         f"({level.tag_latency}+{level.data_latency})")
+        else:
+            parts.append(f"{level.hit_latency} cycles")
+        if index == 0:
+            parts.append(_prefetcher_phrase(l1_pf))
+        elif index == last:
+            parts.append(_prefetcher_phrase(llc_pf))
+        else:
+            parts.append(_prefetcher_phrase(mid_pf))
+        table[f"{level.name} Cache"] = ", ".join(parts)
+
+    inclusive = [lvl.name for lvl in spec.levels if lvl.inclusive]
+    non_inclusive = [lvl.name for lvl in spec.levels if not lvl.inclusive]
+    coherency = f"MOESI directory; {'/'.join(inclusive)} inclusive"
+    if non_inclusive:
+        coherency += f", {'/'.join(non_inclusive)} non-inclusive"
+    table["Coherency"] = coherency
+
+    memory = spec.memory
+    data_rate = round(memory.dram_frequency_mhz * 2)
+    table["Main Memory"] = (
+        f"{memory.channel_capacity_gb} GB DDR4-{data_rate} x64, "
+        f"{'single channel' if memory.num_ranks == 1 else f'{memory.num_ranks} ranks'}")
+    table["Level Predictor"] = (
+        f"LocMap + PLD, {config.metadata_cache_bytes} B "
+        "metadata cache, 1-cycle prediction latency")
+    return table

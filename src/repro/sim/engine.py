@@ -295,6 +295,31 @@ class MixJob:
 Job = Union[SimulationJob, MixJob]
 
 
+def apply_hierarchy(jobs: Sequence[Job], spec, name: str) -> List[Job]:
+    """Rewrite every job's system config to run on ``spec``.
+
+    ``spec`` is a :class:`~repro.memory.spec.HierarchySpec`; ``name``
+    becomes the rewritten configs' system name (the CLI passes the spec
+    file's stem) so stored results and reports say which hierarchy they
+    ran on.  Jobs that carried no explicit config get the paper default
+    for their kind first, mirroring :func:`execute_job`'s own fallback —
+    the substitution must not change anything *except* the hierarchy.
+    """
+    import dataclasses
+
+    rewritten: List[Job] = []
+    for job in jobs:
+        if job.config is not None:
+            base = job.config
+        elif isinstance(job, MixJob):
+            base = SystemConfig.paper_multi_core()
+        else:
+            base = SystemConfig.paper_single_core()
+        config = dataclasses.replace(base, name=name, hierarchy=spec)
+        rewritten.append(dataclasses.replace(job, config=config))
+    return rewritten
+
+
 def expand_grid(workloads: Sequence[WorkloadSpec],
                 predictors: Sequence[str],
                 num_accesses: int,

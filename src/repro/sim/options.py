@@ -29,6 +29,9 @@ attribute     environment          meaning
 ``trace_dir`` ``REPRO_TRACE_DIR`` trace-cache spill dir (``""`` disables;
                                   ``None`` = derive from the store)
 ``faults``    ``REPRO_FAULTS``    fault-injection schedule spec
+``hierarchy`` ``REPRO_HIERARCHY`` path to a declarative hierarchy spec
+                                  (JSON, see :mod:`repro.memory.spec`);
+                                  ``None`` = the experiment's own configs
 ============  ==================  ==========================================
 
 ``trace_dir`` and ``faults`` still *propagate* to worker processes through
@@ -59,6 +62,10 @@ REPRO_SHARDING_ENV = "REPRO_SHARDING"
 
 #: Environment variable selecting the daemon worker-pool kind.
 REPRO_POOL_ENV = "REPRO_POOL"
+
+#: Environment variable naming a declarative hierarchy spec file applied
+#: to every job (``run --hierarchy`` / ``serve --hierarchy``).
+REPRO_HIERARCHY_ENV = "REPRO_HIERARCHY"
 
 #: Sharding modes: ``exact`` keeps stored bytes bit-identical by
 #: construction (sequential hand-off through one system); ``approx`` runs
@@ -162,6 +169,7 @@ class EngineOptions:
     store: Optional[str] = None
     trace_dir: Optional[str] = None
     faults: Optional[str] = None
+    hierarchy: Optional[str] = None
 
     @classmethod
     def from_env(cls, kernel: Union[None, str, Kernel] = None,
@@ -171,7 +179,8 @@ class EngineOptions:
                  pool: Optional[str] = None,
                  store: Optional[str] = None,
                  trace_dir: Optional[str] = None,
-                 faults: Optional[str] = None) -> "EngineOptions":
+                 faults: Optional[str] = None,
+                 hierarchy: Optional[str] = None) -> "EngineOptions":
         """Build options: explicit arguments win, then environment, then
         defaults.
 
@@ -193,12 +202,20 @@ class EngineOptions:
             trace_dir = str(trace_dir)
         if faults is None:
             faults = os.environ.get(REPRO_FAULTS_ENV, "").strip() or None
+        if hierarchy is None:
+            hierarchy = os.environ.get(REPRO_HIERARCHY_ENV, "").strip() \
+                or None
+        elif not str(hierarchy).strip():
+            hierarchy = None
+        else:
+            hierarchy = str(hierarchy)
         return cls(kernel=_resolve_kernel_name(kernel),
                    jobs=max(1, _resolve_jobs(jobs)),
                    shards=_resolve_shards(shards),
                    sharding=_resolve_sharding(sharding),
                    pool=_resolve_pool(pool),
-                   store=store, trace_dir=trace_dir, faults=faults)
+                   store=store, trace_dir=trace_dir, faults=faults,
+                   hierarchy=hierarchy)
 
     def with_overrides(self, kernel: Union[None, str, Kernel] = None,
                        jobs: Optional[int] = None,

@@ -130,6 +130,16 @@ def _canonical(value: Any) -> Any:
             "state": {name: _canonical(attr)
                       for name, attr in sorted(vars(value).items())},
         }
+    canonical_hook = getattr(value, "__canonical__", None)
+    if canonical_hook is not None:
+        # Objects may supply their own canonical form — e.g. a
+        # HierarchySpec that is an exact image of the legacy config
+        # canonicalises *as* that config, keeping job keys stable across
+        # the representation change.  Returning NotImplemented falls
+        # through to the generic rules below.
+        result = canonical_hook(_canonical)
+        if result is not NotImplemented:
+            return result
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             "__dataclass__": type(value).__name__,

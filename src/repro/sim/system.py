@@ -231,7 +231,8 @@ class SimulatedSystem:
         )
 
 
-def _with_ideal_latency(hierarchy: HierarchyConfig) -> HierarchyConfig:
+def _with_ideal_latency(hierarchy):
+    """Flip ideal_miss_latency on a HierarchyConfig or HierarchySpec."""
     from dataclasses import replace
     return replace(hierarchy, ideal_miss_latency=True)
 
