@@ -1,0 +1,352 @@
+"""Fleet serving under load: 1 daemon vs. an N-member fleet.
+
+This benchmark drives hundreds of concurrent clients against the
+simulation daemon (:mod:`repro.service`) and records what the serving
+tier actually delivers into ``BENCH_service.json`` at the repository
+root.  Two topologies are measured on fresh stores:
+
+* ``fleet1`` — a single daemon (the PR 5 shape);
+* ``fleetN`` — ``REPRO_BENCH_FLEET`` daemons (default 3) launched with
+  ``python -m repro fleet``, sharing one sharded store and
+  coordinating through per-job-key claim records.
+
+Each topology runs two phases:
+
+* **cold** — every figure experiment is submitted concurrently through
+  a :class:`repro.service.FleetClient`.  The load-bearing number here
+  is the *duplicate-simulation count*: the sum of the members'
+  ``simulations`` counters minus the distinct entries that landed in
+  the store.  The claim protocol's contract is that this is **zero**
+  even with multiple daemons racing on overlapping grids (fig10/11/12
+  share all 126 jobs), and the benchmark asserts it.
+* **warm** — ``REPRO_BENCH_CLIENTS`` client threads (default 200) each
+  issue ``REPRO_BENCH_REQUESTS`` requests (default 3) for experiments
+  drawn from a zipf-distributed figure mix (s = 1.1, deterministic
+  seed), the request shape a shared serving tier actually sees.  Every
+  job must now come from the store or the in-memory inflight table —
+  the benchmark asserts the warm phase performs zero simulations — and
+  the recorded p50/p99 latency and request throughput are the serving
+  numbers the fleet exists to scale.
+
+Request volume is scaled with ``REPRO_BENCH_CLIENTS`` /
+``REPRO_BENCH_REQUESTS`` / ``REPRO_BENCH_FLEET`` so CI can smoke the
+harness cheaply while a real host runs the full load.  Simulation
+sizes are tiny (``SERVICE_SCALE``): the benchmark measures the serving
+tier, whose per-request cost is store reads and wire traffic, not the
+simulations behind the warm entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.service import FleetClient
+
+from conftest import save_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+SRC_DIR = REPO_ROOT / "src"
+
+#: Concurrent client threads in the warm phase.
+CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "200"))
+#: Requests each client issues.
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_BENCH_REQUESTS", "3"))
+#: Members in the N-daemon topology.
+FLEET_MEMBERS = max(2, int(os.environ.get("REPRO_BENCH_FLEET", "3")))
+#: Worker threads per daemon (thread pool keeps the members cheap).
+MEMBER_JOBS = int(os.environ.get("REPRO_BENCH_MEMBER_JOBS", "2"))
+
+#: Tiny per-job simulation sizes: the serving tier is the thing under
+#: test, and its warm-path cost does not grow with simulated accesses.
+SERVICE_SCALE = {"accesses": 120, "warmup": 40, "mix_accesses": 80}
+
+#: The figure mix, most-popular first; zipf weights follow this order.
+FIGURE_MIX = ("fig10", "fig11", "fig12", "golden", "fig07", "fig08",
+              "fig09", "fig05", "fig13", "fig14", "fig15")
+
+#: Zipf exponent for the warm-phase experiment mix.
+ZIPF_S = 1.1
+
+
+class Fleet:
+    """A ``python -m repro fleet`` launcher process plus its addresses."""
+
+    def __init__(self, members: int, store_dir: str) -> None:
+        ready = Path(store_dir) / "fleet-ready.txt"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(SRC_DIR)] + ([env["PYTHONPATH"]]
+                              if env.get("PYTHONPATH") else []))
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet",
+             "--members", str(members),
+             "--store", str(Path(store_dir) / "store"),
+             "--pool", "thread", "--jobs", str(MEMBER_JOBS),
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 60.0
+        while not ready.is_file():
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"fleet launcher exited with {self.process.returncode} "
+                    f"during startup")
+            if time.monotonic() >= deadline:
+                self.process.terminate()
+                raise RuntimeError("fleet startup timed out")
+            time.sleep(0.05)
+        self.address = ready.read_text(encoding="utf-8").strip()
+        self.store_dir = Path(store_dir) / "store"
+
+    def client(self) -> FleetClient:
+        return FleetClient(self.address)
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _store_entry_count(store_dir: Path) -> int:
+    from repro.sim.store import ResultStore
+
+    return len(ResultStore(store_dir))
+
+
+def _store_line_count(store_dir: Path) -> int:
+    from repro.sim.store import ResultStore
+
+    return ResultStore(store_dir).total_lines()
+
+
+def _fleet_counters(client: FleetClient) -> dict:
+    payload = client.stats()
+    assert payload["fleet"]["reachable"] == payload["fleet"]["size"]
+    return payload
+
+
+def _cold_phase(fleet: Fleet) -> dict:
+    """Submit every figure experiment concurrently; count duplicates."""
+    errors = []
+    seconds = {}
+
+    def _submit(name: str) -> None:
+        try:
+            client = fleet.client()
+            start = time.perf_counter()
+            payload = client.submit(experiment=name, scale=SERVICE_SCALE,
+                                    wait=True)
+            seconds[name] = time.perf_counter() - start
+            if payload.get("state") != "done":
+                errors.append((name, payload.get("error")))
+        except Exception as exc:  # noqa: BLE001 - recorded, then raised
+            errors.append((name, repr(exc)))
+
+    threads = [threading.Thread(target=_submit, args=(name,))
+               for name in FIGURE_MIX]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    assert not errors, errors
+
+    stats = _fleet_counters(fleet.client())
+    simulations = stats["counters"]["simulations"]
+    entries = _store_entry_count(fleet.store_dir)
+    duplicates = simulations - entries
+    return {
+        "seconds": wall,
+        "experiments": len(FIGURE_MIX),
+        "simulations": simulations,
+        "store_entries": entries,
+        "store_lines": _store_line_count(fleet.store_dir),
+        "duplicate_simulations": duplicates,
+        "claims_won": stats["counters"].get("claims_won", 0),
+        "claims_lost": stats["counters"].get("claims_lost", 0),
+        "claim_waits": stats["counters"].get("claim_waits", 0),
+        "per_experiment_seconds": dict(sorted(seconds.items())),
+    }
+
+
+def _warm_phase(fleet: Fleet) -> dict:
+    """Hundreds of clients, zipf figure mix; latency + throughput."""
+    weights = [1.0 / (rank + 1) ** ZIPF_S
+               for rank in range(len(FIGURE_MIX))]
+    before = _fleet_counters(fleet.client())["counters"]
+
+    latencies = []
+    latency_lock = threading.Lock()
+    errors = []
+
+    def _client(seed: int) -> None:
+        rng = random.Random(seed)
+        names = rng.choices(FIGURE_MIX, weights=weights,
+                            k=REQUESTS_PER_CLIENT)
+        name = names[0]
+        try:
+            client = fleet.client()
+            for name in names:
+                start = time.perf_counter()
+                payload = client.submit(experiment=name,
+                                        scale=SERVICE_SCALE, wait=True)
+                elapsed = time.perf_counter() - start
+                if payload.get("state") != "done":
+                    errors.append((seed, name, payload.get("error")))
+                    return
+                with latency_lock:
+                    latencies.append(elapsed)
+        except Exception as exc:  # noqa: BLE001 - recorded, then raised
+            errors.append((seed, name, repr(exc)))
+
+    threads = [threading.Thread(target=_client, args=(seed,))
+               for seed in range(CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    assert not errors, errors[:5]
+
+    after = _fleet_counters(fleet.client())["counters"]
+    jobs = after["jobs"] - before["jobs"]
+    hits = after["store_hits"] - before["store_hits"]
+    simulated = after["simulations"] - before["simulations"]
+    # Every job in the warm phase must be served without simulating: the
+    # cold phase persisted the full figure mix fleet-wide.
+    assert simulated == 0, (simulated, jobs)
+    requests = len(latencies)
+    return {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "requests": requests,
+        "seconds": wall,
+        "requests_per_second": requests / wall,
+        "latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "latency_p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "latency_mean_ms": statistics.fmean(latencies) * 1e3,
+        "jobs_served": jobs,
+        "warm_hit_rate": hits / jobs if jobs else 1.0,
+        "simulations": simulated,
+    }
+
+
+def _measure_topology(members: int) -> dict:
+    with tempfile.TemporaryDirectory() as scratch:
+        fleet = Fleet(members, scratch)
+        try:
+            cold = _cold_phase(fleet)
+            warm = _warm_phase(fleet)
+            stats = _fleet_counters(fleet.client())
+            per_member = [
+                {
+                    "address": member["address"],
+                    "jobs": member["counters"]["jobs"],
+                    "simulations": member["counters"]["simulations"],
+                    "store_hits": member["counters"]["store_hits"],
+                }
+                for member in stats["members"]
+            ]
+        finally:
+            fleet.stop()
+    return {
+        "members": members,
+        "cold": cold,
+        "warm": warm,
+        "per_member": per_member,
+    }
+
+
+def test_service_fleet():
+    single = _measure_topology(1)
+    fleet = _measure_topology(FLEET_MEMBERS)
+
+    # The acceptance contract: a cold paper grid served by a 2+ member
+    # fleet performs each simulation exactly once, fleet-wide.
+    assert fleet["cold"]["duplicate_simulations"] == 0, fleet["cold"]
+    assert single["cold"]["duplicate_simulations"] == 0, single["cold"]
+    # Both topologies saw the same distinct work.
+    assert fleet["cold"]["store_entries"] == single["cold"]["store_entries"]
+    # Warm phases are pure store/inflight traffic (asserted per-phase
+    # too); record the rates.
+    assert fleet["warm"]["simulations"] == 0
+    assert single["warm"]["simulations"] == 0
+
+    report = {
+        "schema": "repro-bench-service/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": {
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "fleet_members": FLEET_MEMBERS,
+            "member_jobs": MEMBER_JOBS,
+            "figure_mix": list(FIGURE_MIX),
+            "zipf_s": ZIPF_S,
+            "scale": dict(SERVICE_SCALE),
+        },
+        "fleet1": single,
+        "fleetN": fleet,
+        "speedups": {
+            "warm_throughput_fleet_vs_single":
+                fleet["warm"]["requests_per_second"]
+                / single["warm"]["requests_per_second"],
+            "cold_seconds_fleet_vs_single":
+                single["cold"]["seconds"] / fleet["cold"]["seconds"],
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        "Fleet serving under load "
+        f"({CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, zipf "
+        f"s={ZIPF_S})", "",
+    ]
+    for label, entry in (("1 daemon", single),
+                         (f"{FLEET_MEMBERS} daemons", fleet)):
+        cold, warm = entry["cold"], entry["warm"]
+        lines.append(
+            f"{label:12s}: cold {cold['seconds']:6.2f}s "
+            f"({cold['simulations']} sims, "
+            f"{cold['duplicate_simulations']} duplicated); warm "
+            f"{warm['requests_per_second']:7,.1f} req/s, "
+            f"p50 {warm['latency_p50_ms']:6.1f} ms, "
+            f"p99 {warm['latency_p99_ms']:6.1f} ms, "
+            f"hit rate {warm['warm_hit_rate']:.3f}")
+    lines.append("")
+    lines.append(
+        f"warm throughput fleet vs single: "
+        f"{report['speedups']['warm_throughput_fleet_vs_single']:.2f}x")
+    member_jobs = ", ".join(
+        f"{member['jobs']}" for member in fleet["per_member"])
+    lines.append(f"fleet per-member jobs: {member_jobs}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("service", text)

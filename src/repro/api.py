@@ -40,7 +40,7 @@ from .memory.spec import (
     TLBSpec,
     load_hierarchy,
 )
-from .service import ServiceClient
+from .service import FleetClient, ServiceClient
 from .sim.engine import MixJob, SimulationEngine, SimulationJob, \
     apply_hierarchy
 from .sim.kernels import DEFAULT_KERNEL, kernel_names, resolve_kernel
@@ -50,6 +50,7 @@ from .sim.store import ResultStore, open_store
 __all__ = [
     "DEFAULT_KERNEL",
     "EngineOptions",
+    "FleetClient",
     "HierarchySpec",
     "InterconnectSpec",
     "LevelSpec",
@@ -136,10 +137,16 @@ def run_figure(name: str,
                           hierarchy=hierarchy)
 
 
-def connect(address: Union[str, int]) -> ServiceClient:
+def connect(address: Union[str, int]) -> Union[ServiceClient, FleetClient]:
     """Connect to a running simulation daemon (see ``repro serve``).
 
     ``address`` is a TCP port, ``host:port``, or a unix socket path —
-    the same forms the CLI's ``--remote`` flag accepts.
+    the same forms the CLI's ``--remote`` flag accepts.  A
+    comma-separated list of those returns a :class:`FleetClient`
+    instead: requests route across the fleet members by job-key hash
+    and fail over on connection/timeout/overloaded errors.
     """
-    return ServiceClient(str(address))
+    text = str(address)
+    if "," in text:
+        return FleetClient(text)
+    return ServiceClient(text)

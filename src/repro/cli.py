@@ -40,17 +40,29 @@ Subcommands
     single-file ``store.jsonl`` into the sharded layout (also happens
     automatically on open).
 
-``serve [--port N | --socket PATH] [--jobs N]``
+``serve [--port N | --socket PATH] [--jobs N] [--fleet]``
     Run the persistent simulation daemon (see :mod:`repro.service`): a
     long-lived process owning the store, the trace cache and a worker
     pool, answering figure requests over a JSON socket protocol.  Warm
     requests are served with zero simulation; concurrent identical
     requests coalesce onto one running simulation per job key.
+    ``--fleet`` coordinates with other daemons sharing the same store
+    through per-job-key claim records, so a cold key is simulated
+    exactly once fleet-wide.
+
+``fleet --members N``
+    Launch N fleet daemons over one shared store (each on its own
+    ephemeral port), print the combined comma-separated address list
+    (and write it to ``--ready-file``), forward SIGTERM/SIGINT to the
+    members, and stop the whole fleet if any member dies unexpectedly.
 
 ``run/status/figures --remote ADDR``
     Point the experiment commands at a running daemon instead of
     simulating locally.  ``ADDR`` is ``PORT``, ``HOST:PORT`` or a unix
-    socket path (as printed by ``serve``).
+    socket path (as printed by ``serve``) — or a comma-separated list
+    of those, which routes through the fleet-aware
+    :class:`repro.service.FleetClient` (job-key-hash routing plus
+    failover on connection / timeout / overloaded errors).
 
 ``clean``
     Delete the store shards and the stats directory under the store root.
@@ -73,7 +85,7 @@ from contextlib import contextmanager
 
 from .experiments import EXPERIMENTS, Scale, canonical_json
 from .faults import REPRO_FAULTS_ENV, FaultSpecError, install as install_faults
-from .service import ServiceClient, ServiceError, main_serve
+from .service import FleetClient, ServiceClient, ServiceError, main_serve
 from .sim.engine import SimulationEngine
 from .sim.kernels import DEFAULT_KERNEL, kernel_names
 from .sim.options import POOL_KINDS, SHARDING_MODES, EngineOptions
@@ -285,9 +297,20 @@ def _report_outputs(report: RunReport, args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _remote_client(address: str):
+    """A client for ``--remote ADDR``.
+
+    A comma-separated address list gets the fleet-aware client (job-key
+    routing + failover); a single address keeps the plain one.
+    """
+    if "," in address:
+        return FleetClient(address)
+    return ServiceClient(address)
+
+
 def _remote_run(args: argparse.Namespace, names: List[str]) -> int:
     """Run experiments against a daemon (``run --remote ADDR``)."""
-    client = ServiceClient(args.remote)
+    client = _remote_client(args.remote)
     exit_code = 0
     for name in names:
         payload = client.submit(experiment=name, scale=_scale_wire(args),
@@ -311,7 +334,8 @@ def _remote_run(args: argparse.Namespace, names: List[str]) -> int:
         print(f"{name}: {report.total_jobs} jobs — {report.stored} from "
               f"store, {report.simulated} simulated, "
               f"{payload['coalesced']} coalesced "
-              f"({report.seconds:.2f}s) @ {client.address}")
+              f"({report.seconds:.2f}s) "
+              f"@ {payload.get('member', client.address)}")
         exit_code |= _report_outputs(report, args)
     return exit_code
 
@@ -433,14 +457,15 @@ def _coverage_marker(cached: int, total: int) -> str:
 def cmd_status(args: argparse.Namespace) -> int:
     if args.remote:
         try:
-            client = ServiceClient(args.remote)
+            client = _remote_client(args.remote)
             payload = client.status(scale=_scale_wire(args))
         except (OSError, ServiceError) as exc:
             print(f"repro: cannot query daemon at {args.remote}: {exc}",
                   file=sys.stderr)
             return 1
         coverage = payload["experiments"]
-        print(f"daemon @ {client.address}: store {payload['store']} "
+        print(f"daemon @ {payload.get('member', client.address)}: "
+              f"store {payload['store']} "
               f"({payload['entries']} stored results)")
         width = max(len(name) for name in coverage)
         for name, row in coverage.items():
@@ -465,7 +490,7 @@ def cmd_status(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     if args.remote:
         try:
-            client = ServiceClient(args.remote)
+            client = _remote_client(args.remote)
             titles = client.figures()["experiments"]
         except (OSError, ServiceError) as exc:
             print(f"repro: cannot query daemon at {args.remote}: {exc}",
@@ -505,7 +530,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                               shards=args.shards,
                               sharding=args.sharding,
                               pool=args.pool,
-                              hierarchy=args.hierarchy)
+                              hierarchy=args.hierarchy,
+                              fleet=True if args.fleet else None)
         except FaultSpecError as exc:
             print(f"repro: bad --faults schedule: {exc}", file=sys.stderr)
             return 2
@@ -519,12 +545,186 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 # ======================================================================
+# fleet
+# ======================================================================
+def _stop_fleet_members(children: List[Any], grace: float = 5.0) -> None:
+    """Terminate fleet members, escalating to SIGKILL after ``grace``."""
+    import subprocess
+
+    for child in children:
+        if child.poll() is None:
+            child.terminate()
+    deadline = time.monotonic() + grace
+    for child in children:
+        try:
+            child.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            child.kill()
+            child.wait()
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Launch N fleet daemons over one shared store and babysit them.
+
+    Each member is a ``serve --fleet`` subprocess on its own ephemeral
+    port (or ``--base-port + index``).  Once every member has written
+    its ready file the combined comma-separated address list is printed
+    (and written to ``--ready-file``) — paste it straight into
+    ``--remote`` / ``stats --fleet``.  SIGTERM/SIGINT are forwarded to
+    the members; an unexpected member death brings the fleet down.
+    """
+    import signal
+    import subprocess
+    import tempfile
+
+    members = args.members
+    if members < 1:
+        print("repro: fleet needs at least one member", file=sys.stderr)
+        return 2
+    ready_dir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+    base_cmd = [sys.executable, "-m", "repro", "serve", "--fleet",
+                "--store", args.store]
+    for flag, value in (("--jobs", args.jobs), ("--kernel", args.kernel),
+                        ("--pool", args.pool),
+                        ("--job-retries", args.job_retries),
+                        ("--job-timeout", args.job_timeout),
+                        ("--max-queue", args.max_queue),
+                        ("--trace-dir", args.trace_dir),
+                        ("--hierarchy", args.hierarchy)):
+        if value is not None:
+            base_cmd += [flag, str(value)]
+    children = []
+    ready_files = []
+    try:
+        for index in range(members):
+            ready = ready_dir / f"member-{index}.addr"
+            port = args.base_port + index if args.base_port else 0
+            children.append(subprocess.Popen(
+                base_cmd + ["--port", str(port),
+                            "--ready-file", str(ready)]))
+            ready_files.append(ready)
+    except OSError as exc:
+        print(f"repro: cannot spawn fleet member: {exc}", file=sys.stderr)
+        _stop_fleet_members(children)
+        return 1
+
+    addresses = []
+    deadline = time.monotonic() + args.startup_timeout
+    for child, ready in zip(children, ready_files):
+        while not ready.is_file():
+            if child.poll() is not None:
+                print(f"repro: fleet member exited with code "
+                      f"{child.returncode} during startup",
+                      file=sys.stderr)
+                _stop_fleet_members(children)
+                return 1
+            if time.monotonic() >= deadline:
+                print(f"repro: fleet startup timed out after "
+                      f"{args.startup_timeout:.0f}s", file=sys.stderr)
+                _stop_fleet_members(children)
+                return 1
+            time.sleep(0.05)
+        addresses.append(ready.read_text(encoding="utf-8").strip())
+
+    fleet_address = ",".join(addresses)
+    print(f"repro.fleet: {members} members sharing store {args.store}: "
+          f"{fleet_address}", flush=True)
+    if args.ready_file:
+        target = Path(args.ready_file)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(fleet_address + "\n", encoding="utf-8")
+        os.replace(tmp, target)
+
+    stopping = {"signalled": False}
+
+    def _forward(signum: int, frame: Any) -> None:
+        del frame
+        stopping["signalled"] = True
+        for child in children:
+            if child.poll() is None:
+                try:
+                    child.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover - exited in between
+                    pass
+
+    previous = {sig: signal.signal(sig, _forward)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    exit_code = 0
+    try:
+        while any(child.poll() is None for child in children):
+            if not stopping["signalled"]:
+                dead = [child.returncode for child in children
+                        if child.poll() is not None
+                        and child.returncode != 0]
+                if dead:
+                    print(f"repro: fleet member died (exit {dead[0]}); "
+                          f"stopping the fleet", file=sys.stderr)
+                    exit_code = 1
+                    _forward(signal.SIGTERM, None)
+            time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - belt and braces
+        _forward(signal.SIGTERM, None)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        _stop_fleet_members(children)
+    if not exit_code and any(child.returncode
+                             not in (0, -signal.SIGTERM, -signal.SIGINT)
+                             for child in children):
+        exit_code = 1
+    return exit_code
+
+
+# ======================================================================
 # stats
 # ======================================================================
+def _print_fleet_stats(client: FleetClient, payload: dict) -> int:
+    """Render the aggregate stats payload of ``stats --fleet``."""
+    info = payload["fleet"]
+    counters = payload["counters"]
+    print(f"fleet @ {client.address}: {info['reachable']}/{info['size']} "
+          f"members reachable, {payload['store']['entries']:,} stored "
+          f"results")
+    for member in payload["members"]:
+        if "error" in member:
+            print(f"  member {member['address']}: UNREACHABLE "
+                  f"({member['error']})")
+            continue
+        member_counters = member["counters"]
+        line = (f"  member {member['address']}: "
+                f"{member_counters['jobs']:,} jobs — "
+                f"{member_counters['store_hits']:,} store / "
+                f"{member_counters['simulations']:,} simulated / "
+                f"{member_counters['coalesced']:,} coalesced")
+        if member.get("degraded"):
+            line += ", DEGRADED"
+        print(line)
+    print(f"  requests          : {counters.get('requests', 0):>10,} "
+          f"({counters.get('submissions', 0):,} grids, "
+          f"{counters.get('jobs', 0):,} jobs)")
+    print(f"  job sources       : "
+          f"{counters.get('store_hits', 0):>10,} store / "
+          f"{counters.get('simulations', 0):,} simulated / "
+          f"{counters.get('coalesced', 0):,} coalesced")
+    print(f"  fleet claims      : "
+          f"{counters.get('claims_won', 0):>10,} won, "
+          f"{counters.get('claims_lost', 0):,} lost, "
+          f"{counters.get('claim_waits', 0):,} served after a wait, "
+          f"{counters.get('claims_broken', 0):,} stale claims broken")
+    print(f"  recovery          : {counters.get('retries', 0):>10,} "
+          f"retries, {counters.get('job_failures', 0):,} failures, "
+          f"{counters.get('quarantined', 0):,} quarantined, "
+          f"{counters.get('shed', 0):,} shed")
+    return 0 if info["reachable"] == info["size"] else 1
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Query a daemon's counters (recovery, dedup, store, faults)."""
+    fleet = args.fleet or "," in args.remote
     try:
-        client = ServiceClient(args.remote)
+        client = FleetClient(args.remote) if fleet \
+            else ServiceClient(args.remote)
         payload = client.stats()
     except (OSError, ServiceError) as exc:
         print(f"repro: cannot query daemon at {args.remote}: {exc}",
@@ -534,6 +734,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0
+    if fleet:
+        return _print_fleet_stats(client, payload)
     counters = payload["counters"]
     pool = payload.get("pool") or {}
     print(f"daemon @ {client.address}: {payload['workers']} "
@@ -559,6 +761,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"  job sources       : {counters['store_hits']:>10,} store / "
           f"{counters['simulations']:,} simulated / "
           f"{counters['coalesced']:,} coalesced")
+    if payload.get("fleet"):
+        print(f"  fleet claims      : "
+              f"{counters.get('claims_won', 0):>10,} won, "
+              f"{counters.get('claims_lost', 0):,} lost, "
+              f"{counters.get('claim_waits', 0):,} served after a wait, "
+              f"{counters.get('claims_broken', 0):,} stale claims broken")
     print(f"  recovery          : {counters['retries']:>10,} retries, "
           f"{counters['job_failures']:,} failures, "
           f"{counters['quarantined']:,} quarantined, "
@@ -649,6 +857,10 @@ def cmd_store(args: argparse.Namespace) -> int:
     print(f"  index             : "
           f"{'fresh' if store.index_path.is_file() else 'missing':>12}  "
           f"({store.index_path})")
+    claims = store.active_claims()
+    if claims:
+        print(f"  active claims     : {len(claims):>12,}  (fleet members "
+              f"mid-simulation, or stale after a crash)")
     if store.legacy_path.is_file():
         print(f"  legacy store      : {store.legacy_path} (unmigrated; "
               f"served read-only)")
@@ -795,14 +1007,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="declarative hierarchy spec (JSON, see repro.memory.spec) "
              "applied to every job this daemon runs (default: "
              "$REPRO_HIERARCHY)")
+    serve_parser.add_argument(
+        "--fleet", action="store_true",
+        help="coordinate with other daemons sharing this store through "
+             "per-job-key claims, so a cold key is simulated exactly "
+             "once fleet-wide (default: $REPRO_FLEET)")
     _add_store_arg(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="launch N fleet daemons over one shared store")
+    fleet_parser.add_argument(
+        "--members", type=int, default=2, metavar="N",
+        help="number of daemons to launch (default: 2)")
+    fleet_parser.add_argument(
+        "--base-port", type=int, default=0, metavar="N",
+        help="first member listens on N, the next on N+1, ... "
+             "(default: each member picks a free ephemeral port)")
+    fleet_parser.add_argument(
+        "--ready-file", default=None, metavar="FILE",
+        help="write the combined comma-separated address list to FILE "
+             "once every member is listening")
+    fleet_parser.add_argument(
+        "--startup-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="give up if the members are not all listening within "
+             "SECONDS (default: 30)")
+    fleet_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="workers in each member's simulation pool "
+             "(default: $REPRO_JOBS)")
+    fleet_parser.add_argument(
+        "--kernel", choices=kernel_names(), default=None,
+        help="trace-execution kernel for the members' jobs (default: "
+             f"$REPRO_KERNEL or '{DEFAULT_KERNEL}')")
+    fleet_parser.add_argument(
+        "--pool", choices=POOL_KINDS, default=None,
+        help="worker-pool kind for each member (default: $REPRO_POOL "
+             "or 'process')")
+    fleet_parser.add_argument(
+        "--job-retries", type=int, default=None, metavar="N",
+        help="attempts per job before quarantine (default: "
+             "$REPRO_JOB_RETRIES or 3)")
+    fleet_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt job deadline (default: $REPRO_JOB_TIMEOUT; "
+             "0 disables)")
+    fleet_parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="each member sheds submits beyond N active jobs (default: "
+             "$REPRO_MAX_QUEUE; 0 disables)")
+    fleet_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="on-disk trace cache directory shared by the members "
+             "(default: $REPRO_TRACE_DIR or <store>/traces)")
+    fleet_parser.add_argument(
+        "--hierarchy", default=None, metavar="FILE",
+        help="declarative hierarchy spec applied by every member "
+             "(default: $REPRO_HIERARCHY)")
+    _add_store_arg(fleet_parser)
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     stats_parser = subparsers.add_parser(
         "stats", help="query a daemon's counters (recovery, dedup, store)")
     stats_parser.add_argument(
         "--remote", required=True, metavar="ADDR",
-        help="daemon address (PORT, HOST:PORT, or a unix socket path)")
+        help="daemon address (PORT, HOST:PORT, or a unix socket path), "
+             "or a comma-separated list of fleet member addresses")
+    stats_parser.add_argument(
+        "--fleet", action="store_true",
+        help="aggregate counters across fleet members (implied when "
+             "--remote is a comma-separated list)")
     stats_parser.add_argument(
         "--json", action="store_true",
         help="print the raw stats payload as JSON (script-friendly)")

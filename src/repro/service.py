@@ -70,12 +70,40 @@ The daemon assumes every layer under it can fail and bounds the damage:
   ``degraded`` and ``health`` reports it; writes resume after the
   daemon is restarted over healthy media.
 
+Fleet serving
+=============
+
+Several daemons may share one store directory and serve as a *fleet*
+(``python -m repro serve --fleet``, or the ``python -m repro fleet``
+launcher).  In fleet mode the in-process dedup extends across processes
+via per-job-key claim records in the store (``<store>/claims/``,
+created with ``O_CREAT | O_EXCL`` — see
+:meth:`repro.sim.store.ResultStore.claim`): the daemon that wins a
+cold key's claim simulates it; a loser polls the shared store
+(:meth:`~repro.sim.store.ResultStore.refresh`) and serves the owner's
+result the moment its locked append lands.  A claim whose owner died
+(same-host pid probe, or a TTL for foreign hosts) is broken and taken
+over, so a SIGKILLed member never wedges its losers.  Claims are a
+work-dedup optimisation, never a correctness gate — the locked shard
+appends stay safe without them, so a claim layer failure at worst
+recomputes a deterministic job.
+
+:class:`FleetClient` is the client side: it takes a comma-separated
+address list, routes each submit by job-key hash so identical grids
+from many clients land on the same member (maximising in-process
+coalescing), and fails over to the next member on ``connection`` /
+``timeout`` / ``overloaded`` errors — resubmission after a member dies
+mid-grid is free, because the surviving members serve every already-
+persisted cell from the store and take over the dead member's claims.
+
 ``python -m repro serve`` runs the daemon; ``--remote ADDR`` on ``run`` /
-``status`` / ``figures`` points the existing experiment commands at one.
+``status`` / ``figures`` points the existing experiment commands at one
+(a comma-separated ``ADDR`` list makes them fleet-aware).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import random
@@ -85,10 +113,12 @@ import sys
 import threading
 import time
 from concurrent.futures import (
+    FIRST_EXCEPTION,
     Future,
     InvalidStateError,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    wait as wait_futures,
 )
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -135,6 +165,9 @@ REPRO_JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 
 #: Admission-control bound on active jobs (0/unset disables) and override.
 REPRO_MAX_QUEUE_ENV = "REPRO_MAX_QUEUE"
+
+#: Fleet mode toggle ("1"/"true" enables) and env override.
+REPRO_FLEET_ENV = "REPRO_FLEET"
 
 #: Longest the server blocks one handler thread on ``result wait=true``
 #: before answering with the current snapshot (clients poll in chunks).
@@ -306,6 +339,9 @@ class _RequestState:
         #: "error"}, ...]`` — one entry per grid cell that exhausted its
         #: retry budget (the rest of the grid still completed).
         self.failed_jobs: List[Dict[str, Any]] = []
+        #: Monotonic completion stamp (set just before ``done``); the
+        #: eviction policy drops the *longest-finished* requests first.
+        self.finished_at: Optional[float] = None
         self.done = threading.Event()
 
     def snapshot(self, include_payload: bool = False) -> Dict[str, Any]:
@@ -377,6 +413,12 @@ class SimulationService:
             in-process fault plane rely on); ``None`` reads
             ``REPRO_POOL``.  If process workers cannot spawn on this host
             the daemon falls back to threads and says so in ``stats``.
+        fleet: Coordinate with other daemons sharing this store through
+            per-job-key claim records, so a cold key is simulated exactly
+            once fleet-wide; ``None`` reads ``REPRO_FLEET`` ("1"/"true"
+            enables), defaulting to off.  A single daemon with ``fleet``
+            on behaves identically to one with it off (claims are always
+            won immediately), so the flag is safe to leave enabled.
     """
 
     #: Base per-job retry backoff in seconds (doubled per attempt).
@@ -384,6 +426,10 @@ class SimulationService:
     #: Bounded store-append retry inside the daemon (attempts / base s).
     PUT_ATTEMPTS = 3
     PUT_BACKOFF = 0.05
+    #: Claim-loser store poll interval bounds in seconds (doubled per
+    #: poll from base to max — cheap: the fast path is one stat()).
+    CLAIM_POLL_BASE = 0.02
+    CLAIM_POLL_MAX = 0.5
 
     def __init__(self, store: Union[str, Path, ResultStore],
                  jobs: Optional[int] = None,
@@ -394,7 +440,8 @@ class SimulationService:
                  shards: Optional[int] = None,
                  sharding: Optional[str] = None,
                  pool: Optional[str] = None,
-                 hierarchy: Optional[str] = None) -> None:
+                 hierarchy: Optional[str] = None,
+                 fleet: Optional[bool] = None) -> None:
         if not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
@@ -435,6 +482,12 @@ class SimulationService:
             env_value = os.environ.get(REPRO_MAX_QUEUE_ENV, "").strip()
             max_queue = int(env_value) if env_value else 0
         self.max_queue = max(0, max_queue)
+        if fleet is None:
+            env_value = os.environ.get(REPRO_FLEET_ENV, "").strip()
+            fleet = env_value.lower() in ("1", "true", "yes", "on")
+        self.fleet = bool(fleet)
+        #: This daemon's claim signature (diagnostics in claim records).
+        self._claim_owner = f"repro-serve-{os.getpid()}"
         #: Why a requested process pool fell back to threads (or None).
         self._pool_fallback_reason: Optional[str] = None
         #: Guards pool replacement after a BrokenProcessPool failover.
@@ -467,6 +520,10 @@ class SimulationService:
             "shards_executed": 0,  # approx-mode shard tasks completed
             "shard_merges": 0,   # per-job merges of shard partials
             "pool_failovers": 0,  # broken process pools rebuilt mid-run
+            "claims_won": 0,     # fleet claims this daemon won outright
+            "claims_lost": 0,    # claims another daemon held first
+            "claim_waits": 0,    # lost claims served from the store
+            "claims_broken": 0,  # stale claims (dead owner) taken over
         }
         #: Poison quarantine: job key -> last error message.  A key lands
         #: here after exhausting its retry budget; later submits of the
@@ -477,6 +534,11 @@ class SimulationService:
         #: control).  Guarded by its own lock: the done-callback may fire
         #: on the submitting thread while ``_lock`` is held.
         self._active_jobs = 0
+        #: Jobs admitted but not yet classified by the claim phase: the
+        #: check-and-reserve in :meth:`_admit` counts them, so concurrent
+        #: submits cannot all pass the backlog check and overshoot
+        #: ``max_queue`` before any of them reaches the pool.
+        self._reserved_jobs = 0
         self._admission_lock = threading.Lock()
         #: Degraded read-only mode: set when the store media proved
         #: unwritable (every put retry exhausted); sticky until restart.
@@ -578,51 +640,75 @@ class SimulationService:
             from .sim.engine import apply_hierarchy
             job_list = apply_hierarchy(job_list, self.hierarchy_spec,
                                        self.hierarchy_name)
-        self._admit(len(job_list))
-        self._refuse_if_degraded(job_list, force)
-        with self._lock:
-            self._next_request += 1
-            request_id = f"req-{self._next_request}-{name}"
-            state = _RequestState(request_id, name, len(job_list), explicit)
-            self._requests[request_id] = state
-            self._evict_finished_requests()
-            self.counters["submissions"] += 1
-            self.counters["jobs"] += len(job_list)
-        if wait:
-            self._run_request(state, job_list, resolved_scale, force)
-            return state.snapshot(include_payload=True)
-        thread = threading.Thread(
-            target=self._run_request,
-            args=(state, job_list, resolved_scale, force),
-            name=f"repro-service-{request_id}", daemon=True)
-        # Prune threads that already finished: a long-lived daemon must
-        # not pin one Thread object per request it ever served.
-        self._request_threads = [old for old in self._request_threads
-                                 if old.is_alive()]
-        self._request_threads.append(thread)
-        thread.start()
+        reserved = self._admit(len(job_list))
+        try:
+            self._refuse_if_degraded(job_list, force)
+            with self._lock:
+                self._next_request += 1
+                request_id = f"req-{self._next_request}-{name}"
+                state = _RequestState(request_id, name, len(job_list),
+                                      explicit)
+                self._requests[request_id] = state
+                self._evict_finished_requests()
+                self.counters["submissions"] += 1
+                self.counters["jobs"] += len(job_list)
+            if wait:
+                self._run_request(state, job_list, resolved_scale, force,
+                                  reserved)
+                return state.snapshot(include_payload=True)
+            thread = threading.Thread(
+                target=self._run_request,
+                args=(state, job_list, resolved_scale, force, reserved),
+                name=f"repro-service-{request_id}", daemon=True)
+            # Prune threads that already finished: a long-lived daemon
+            # must not pin one Thread object per request it ever served.
+            self._request_threads = [old for old in self._request_threads
+                                     if old.is_alive()]
+            self._request_threads.append(thread)
+            thread.start()
+        except BaseException:
+            # The reservation now belongs to _run_request; anything that
+            # kept it from starting must give the slots back, or shed
+            # submits would count phantom backlog forever.
+            self._release_reservation(reserved)
+            raise
         return state.snapshot()
 
-    def _admit(self, incoming: int) -> None:
-        """Load-shed when the active-job backlog exceeds the bound.
+    def _admit(self, incoming: int) -> int:
+        """Load-shed when the job backlog exceeds the bound, atomically.
+
+        Check-and-reserve under one lock: an admitted grid's ``incoming``
+        jobs are counted as reserved backlog until the claim phase
+        classifies them (by which point pool submissions are counted in
+        ``_active_jobs``), so concurrent submits racing the check cannot
+        all pass it and collectively overshoot ``max_queue``.  Returns
+        the reservation the caller must hand to :meth:`_run_request` (or
+        release itself on failure).
 
         Shedding is honest back-pressure: the refusal is marked
         ``retryable``, so a well-behaved client backs off and resubmits —
         and resubmission is free (store hits / coalescing for everything
         that finished meanwhile).
         """
-        del incoming  # the bound is on the backlog, not the grid size
         if not self.max_queue:
+            return 0
+        with self._admission_lock:
+            backlog = self._active_jobs + self._reserved_jobs
+            if backlog < self.max_queue:
+                self._reserved_jobs += incoming
+                return incoming
+        with self._lock:
+            self.counters["shed"] += 1
+        raise ServiceError(
+            f"service overloaded: {backlog} jobs active or admitted "
+            f"(max {self.max_queue}); retry with backoff",
+            code="overloaded", retryable=True)
+
+    def _release_reservation(self, reserved: int) -> None:
+        if not reserved:
             return
         with self._admission_lock:
-            active = self._active_jobs
-        if active >= self.max_queue:
-            with self._lock:
-                self.counters["shed"] += 1
-            raise ServiceError(
-                f"service overloaded: {active} jobs active "
-                f"(max {self.max_queue}); retry with backoff",
-                code="overloaded", retryable=True)
+            self._reserved_jobs -= reserved
 
     def _refuse_if_degraded(self, job_list: List[Job],
                             force: bool) -> None:
@@ -693,6 +779,16 @@ class SimulationService:
 
         def _collect() -> None:
             try:
+                # FIRST_EXCEPTION, not plan-order result() calls: a late
+                # shard failing must surface (and cancel its queued
+                # siblings) immediately, not after every earlier shard
+                # happens to finish.
+                wait_futures(shard_futures, return_when=FIRST_EXCEPTION)
+                failed = next((future for future in shard_futures
+                               if future.done() and not future.cancelled()
+                               and future.exception() is not None), None)
+                if failed is not None:
+                    raise failed.exception()
                 partials = [future.result() for future in shard_futures]
                 result = merge_shard_results(partials)
             except BaseException as exc:  # noqa: BLE001 - to the future
@@ -722,24 +818,30 @@ class SimulationService:
             self._active_jobs -= 1
 
     def _evict_finished_requests(self) -> None:
-        """Drop the oldest finished requests beyond the retention cap.
+        """Drop the longest-finished requests beyond the retention cap.
 
-        Caller holds the lock.  Running requests are never evicted; a
-        ``status``/``result`` poll for an evicted id gets the same
-        "unknown request id" as a mistyped one.
+        Caller holds the lock.  Eviction order is *completion* time, not
+        submission order: a request submitted early but finished recently
+        is exactly the one a client is most likely still polling, so it
+        must outlive requests that have been done (and pollable) longer.
+        Running requests are never evicted; a ``status``/``result`` poll
+        for an evicted id gets the same "unknown request id" as a
+        mistyped one.
         """
-        finished = [request_id
-                    for request_id, state in self._requests.items()
-                    if state.done.is_set()]
-        for request_id in finished[:max(0, len(finished)
-                                        - MAX_FINISHED_REQUESTS)]:
+        finished = sorted(
+            ((state.finished_at or 0.0, request_id)
+             for request_id, state in self._requests.items()
+             if state.done.is_set()))
+        excess = len(finished) - MAX_FINISHED_REQUESTS
+        for _, request_id in finished[:max(0, excess)]:
             del self._requests[request_id]
 
     def _run_request(self, state: _RequestState, job_list: List[Job],
-                     scale: Scale, force: bool) -> None:
+                     scale: Scale, force: bool,
+                     reserved: int = 0) -> None:
         start = time.perf_counter()
         try:
-            results = self._run_jobs(state, job_list, force)
+            results = self._run_jobs(state, job_list, force, reserved)
             state.seconds = time.perf_counter() - start
             if state.failed_jobs:
                 # Per-job isolation: the healthy cells completed (and
@@ -777,6 +879,7 @@ class SimulationService:
             if not isinstance(exc, Exception):
                 raise
         finally:
+            state.finished_at = time.monotonic()
             state.done.set()
 
     def _write_stats(self, name: str,
@@ -811,11 +914,13 @@ class SimulationService:
                 self.degraded_reason = reason
 
     def _run_jobs(self, state: _RequestState, job_list: List[Job],
-                  force: bool) -> List[Any]:
+                  force: bool, reserved: int = 0) -> List[Any]:
         """Claim, compute and collect one grid, persisting in job order."""
         # Claim phase: classify every job atomically against other
         # requests.  plan[i] is ("store", key) | ("watch", future) |
-        # ("own", key, exec_future) | ("direct", exec_future).
+        # ("own", key, exec_future, claimed) | ("direct", exec_future)
+        # | ("poison", key) | ("remote", key) — "remote" only in fleet
+        # mode, when another daemon holds the key's claim.
         specs: List[Optional[Dict[str, Any]]] = []
         keys: List[Optional[str]] = []
         approx = self.sharding == "approx" and self.shards > 1
@@ -832,48 +937,76 @@ class SimulationService:
             keys.append(None if spec is None else spec_key(spec))
         plan: List[Tuple[Any, ...]] = []
         owned: List[int] = []
+        #: Fleet claims this request still holds (released as the collect
+        #: loop persists each one; the cleanup path releases leftovers).
+        held_claims: set = set()
         results: List[Any] = []
         # The claim loop sits inside the same try as the collect loop: a
         # failure after a Future is registered (pool shut down mid-claim,
         # MemoryError, ...) must resolve the registered futures, or every
         # request that coalesced onto them would wait forever.
         try:
-            with self._lock:
-                for index, key in enumerate(keys):
-                    if key is None:
-                        # Unkeyed jobs (uncacheable specs, approx-sharded
-                        # runs) always simulate — report them as such.
-                        plan.append(("direct",
-                                     self._submit_job(job_list[index])))
+            try:
+                with self._lock:
+                    for index, key in enumerate(keys):
+                        if key is None:
+                            # Unkeyed jobs (uncacheable specs, approx-
+                            # sharded runs) always simulate — report them
+                            # as such.
+                            plan.append(("direct",
+                                         self._submit_job(job_list[index])))
+                            self.counters["simulations"] += 1
+                            state.simulated += 1
+                            continue
+                        if not force and key in self.store:
+                            plan.append(("store", key))
+                            self.counters["store_hits"] += 1
+                            state.stored += 1
+                            continue
+                        if key in self._quarantine:
+                            if force:
+                                # A force submit is the operator saying
+                                # "try again": clear the poison verdict
+                                # and re-own.
+                                del self._quarantine[key]
+                            else:
+                                plan.append(("poison", key))
+                                continue
+                        future = self._inflight.get(key)
+                        if future is not None:
+                            plan.append(("watch", future))
+                            self.counters["coalesced"] += 1
+                            state.coalesced += 1
+                            continue
+                        claimed = False
+                        if self.fleet and not force:
+                            verdict = self._claim_key(key)
+                            if verdict == "stored":
+                                plan.append(("store", key))
+                                self.counters["store_hits"] += 1
+                                state.stored += 1
+                                continue
+                            if verdict == "lost":
+                                plan.append(("remote", key))
+                                self.counters["claims_lost"] += 1
+                                continue
+                            claimed = verdict == "claimed"
+                            if claimed:
+                                self.counters["claims_won"] += 1
+                                held_claims.add(key)
+                        future = Future()
+                        self._inflight[key] = future
+                        owned.append(index)
+                        plan.append(("own", key,
+                                     self._submit_job(job_list[index]),
+                                     claimed))
                         self.counters["simulations"] += 1
                         state.simulated += 1
-                        continue
-                    if not force and key in self.store:
-                        plan.append(("store", key))
-                        self.counters["store_hits"] += 1
-                        state.stored += 1
-                        continue
-                    if key in self._quarantine:
-                        if force:
-                            # A force submit is the operator saying "try
-                            # again": clear the poison verdict and re-own.
-                            del self._quarantine[key]
-                        else:
-                            plan.append(("poison", key))
-                            continue
-                    future = self._inflight.get(key)
-                    if future is not None:
-                        plan.append(("watch", future))
-                        self.counters["coalesced"] += 1
-                        state.coalesced += 1
-                        continue
-                    future = Future()
-                    self._inflight[key] = future
-                    owned.append(index)
-                    plan.append(("own", key,
-                                 self._submit_job(job_list[index])))
-                    self.counters["simulations"] += 1
-                    state.simulated += 1
+            finally:
+                # Every admitted job is now classified (pool submissions
+                # are counted in _active_jobs), so the reservation has
+                # done its job.
+                self._release_reservation(reserved)
             # Collect phase, strictly in job order: owners persist their
             # results as they arrive, so the shard files the daemon writes
             # are byte-identical to a serial run of the same job list —
@@ -904,11 +1037,23 @@ class SimulationService:
                             code="quarantined")
                     elif step[0] == "watch" or step[0] == "direct":
                         result = step[1].result()
+                    elif step[0] == "remote":
+                        result = self._await_remote(
+                            job_list[index], step[1], specs[index], state)
                     else:
-                        _, key, exec_future = step
-                        result = self._collect_owned(
-                            job_list[index], key, exec_future)
-                        self._persist(key, specs[index], result)
+                        _, key, exec_future, claimed = step
+                        try:
+                            result = self._collect_owned(
+                                job_list[index], key, exec_future)
+                            self._persist(key, specs[index], result)
+                        finally:
+                            if claimed:
+                                # Released only after the put landed (or
+                                # the job failed for good): a loser that
+                                # sees the claim gone either finds the
+                                # result or takes the work over.
+                                self.store.release_claim(key)
+                                held_claims.discard(key)
                         with self._lock:
                             inflight = self._inflight.pop(key, None)
                         if inflight is not None:
@@ -937,7 +1082,117 @@ class SimulationService:
                     future = self._inflight.pop(keys[index], None)
                     if future is not None and not future.done():
                         future.set_exception(exc)
+            # And surrender every fleet claim this request still holds,
+            # so sibling daemons take the work over instead of polling a
+            # claim whose owner gave up.
+            for key in held_claims:
+                self.store.release_claim(key)
             raise
+
+    def _claim_key(self, key: str) -> str:
+        """Contend for a cold key's fleet claim.  Caller holds the lock.
+
+        Returns ``"claimed"`` (this daemon owns the key and must release
+        the claim after persisting), ``"stored"`` (another daemon
+        persisted the result between our store check and now — serve
+        it), ``"lost"`` (another daemon holds the claim — poll the
+        store), or ``"unclaimed"`` (the claim layer is unavailable, e.g.
+        read-only media: proceed as owner without a claim; at worst a
+        sibling daemon duplicates a deterministic job).
+        """
+        try:
+            won = self.store.claim(key, owner=self._claim_owner)
+        except OSError:
+            return "unclaimed"
+        if won:
+            # Re-check the store *after* winning: the previous owner may
+            # have persisted and released between our in-memory miss and
+            # the claim create.  refresh() is one stat() when nothing
+            # changed, so this stays cheap for genuinely cold keys.
+            if self.store.refresh(key):
+                self.store.release_claim(key)
+                return "stored"
+            return "claimed"
+        return "lost"
+
+    def _await_remote(self, job: Job, key: str,
+                      spec: Optional[Dict[str, Any]],
+                      state: _RequestState) -> Any:
+        """Wait for another daemon's claimed simulation of ``key``.
+
+        The claim-loser contract: poll the shared store until the
+        owner's locked append lands, then serve it as a store hit.  If
+        the claim disappears without a result (the owner's attempt
+        failed) or goes stale (the owner died), contend to take the work
+        over and simulate here — with the in-process future table still
+        deduplicating against this daemon's other requests.
+        """
+        poll = self.CLAIM_POLL_BASE
+        while True:
+            with self._lock:
+                if self.store.refresh(key):
+                    result = self.store.get(key)
+                    if result is not None:
+                        self.counters["claim_waits"] += 1
+                        self.counters["store_hits"] += 1
+                        state.stored += 1
+                        return result
+                    # Present but unreadable: fall through and poll —
+                    # refresh() re-scans the shard on the next pass.
+            claim = self.store.read_claim(key)
+            take_over = False
+            if claim is None:
+                # Owner released without persisting (its attempt failed,
+                # or its media went read-only): contend for the claim.
+                verdict = self._claim_key_for_takeover(key)
+                if verdict == "stored":
+                    continue  # the result just appeared; serve it above
+                take_over = verdict in ("claimed", "unclaimed")
+            elif self.store.claim_is_stale(claim):
+                take_over = self.store.steal_claim(
+                    key, owner=self._claim_owner)
+                if take_over:
+                    with self._lock:
+                        self.counters["claims_broken"] += 1
+            if take_over:
+                return self._takeover(job, key, spec, state)
+            time.sleep(poll)
+            poll = min(poll * 2, self.CLAIM_POLL_MAX)
+
+    def _claim_key_for_takeover(self, key: str) -> str:
+        with self._lock:
+            return self._claim_key(key)
+
+    def _takeover(self, job: Job, key: str,
+                  spec: Optional[Dict[str, Any]],
+                  state: _RequestState) -> Any:
+        """Simulate a key this daemon just inherited from a dead owner."""
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is None:
+                inflight: "Future[Any]" = Future()
+                self._inflight[key] = inflight
+                exec_future = self._submit_job(job)
+                self.counters["simulations"] += 1
+                state.simulated += 1
+        if existing is not None:
+            # Another of this daemon's requests inherited the key first;
+            # surrender the redundant claim and attach to its future.
+            self.store.release_claim(key)
+            with self._lock:
+                self.counters["coalesced"] += 1
+                state.coalesced += 1
+            return existing.result()
+        try:
+            result = self._collect_owned(job, key, exec_future)
+            self._persist(key, spec, result)
+        finally:
+            self.store.release_claim(key)
+        with self._lock:
+            still_inflight = self._inflight.pop(key, None)
+        if still_inflight is not None:
+            still_inflight.set_result(result)
+        return result
 
     def _collect_owned(self, job: Job, key: str,
                        exec_future: "Future[Any]") -> Any:
@@ -1070,6 +1325,8 @@ class SimulationService:
             "kernel": self.kernel,
             "shards": self.shards,
             "sharding": self.sharding,
+            "fleet": self.fleet,
+            "pid": os.getpid(),
             "pool": {
                 "type": self.pool_kind,
                 "workers": self.num_workers,
@@ -1095,6 +1352,7 @@ class SimulationService:
                    "schema": PROTOCOL_SCHEMA,
                    "store": str(self.store.root),
                    "workers": self.num_workers,
+                   "fleet": self.fleet,
                    "uptime_seconds": time.time() - self.started_at}
         if self.degraded:
             payload["reason"] = self.degraded_reason
@@ -1262,6 +1520,27 @@ class ReproUnixServer(_ServerMixin,
     pass
 
 
+def _unix_socket_alive(socket_path: str, timeout: float = 0.5) -> bool:
+    """Whether anything accepts connections on ``socket_path``.
+
+    ``ConnectionRefusedError`` (and a vanished file) means the socket is
+    an orphan from a crashed daemon — safe to replace.  Anything else —
+    an accepted connect, or even a timeout (a live but busy listener) —
+    is treated as alive: when unsure, refuse to steal.
+    """
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(timeout)
+        probe.connect(socket_path)
+    except (ConnectionRefusedError, FileNotFoundError):
+        return False
+    except OSError:
+        return True
+    finally:
+        probe.close()
+    return True
+
+
 def create_server(service: SimulationService,
                   port: Optional[int] = None,
                   socket_path: Union[str, Path, None] = None
@@ -1269,9 +1548,15 @@ def create_server(service: SimulationService,
     """Bind a server for ``service``; returns ``(server, address)``.
 
     Exactly one of ``port`` (localhost TCP; 0 picks a free port) and
-    ``socket_path`` (unix socket, replaced if a stale one exists) must be
-    given.  The returned address string round-trips through
+    ``socket_path`` (unix socket, replaced if a *stale* one exists) must
+    be given.  The returned address string round-trips through
     :func:`parse_address`.
+
+    A socket file left by a crashed daemon is unlinked and replaced, but
+    a *live* daemon's socket is probed first (a short connect): if
+    anything answers, binding is refused with a ``ServiceError`` instead
+    of silently stealing the address out from under the running daemon —
+    load-bearing once fleets run many daemons per host.
     """
     if (port is None) == (socket_path is None):
         raise ServiceError("specify exactly one of port / socket_path")
@@ -1279,6 +1564,11 @@ def create_server(service: SimulationService,
         socket_path = str(socket_path)
         stale = Path(socket_path)
         if stale.is_socket():
+            if _unix_socket_alive(socket_path):
+                raise ServiceError(
+                    f"a daemon is already listening on {socket_path}; "
+                    f"refusing to replace a live socket (stop it first, "
+                    f"or serve on a different path)")
             stale.unlink()
         server: socketserver.BaseServer = ReproUnixServer(
             socket_path, _ServiceHandler)
@@ -1477,15 +1767,249 @@ class ServiceClient:
 
     def wait_healthy(self, timeout: float = 10.0,
                      interval: float = 0.05) -> Dict[str, Any]:
-        """Poll ``health`` until the daemon answers (startup helper)."""
-        deadline = time.time() + timeout
+        """Poll ``health`` until the daemon answers (startup helper).
+
+        The deadline is monotonic — a wall-clock step (NTP, suspend)
+        during daemon startup must not stretch or cut short the wait.
+        """
+        deadline = time.monotonic() + timeout
         while True:
             try:
                 return self.health()
             except (OSError, ServiceError):
-                if time.time() >= deadline:
+                if time.monotonic() >= deadline:
                     raise
                 time.sleep(interval)
+
+
+# ======================================================================
+# The fleet client
+# ======================================================================
+class FleetClient:
+    """Talk to a fleet of daemons sharing one store.
+
+    Routing: each submit hashes its grid's first job key and lands on
+    ``members[hash % N]`` — deterministic, so identical grids from many
+    clients converge on the same member and coalesce in-process, while
+    different figures spread across the fleet.  Failover: a member that
+    answers with ``connection`` / ``timeout`` / ``overloaded`` /
+    ``shutting_down`` is skipped in ring order, reusing each member
+    client's own retry/backoff contract underneath.  A member dying
+    mid-grid is survivable for the same reason resubmission is free on
+    one daemon: jobs are content-addressed, so the next member serves
+    every cell the dead member persisted straight from the shared store
+    and simulates only the remainder (breaking the dead member's stale
+    claims in fleet mode).
+
+    ``stats()`` / ``health()`` aggregate across members (summed
+    counters / fleet-wide status) with the per-member payloads riding
+    along under ``"members"``.
+
+    Args:
+        addresses: Comma-separated address string, or a sequence of
+            addresses (each as accepted by :func:`parse_address`).
+        timeout / retries / backoff: Forwarded to each member's
+            :class:`ServiceClient`.
+    """
+
+    #: Error codes that route a submit to the next fleet member.
+    FAILOVER_CODES = frozenset(
+        {"connection", "timeout", "overloaded", "shutting_down"})
+
+    def __init__(self, addresses: Union[str, Sequence[str]],
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 backoff: Optional[float] = None) -> None:
+        if isinstance(addresses, str):
+            addresses = addresses.split(",")
+        cleaned = [addr.strip() for addr in addresses
+                   if addr and addr.strip()]
+        if not cleaned:
+            raise ServiceError("empty fleet address list")
+        self.members = [ServiceClient(addr, timeout=timeout,
+                                      retries=retries, backoff=backoff)
+                        for addr in cleaned]
+        self.address = ",".join(member.address for member in self.members)
+
+    def _route(self, experiment: Optional[str],
+               jobs: Optional[Sequence[Dict[str, Any]]],
+               scale: Optional[Dict[str, Any]]) -> int:
+        """Deterministic starting member for one submit."""
+        key: Optional[str] = None
+        try:
+            if jobs:
+                key = try_job_key(job_from_wire(jobs[0]))
+            elif experiment in EXPERIMENTS:
+                grid = EXPERIMENTS[experiment].jobs(scale_from_wire(scale))
+                if grid:
+                    key = try_job_key(grid[0])
+        except Exception:  # noqa: BLE001 - fall back to the name hash
+            key = None
+        if key is None:
+            seed = experiment or json.dumps(jobs, sort_keys=True,
+                                            default=str)
+            key = hashlib.sha256(str(seed).encode("utf-8")).hexdigest()
+        return int(key[:8], 16) % len(self.members)
+
+    def _ring(self, start: int) -> List[ServiceClient]:
+        count = len(self.members)
+        return [self.members[(start + step) % count]
+                for step in range(count)]
+
+    def _no_member(self,
+                   last_error: Optional[ServiceError]) -> ServiceError:
+        return last_error or ServiceConnectionError(
+            f"no fleet member reachable at {self.address}",
+            code="connection", retryable=True)
+
+    def submit(self, experiment: Optional[str] = None,
+               jobs: Optional[Sequence[Dict[str, Any]]] = None,
+               scale: Optional[Dict[str, Any]] = None,
+               force: bool = False, wait: bool = False) -> Dict[str, Any]:
+        """Submit to the routed member, failing over in ring order.
+
+        The response gains a ``"member"`` field naming the address that
+        served it.  With ``wait``, a member dying mid-grid resubmits the
+        whole grid to the next member — free, because every cell the
+        dead member persisted is served from the shared store.
+        """
+        start = self._route(experiment, jobs, scale)
+        last_error: Optional[ServiceError] = None
+        for member in self._ring(start):
+            try:
+                response = member.submit(experiment=experiment, jobs=jobs,
+                                         scale=scale, force=force)
+            except ServiceError as error:
+                if error.code in self.FAILOVER_CODES:
+                    last_error = error
+                    continue
+                raise
+            try:
+                if wait:
+                    response = member.result(response["id"], wait=True)
+            except ServiceError as error:
+                # The accepting member died (or restarted and forgot the
+                # request id) mid-grid: resubmit to the next member.
+                if error.code in ("connection", "timeout",
+                                  "unknown_request"):
+                    last_error = error
+                    continue
+                raise
+            response["member"] = member.address
+            return response
+        raise self._no_member(last_error)
+
+    def _any_member(self, call: Any,
+                    extra_codes: Tuple[str, ...] = ()) -> Dict[str, Any]:
+        """Run ``call(member)`` on the first member that can answer."""
+        last_error: Optional[ServiceError] = None
+        for member in self.members:
+            try:
+                response = call(member)
+            except ServiceError as error:
+                if error.code in self.FAILOVER_CODES or \
+                        error.code in extra_codes:
+                    last_error = error
+                    continue
+                raise
+            response["member"] = member.address
+            return response
+        raise self._no_member(last_error)
+
+    def status(self, request_id: Optional[str] = None,
+               scale: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        # Request ids live on the member that accepted the submit, so a
+        # targeted status walks the fleet past "unknown_request".
+        return self._any_member(
+            lambda member: member.status(request_id, scale=scale),
+            extra_codes=("unknown_request",) if request_id else ())
+
+    def result(self, request_id: str, wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._any_member(
+            lambda member: member.result(request_id, wait=wait,
+                                         timeout=timeout),
+            extra_codes=("unknown_request",))
+
+    def figures(self) -> Dict[str, Any]:
+        return self._any_member(lambda member: member.figures())
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet-wide counters: summed across the reachable members."""
+        totals: Dict[str, Any] = {}
+        members: List[Dict[str, Any]] = []
+        reachable = 0
+        entries = 0
+        for member in self.members:
+            try:
+                payload = member.stats()
+            except (OSError, ServiceError) as error:
+                members.append({"address": member.address,
+                                "error": str(error)})
+                continue
+            reachable += 1
+            payload["address"] = member.address
+            members.append(payload)
+            for name, value in (payload.get("counters") or {}).items():
+                if isinstance(value, (int, float)):
+                    totals[name] = totals.get(name, 0) + value
+            store = payload.get("store") or {}
+            # Every member views the same store; report the freshest view.
+            entries = max(entries, store.get("entries", 0))
+        if not reachable:
+            raise self._no_member(None)
+        return {"fleet": {"size": len(self.members),
+                          "reachable": reachable},
+                "counters": totals,
+                "store": {"entries": entries},
+                "members": members}
+
+    def health(self) -> Dict[str, Any]:
+        """Per-member health plus a fleet-wide verdict."""
+        members: List[Dict[str, Any]] = []
+        healthy = 0
+        for member in self.members:
+            try:
+                payload = member.health()
+                if payload.get("status") == "ok":
+                    healthy += 1
+            except (OSError, ServiceError) as error:
+                payload = {"status": "unreachable", "error": str(error)}
+            payload["address"] = member.address
+            members.append(payload)
+        if healthy == len(self.members):
+            status = "ok"
+        elif healthy:
+            status = "degraded"
+        else:
+            status = "unreachable"
+        return {"status": status,
+                "fleet": {"size": len(self.members), "healthy": healthy},
+                "members": members}
+
+    def wait_healthy(self, timeout: float = 10.0,
+                     interval: float = 0.05) -> Dict[str, Any]:
+        """Block until every member answers ``health`` (startup helper)."""
+        deadline = time.monotonic() + timeout
+        members = []
+        for member in self.members:
+            remaining = max(0.05, deadline - time.monotonic())
+            payload = member.wait_healthy(timeout=remaining,
+                                          interval=interval)
+            payload["address"] = member.address
+            members.append(payload)
+        return {"status": "ok", "members": members}
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask every reachable member to stop (best-effort)."""
+        stopped = 0
+        for member in self.members:
+            try:
+                member.shutdown()
+                stopped += 1
+            except (OSError, ServiceError):
+                pass
+        return {"stopping": True, "members": stopped}
 
 
 def serve_forever(service: SimulationService,
@@ -1517,7 +2041,8 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                shards: Optional[int] = None,
                sharding: Optional[str] = None,
                pool: Optional[str] = None,
-               hierarchy: Optional[str] = None) -> int:
+               hierarchy: Optional[str] = None,
+               fleet: Optional[bool] = None) -> int:
     """Entry point behind ``python -m repro serve``.
 
     Binds, announces the address on stdout (and in ``ready_file`` when
@@ -1540,13 +2065,15 @@ def main_serve(store: Union[str, Path], port: Optional[int] = None,
                                 job_timeout=job_timeout,
                                 max_queue=max_queue, kernel=kernel,
                                 shards=shards, sharding=sharding,
-                                pool=pool, hierarchy=hierarchy)
+                                pool=pool, hierarchy=hierarchy,
+                                fleet=fleet)
     server, address = create_server(service, port=port,
                                     socket_path=socket_path)
     print(f"repro.service: listening on {address} "
           f"(store {service.store.root}, {service.num_workers} "
           f"{service.pool_kind} worker"
-          f"{'s' if service.num_workers != 1 else ''})", flush=True)
+          f"{'s' if service.num_workers != 1 else ''}"
+          f"{', fleet member' if service.fleet else ''})", flush=True)
     if service.hierarchy_spec is not None:
         print(f"repro.service: hierarchy override "
               f"{service.hierarchy_name!r} "

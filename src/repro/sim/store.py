@@ -46,6 +46,12 @@ A legacy single-file ``<root>/store.jsonl`` is migrated into the sharded
 layout automatically on open (and explicitly via ``python -m repro store
 migrate``); the original is kept as ``store.jsonl.migrated``.
 
+Fleets of daemons sharing one store coordinate through per-job-key
+*claim records* (``<root>/claims/<key>.json``, created with
+``O_CREAT | O_EXCL`` so the filesystem arbitrates races) plus
+:meth:`ResultStore.refresh`, which re-checks the disk for a key another
+process may have appended.  See :meth:`ResultStore.claim`.
+
 Jobs whose workload cannot be fingerprinted deterministically (an ad-hoc
 :class:`~repro.workloads.base.Workload` carrying state the canonicalizer
 does not understand) raise :class:`UncacheableJobError`; the engine runs
@@ -66,7 +72,9 @@ import errno
 import hashlib
 import json
 import os
+import socket
 import sys
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -435,6 +443,17 @@ LOCK_FILENAME = ".lock"
 #: Bumped whenever the index layout changes; unknown indexes are rescanned.
 INDEX_SCHEMA = "repro-store-index/1"
 
+#: Directory under the store root holding fleet claim records.
+CLAIMS_DIRNAME = "claims"
+
+#: Age (seconds) after which a claim held by an *unreachable* host is
+#: presumed abandoned.  Same-host claims are probed by pid instead and
+#: never expire while their owner is alive, so a legitimately long
+#: simulation is never stolen out from under a live daemon.
+CLAIM_TTL = 600.0
+
+_CLAIM_HOST = socket.gethostname()
+
 #: Hex characters of the key that select a shard (2 -> up to 256 shards).
 SHARD_PREFIX_CHARS = 2
 
@@ -710,6 +729,9 @@ class ResultStore:
         self.index_path = self.shards_dir / INDEX_FILENAME
         self.lock_path = self.shards_dir / LOCK_FILENAME
         self.legacy_path = self.root / self.STORE_FILENAME
+        self.claims_dir = self.root / CLAIMS_DIRNAME
+        #: Staleness bound for foreign-host claims; tests shrink this.
+        self.claim_ttl = CLAIM_TTL
         #: key -> (shard prefix, byte offset, line length) for every entry.
         self._entries: Dict[str, Tuple[str, int, int]] = {}
         #: Encoded results touched by this process (put or already read).
@@ -949,6 +971,161 @@ class ResultStore:
             return None
         return entry if isinstance(entry, dict) else None
 
+    def refresh(self, key: str) -> bool:
+        """Re-check the disk for ``key``; ``True`` when it is now present.
+
+        The cross-process read path: a fleet daemon that lost the claim
+        race for ``key`` polls this until the owner's append lands.  The
+        fast path is a single ``stat`` of the key's shard — only when the
+        shard grew (or was rewritten) is it re-parsed, incrementally from
+        the indexed offset where possible.  Read or parse failures are
+        reported as "not present"; the caller simply polls again.
+        """
+        if key in self._entries:
+            return True
+        prefix = shard_for_key(key)
+        path = self._shard_path(prefix)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return False
+        cached = self._index_meta.get(prefix)
+        indexed = prefix not in self._unindexed and isinstance(cached, dict)
+        if indexed and cached.get("size") == size:
+            return False
+        carried: List[List[Any]] = []
+        start = 0
+        if indexed and 0 < cached.get("size", 0) <= size:
+            carried = [list(entry) for entry in cached.get("entries", [])]
+            start = cached["size"]
+        try:
+            data = path.read_bytes()
+            try:
+                fresh, good_end = _parse_shard(path, data, start)
+            except ValueError:
+                if start == 0:
+                    raise
+                carried, start = [], 0
+                fresh, good_end = _parse_shard(path, data, 0)
+        except (OSError, ValueError):
+            return False
+        # A full adoption: the scan saw every line in the shard, so the
+        # shard can (re)enter the index even if a foreign put() append had
+        # previously forced it out (see put()).
+        self._adopt(prefix, {"size": max(good_end, start),
+                             "entries": carried + fresh})
+        self._unindexed.discard(prefix)
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Cross-daemon claims (fleet work dedup)
+    # ------------------------------------------------------------------
+    def _claim_path(self, key: str) -> Path:
+        return self.claims_dir / f"{key}.json"
+
+    def claim(self, key: str, owner: Optional[str] = None) -> bool:
+        """Atomically claim ``key`` for simulation; ``True`` if we won.
+
+        A claim is a ``claims/<key>.json`` record created with
+        ``O_CREAT | O_EXCL``, so the filesystem arbitrates concurrent
+        claimers.  A loser polls the store (:meth:`refresh`) instead of
+        recomputing; the winner must :meth:`release_claim` once the
+        result is persisted (or its attempt failed) so losers can take
+        over.  Claims are a work-dedup optimisation, never a correctness
+        gate: the locked shard appends stay safe without them.
+        """
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        record = json.dumps(
+            {"key": key, "pid": os.getpid(), "host": _CLAIM_HOST,
+             "time": time.time(), "owner": owner or ""},
+            sort_keys=True)
+        try:
+            fd = os.open(self._claim_path(key),
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, record.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def read_claim(self, key: str) -> Optional[Dict[str, Any]]:
+        """The claim record for ``key``.
+
+        ``None`` when no claim exists; ``{}`` when a record exists but is
+        unreadable (a claimer killed mid-create) — which
+        :meth:`claim_is_stale` treats as stale.
+        """
+        try:
+            raw = self._claim_path(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return {}
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            return {}
+        return entry if isinstance(entry, dict) else {}
+
+    def claim_is_stale(self, entry: Dict[str, Any]) -> bool:
+        """Whether a claim's owner is presumed dead.
+
+        Same-host owners are probed directly (``kill(pid, 0)``): a dead
+        pid is stale immediately, a live one is never stale — a long
+        simulation must not be stolen from a healthy daemon.  Foreign
+        hosts cannot be probed, so their claims expire after
+        :attr:`claim_ttl` seconds.  Malformed records are always stale.
+        """
+        pid = entry.get("pid")
+        created = entry.get("time")
+        if not isinstance(pid, int) or isinstance(pid, bool) or \
+                not isinstance(created, (int, float)):
+            return True
+        if entry.get("host") == _CLAIM_HOST:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except OSError:
+                # PermissionError and friends: the pid exists but belongs
+                # to someone else — alive as far as we can tell.
+                return False
+            return False
+        return (time.time() - created) > self.claim_ttl
+
+    def steal_claim(self, key: str, owner: Optional[str] = None) -> bool:
+        """Break a stale claim on ``key``; ``True`` if we now own it.
+
+        Serialized under the store lock so two pollers cannot both break
+        the same claim: staleness is re-checked after acquisition and the
+        replacement record is created before the lock drops, so the
+        second poller sees a fresh claim and keeps waiting.
+        """
+        with _store_lock(self.lock_path):
+            entry = self.read_claim(key)
+            if entry is None or not self.claim_is_stale(entry):
+                return False
+            try:
+                os.unlink(self._claim_path(key))
+            except OSError:
+                pass
+            return self.claim(key, owner=owner)
+
+    def release_claim(self, key: str) -> None:
+        """Drop the claim on ``key`` (idempotent; never raises)."""
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def active_claims(self) -> List[str]:
+        """Keys currently claimed — for ``store info`` and diagnostics."""
+        if not self.claims_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.claims_dir.glob("*.json"))
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
@@ -1009,6 +1186,16 @@ class ResultStore:
                     os.unlink(self.lock_path)
             try:
                 self.shards_dir.rmdir()
+            except OSError:  # pragma: no cover - foreign files left behind
+                pass
+        if self.claims_dir.is_dir():
+            for path in self.claims_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing release
+                    pass
+            try:
+                self.claims_dir.rmdir()
             except OSError:  # pragma: no cover - foreign files left behind
                 pass
         backup = self.legacy_path.with_name(

@@ -1,0 +1,671 @@
+"""Tests for fleet serving: claim records, cross-daemon dedup, FleetClient.
+
+The contract under test (see README "Fleet serving"):
+
+* a per-job-key claim is won by exactly one daemon; losers poll the
+  shared store instead of recomputing, so a cold grid submitted to N
+  daemons at once performs each simulation exactly once fleet-wide;
+* a claim whose owner died is detected as stale (same-host pid probe,
+  foreign-host TTL) and broken, so a crashed owner never wedges the
+  fleet;
+* the claim layer is an optimisation, never a correctness gate — the
+  locked shard appends stay safe (and the store byte-exact) without it;
+* :class:`repro.service.FleetClient` routes by job-key hash, fails over
+  on ``connection``/``timeout``/``overloaded`` errors, and aggregates
+  ``stats``/``health`` across the members.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, Scale
+from repro.service import (
+    FleetClient,
+    ServiceClient,
+    ServiceError,
+    SimulationService,
+    create_server,
+    serve_forever,
+)
+from repro.sim.engine import SimulationEngine, SimulationJob
+from repro.sim.store import ResultStore, job_key, job_spec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+TINY_WIRE = {"accesses": 120, "warmup": 40, "mix_accesses": 80}
+TINY = Scale(accesses=120, warmup=40, mix_accesses=80)
+
+SINGLE_SPEC = {"workload": "gups", "predictor": "baseline",
+               "num_accesses": 60, "warmup_accesses": 20, "seed": 0}
+SINGLE_JOB = SimulationJob(workload="gups", predictor="baseline",
+                           num_accesses=60, warmup_accesses=20, seed=0)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_env(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_FLEET", raising=False)
+    monkeypatch.setenv("REPRO_TRACE_DIR", "")
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return SimulationEngine(jobs=1, store=False).run([SINGLE_JOB])[0]
+
+
+# ======================================================================
+# Claim records (store layer)
+# ======================================================================
+class TestClaims:
+    def test_claim_is_exclusive(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("ab" * 32) is True
+        assert store.claim("ab" * 32) is False
+
+    def test_release_allows_reclaim(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        assert store.claim(key)
+        store.release_claim(key)
+        assert store.claim(key)
+
+    def test_release_is_idempotent(self, tmp_path):
+        ResultStore(tmp_path).release_claim("ef" * 32)  # no claim, no raise
+
+    def test_read_claim_record_fields(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "12" * 32
+        store.claim(key, owner="daemon-7")
+        entry = store.read_claim(key)
+        assert entry["key"] == key
+        assert entry["pid"] == os.getpid()
+        assert entry["owner"] == "daemon-7"
+        assert isinstance(entry["time"], float)
+
+    def test_read_claim_missing_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).read_claim("34" * 32) is None
+
+    def test_corrupt_claim_reads_empty_and_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "56" * 32
+        store.claim(key)
+        store._claim_path(key).write_text("not json", encoding="utf-8")
+        entry = store.read_claim(key)
+        assert entry == {}
+        assert store.claim_is_stale(entry) is True
+
+    def test_live_same_host_claim_is_not_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "78" * 32
+        store.claim(key)
+        assert store.claim_is_stale(store.read_claim(key)) is False
+
+    def test_dead_pid_claim_is_stale(self, tmp_path):
+        # A claim from a process that no longer exists: probe the pid of
+        # a subprocess we already reaped.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        store = ResultStore(tmp_path)
+        key = "9a" * 32
+        store.claim(key)
+        path = store._claim_path(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["pid"] = child.pid
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.claim_is_stale(store.read_claim(key)) is True
+
+    def test_foreign_host_claim_expires_by_ttl(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "bc" * 32
+        store.claim(key)
+        path = store._claim_path(key)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["host"] = "some-other-host"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        # Fresh foreign claim: cannot probe the pid, must honour the TTL.
+        assert store.claim_is_stale(store.read_claim(key)) is False
+        entry["time"] = time.time() - store.claim_ttl - 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert store.claim_is_stale(store.read_claim(key)) is True
+
+    def test_steal_refuses_a_live_claim(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "de" * 32
+        store.claim(key)
+        assert store.steal_claim(key) is False
+        assert store.read_claim(key)["pid"] == os.getpid()
+
+    def test_steal_breaks_a_stale_claim(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "f0" * 32
+        store.claim(key)
+        path = store._claim_path(key)
+        path.write_text("torn", encoding="utf-8")  # malformed == stale
+        assert store.steal_claim(key, owner="thief") is True
+        assert store.read_claim(key)["owner"] == "thief"
+
+    def test_active_claims_lists_and_clear_removes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = sorted(("11" * 32, "22" * 32))
+        for key in keys:
+            store.claim(key)
+        assert store.active_claims() == keys
+        store.clear()
+        assert store.active_claims() == []
+
+
+# ======================================================================
+# Cross-process refresh (store layer)
+# ======================================================================
+class TestRefresh:
+    def test_refresh_sees_a_foreign_append(self, tmp_path, tiny_result):
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        key = job_key(SINGLE_JOB)
+        assert reader.refresh(key) is False
+        writer.put(key, job_spec(SINGLE_JOB), tiny_result)
+        assert reader.refresh(key) is True
+        assert key in reader
+        loaded = reader.get(key)
+        assert loaded is not None
+
+    def test_refresh_of_unknown_key_is_false(self, tmp_path, tiny_result):
+        writer = ResultStore(tmp_path)
+        writer.put(job_key(SINGLE_JOB), job_spec(SINGLE_JOB), tiny_result)
+        reader = ResultStore(tmp_path)
+        assert reader.refresh("00" * 32) is False
+
+    def test_refresh_of_already_loaded_key_is_true(self, tmp_path,
+                                                   tiny_result):
+        store = ResultStore(tmp_path)
+        key = job_key(SINGLE_JOB)
+        store.put(key, job_spec(SINGLE_JOB), tiny_result)
+        assert store.refresh(key) is True
+
+    def test_refreshed_store_still_byte_safe_for_appends(self, tmp_path,
+                                                         tiny_result):
+        """A refresh must not break the exactly-one-line-per-key invariant
+        for the refreshing store's own later appends."""
+        writer = ResultStore(tmp_path)
+        reader = ResultStore(tmp_path)
+        key = job_key(SINGLE_JOB)
+        writer.put(key, job_spec(SINGLE_JOB), tiny_result)
+        assert reader.refresh(key) is True
+        other = SimulationJob(workload="gups", predictor="baseline",
+                              num_accesses=60, warmup_accesses=20, seed=1)
+        reader.put(job_key(other), job_spec(other), tiny_result)
+        final = ResultStore(tmp_path)
+        assert len(final) == 2
+        assert final.total_lines() == 2
+
+
+# ======================================================================
+# Fleet mode, in-process: two services over one store
+# ======================================================================
+class TestFleetService:
+    def _service(self, store: Path, **kwargs) -> SimulationService:
+        kwargs.setdefault("jobs", 2)
+        kwargs.setdefault("pool", "thread")
+        kwargs.setdefault("fleet", True)
+        return SimulationService(store, **kwargs)
+
+    def test_cold_grid_is_simulated_once_fleet_wide(self, tmp_path):
+        store = tmp_path / "store"
+        a = self._service(store)
+        b = self._service(store)
+        try:
+            payloads = {}
+
+            def run(name, svc):
+                payloads[name] = svc.submit(experiment="golden",
+                                            scale=TINY_WIRE, wait=True)
+
+            threads = [threading.Thread(target=run, args=("a", a)),
+                       threading.Thread(target=run, args=("b", b))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            total = payloads["a"]["total_jobs"]
+            assert payloads["a"]["state"] == "done"
+            assert payloads["b"]["state"] == "done"
+            assert payloads["a"]["stats"] == payloads["b"]["stats"]
+            simulations = (a.counters["simulations"]
+                           + b.counters["simulations"])
+            # The acceptance contract: each cold cell simulated exactly
+            # once across the whole fleet, zero duplicates.
+            assert simulations == total
+            final = ResultStore(store)
+            assert len(final) == total
+            assert final.total_lines() == total  # no duplicate appends
+            assert final.active_claims() == []   # every claim released
+        finally:
+            a.close(wait=True)
+            b.close(wait=True)
+
+    def test_claim_loser_serves_from_store_not_recompute(self, tmp_path):
+        store = tmp_path / "store"
+        a = self._service(store)
+        b = self._service(store)
+        try:
+            done = threading.Event()
+
+            def run_a():
+                a.submit(experiment="golden", scale=TINY_WIRE, wait=True)
+                done.set()
+
+            thread = threading.Thread(target=run_a)
+            thread.start()
+            payload = b.submit(experiment="golden", scale=TINY_WIRE,
+                               wait=True)
+            thread.join()
+            assert done.is_set()
+            assert payload["state"] == "done"
+            # Whatever b did not win, it served from the store (either
+            # found stored at claim time or after waiting on a's claims)
+            # rather than recomputing.
+            lost = b.counters["claims_lost"]
+            assert b.counters["claim_waits"] <= lost
+            assert (b.counters["simulations"] + a.counters["simulations"]
+                    == payload["total_jobs"])
+        finally:
+            a.close(wait=True)
+            b.close(wait=True)
+
+    def test_stale_claim_of_dead_owner_is_broken_and_taken_over(
+            self, tmp_path):
+        store_dir = tmp_path / "store"
+        svc = self._service(store_dir)
+        try:
+            child = subprocess.Popen([sys.executable, "-c", "pass"])
+            child.wait()
+            key = job_key(SINGLE_JOB)
+            svc.store.claim(key)
+            path = svc.store._claim_path(key)
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            entry["pid"] = child.pid  # forge a dead owner
+            path.write_text(json.dumps(entry), encoding="utf-8")
+
+            payload = svc.submit(jobs=[SINGLE_SPEC], wait=True)
+            assert payload["state"] == "done"
+            assert svc.counters["claims_broken"] == 1
+            assert svc.counters["simulations"] == 1
+            assert svc.store.active_claims() == []
+        finally:
+            svc.close(wait=True)
+
+    def test_released_claim_without_result_is_taken_over(self, tmp_path):
+        """An owner that releases its claim without persisting (failed
+        attempt, crash before put) must not wedge the loser: the poller
+        claims the key itself and simulates."""
+        store_dir = tmp_path / "store"
+        svc = self._service(store_dir)
+        try:
+            key = job_key(SINGLE_JOB)
+            # A live foreign claim (our own pid, so never stale).
+            svc.store.claim(key)
+            payload = svc.submit(jobs=[SINGLE_SPEC])
+
+            def release_soon():
+                time.sleep(0.2)
+                svc.store.release_claim(key)
+
+            threading.Thread(target=release_soon).start()
+            final = svc.result(payload["id"], wait=True, timeout=30.0)
+            assert final["state"] == "done"
+            assert svc.counters["claims_lost"] == 1
+            assert svc.counters["simulations"] == 1
+        finally:
+            svc.close(wait=True)
+
+    def test_fleet_mode_defaults_off_and_reads_env(self, tmp_path,
+                                                   monkeypatch):
+        off = SimulationService(tmp_path / "a", jobs=1, pool="thread")
+        assert off.fleet is False
+        off.close(wait=True)
+        monkeypatch.setenv("REPRO_FLEET", "1")
+        on = SimulationService(tmp_path / "b", jobs=1, pool="thread")
+        assert on.fleet is True
+        on.close(wait=True)
+
+    def test_non_fleet_counters_do_not_move(self, tmp_path):
+        """fleet=False must not touch the claim machinery at all, so the
+        single-daemon golden paths stay byte-identical."""
+        svc = SimulationService(tmp_path / "store", jobs=2, pool="thread")
+        try:
+            payload = svc.submit(experiment="fig13", scale=TINY_WIRE,
+                                 wait=True)
+            assert payload["state"] == "done"
+            for counter in ("claims_won", "claims_lost", "claim_waits",
+                            "claims_broken"):
+                assert svc.counters[counter] == 0
+            assert svc.store.active_claims() == []
+            assert not (svc.store.root / "claims").exists()
+        finally:
+            svc.close(wait=True)
+
+
+# ======================================================================
+# FleetClient over in-process socket servers
+# ======================================================================
+def _start_server(service: SimulationService):
+    srv, address = create_server(service, port=0)
+    thread = threading.Thread(target=serve_forever, args=(service, srv),
+                              daemon=True)
+    thread.start()
+    return srv, thread, address
+
+
+@pytest.fixture
+def fleet_pair(tmp_path):
+    """Two fleet daemons (in-process) sharing one store."""
+    store = tmp_path / "store"
+    services = [SimulationService(store, jobs=2, pool="thread", fleet=True)
+                for _ in range(2)]
+    started = [_start_server(service) for service in services]
+    addresses = [address for _, _, address in started]
+    for address in addresses:
+        ServiceClient(address, timeout=10.0).wait_healthy(timeout=10.0)
+    yield services, addresses
+    for (srv, thread, address), service in zip(started, services):
+        try:
+            ServiceClient(address, timeout=5.0).shutdown()
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=10.0)
+
+
+class TestFleetClient:
+    def test_address_list_parsing(self):
+        client = FleetClient(" 7001 , 7002 ")
+        assert [member.address for member in client.members] == \
+            ["127.0.0.1:7001", "127.0.0.1:7002"]
+        assert client.address == "127.0.0.1:7001,127.0.0.1:7002"
+        with pytest.raises(ServiceError, match="empty fleet"):
+            FleetClient(" , ")
+
+    def test_routing_is_deterministic_and_key_based(self, fleet_pair):
+        _, addresses = fleet_pair
+        client = FleetClient(addresses, timeout=10.0)
+        route = client._route("fig13", None, TINY_WIRE)
+        assert route == client._route("fig13", None, TINY_WIRE)
+        first = client.submit(experiment="fig13", scale=TINY_WIRE,
+                              wait=True)
+        second = client.submit(experiment="fig13", scale=TINY_WIRE,
+                               wait=True)
+        assert first["member"] == addresses[route]
+        assert second["member"] == first["member"]
+        assert second["simulated"] == 0  # warm on the same member
+
+    def test_failover_skips_a_dead_member(self, fleet_pair):
+        services, addresses = fleet_pair
+        # A fleet where one configured member is a dead port: every
+        # submit must land on the live ones, whichever way it routes.
+        dead = "127.0.0.1:1"
+        client = FleetClient([dead, addresses[0]], timeout=5.0,
+                             retries=1, backoff=0.01)
+        payload = client.submit(experiment="fig13", scale=TINY_WIRE,
+                                wait=True)
+        assert payload["state"] == "done"
+        assert payload["member"] == addresses[0]
+        health = client.health()
+        assert health["status"] == "degraded"
+        assert health["fleet"]["healthy"] == 1
+        statuses = {member["address"]: member["status"]
+                    for member in health["members"]}
+        assert statuses[dead] == "unreachable"
+        stats = client.stats()
+        assert stats["fleet"] == {"size": 2, "reachable": 1}
+
+    def test_no_reachable_member_raises_connection_error(self):
+        client = FleetClient("127.0.0.1:1,127.0.0.1:2", timeout=0.5,
+                             retries=1, backoff=0.01)
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.code == "connection"
+        with pytest.raises(ServiceError):
+            client.submit(experiment="fig13", scale=TINY_WIRE, wait=True)
+        assert client.health()["status"] == "unreachable"
+
+    def test_overloaded_member_sheds_to_another(self, tmp_path,
+                                                monkeypatch):
+        """S5: an `overloaded` refusal routes the submit to the next
+        member instead of failing the client."""
+        import repro.service as service_module
+
+        store = tmp_path / "store"
+        release = threading.Event()
+        real_execute = service_module.execute_job
+
+        def gated(job, **kwargs):
+            if getattr(job, "workload", None) == "gups":
+                release.wait(15.0)
+            return real_execute(job, **kwargs)
+
+        monkeypatch.setattr(service_module, "execute_job", gated)
+        # Tiny admission bound on member A only; B takes the spill.
+        a = SimulationService(store, jobs=2, pool="thread", fleet=True,
+                              max_queue=1)
+        b = SimulationService(store, jobs=2, pool="thread", fleet=True)
+        started = [_start_server(a), _start_server(b)]
+        addresses = [address for _, _, address in started]
+        try:
+            for address in addresses:
+                ServiceClient(address, timeout=10.0).wait_healthy(
+                    timeout=10.0)
+            # Fill A's only admission slot with a held job.
+            held = a.submit(jobs=[SINGLE_SPEC])
+            address_a, address_b = addresses
+            # Arrange the member list so the grid's routed index is A:
+            # the shed-and-fail-over path is then deterministic.
+            route = FleetClient(addresses)._route("fig13", None, TINY_WIRE)
+            ordered = [address_a, address_b] if route == 0 \
+                else [address_b, address_a]
+            client = FleetClient(ordered, timeout=10.0, retries=1,
+                                 backoff=0.01)
+            payload = client.submit(experiment="fig13", scale=TINY_WIRE,
+                                    wait=True)
+            assert payload["state"] == "done"
+            # A shed the grid (its one slot is held) and B served it.
+            assert payload["member"] == address_b
+            assert a.counters["shed"] >= 1
+            assert b.counters["simulations"] == payload["total_jobs"]
+            release.set()
+            final = a.result(held["id"], wait=True, timeout=30.0)
+            assert final["state"] == "done"
+        finally:
+            release.set()
+            for (srv, thread, address) in started:
+                try:
+                    ServiceClient(address, timeout=5.0).shutdown()
+                except (OSError, ServiceError):
+                    pass
+                thread.join(timeout=10.0)
+
+
+# ======================================================================
+# Daemon subprocesses: real fleets, SIGKILL failover, the launcher
+# ======================================================================
+def _spawn_fleet_daemon(tmp_path: Path, store: Path,
+                        jobs: str = "2") -> "tuple[subprocess.Popen, str]":
+    ready = tmp_path / f"ready-{time.monotonic_ns()}.txt"
+    env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_JOBS=jobs,
+               REPRO_TRACE_DIR="", REPRO_POOL="thread")
+    env.pop("REPRO_STORE", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--fleet",
+         "--store", str(store), "--ready-file", str(ready)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    deadline = time.monotonic() + 30.0
+    while not ready.is_file():
+        if process.poll() is not None:
+            raise AssertionError(
+                f"fleet daemon died on startup: "
+                f"{process.stderr.read().decode()}")  # type: ignore
+        if time.monotonic() > deadline:
+            process.kill()
+            raise AssertionError("fleet daemon never wrote its ready file")
+        time.sleep(0.02)
+    return process, ready.read_text().strip()
+
+
+@pytest.mark.slow
+class TestFleetDaemons:
+    SCALE = {"accesses": 400, "warmup": 120, "mix_accesses": 300}
+
+    def test_two_daemons_cold_grid_simulated_once_fleet_wide(
+            self, tmp_path):
+        store = tmp_path / "store"
+        daemon_a, address_a = _spawn_fleet_daemon(tmp_path, store)
+        daemon_b, address_b = _spawn_fleet_daemon(tmp_path, store)
+        try:
+            client_a = ServiceClient(address_a, timeout=60.0)
+            client_b = ServiceClient(address_b, timeout=60.0)
+            payloads = {}
+
+            def run(name, client):
+                payloads[name] = client.submit(experiment="golden",
+                                               scale=TINY_WIRE, wait=True)
+
+            threads = [threading.Thread(target=run, args=("a", client_a)),
+                       threading.Thread(target=run, args=("b", client_b))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            total = payloads["a"]["total_jobs"]
+            assert payloads["a"]["state"] == "done"
+            assert payloads["b"]["state"] == "done"
+            assert payloads["a"]["stats"] == payloads["b"]["stats"]
+            simulations = sum(
+                client.stats()["counters"]["simulations"]
+                for client in (client_a, client_b))
+            assert simulations == total  # exactly once, fleet-wide
+            # Aggregated view agrees, and a re-run is pure store traffic.
+            fleet = FleetClient([address_a, address_b], timeout=60.0)
+            assert fleet.stats()["counters"]["simulations"] == total
+            rerun = fleet.submit(experiment="golden", scale=TINY_WIRE,
+                                 wait=True)
+            assert rerun["simulated"] == 0
+            assert rerun["stored"] == total
+        finally:
+            for daemon in (daemon_a, daemon_b):
+                daemon.terminate()
+                daemon.wait(timeout=30.0)
+        final = ResultStore(store)
+        assert len(final) == total
+        assert final.total_lines() == total  # zero duplicate appends
+        assert final.active_claims() == []
+
+    def test_fleetclient_fails_over_when_a_member_is_killed_mid_grid(
+            self, tmp_path):
+        store = tmp_path / "store"
+        daemon_a, address_a = _spawn_fleet_daemon(tmp_path, store)
+        daemon_b, address_b = _spawn_fleet_daemon(tmp_path, store)
+        daemons = {address_a: daemon_a, address_b: daemon_b}
+        try:
+            client = FleetClient([address_a, address_b], timeout=60.0,
+                                 retries=1, backoff=0.01)
+            route = client._route("fig13", None, self.SCALE)
+            routed_address = client.members[route].address
+            routed = ServiceClient(routed_address, timeout=60.0)
+
+            result = {}
+
+            def run():
+                result["payload"] = client.submit(
+                    experiment="fig13", scale=self.SCALE, wait=True)
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            # Let the routed member persist part of the grid, then kill
+            # it un-gracefully (SIGKILL: no claim cleanup, no goodbye).
+            deadline = time.monotonic() + 60.0
+            while True:
+                try:
+                    if routed.stats()["store"]["puts"] >= 1:
+                        break
+                except (OSError, ServiceError):
+                    break  # grid finished + thread raced us; handled below
+                assert time.monotonic() < deadline, "grid never started"
+                time.sleep(0.02)
+            daemons[routed_address].kill()
+            daemons[routed_address].wait(timeout=30.0)
+
+            thread.join(timeout=120.0)
+            assert not thread.is_alive()
+            payload = result["payload"]
+            assert payload["state"] == "done"
+            total = payload["total_jobs"]
+            # The survivor picked the grid up: cells the dead member
+            # persisted came from the store, the rest were simulated
+            # (breaking the dead member's stale claims along the way).
+            assert payload["member"] != routed_address
+            assert payload["stored"] + payload["simulated"] == total
+        finally:
+            for daemon in daemons.values():
+                if daemon.poll() is None:
+                    daemon.terminate()
+                    daemon.wait(timeout=30.0)
+        # Exactly one line per key even across the SIGKILL: nothing was
+        # simulated (or persisted) twice, and no claim leaked.
+        final = ResultStore(store)
+        assert len(final) == total
+        assert final.total_lines() == total
+        assert final.active_claims() == []
+
+    def test_fleet_launcher_end_to_end(self, tmp_path):
+        store = tmp_path / "store"
+        combined = tmp_path / "fleet-ready.txt"
+        env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_TRACE_DIR="")
+        env.pop("REPRO_STORE", None)
+        launcher = subprocess.Popen(
+            [sys.executable, "-m", "repro", "fleet", "--members", "2",
+             "--store", str(store), "--pool", "thread", "--jobs", "2",
+             "--ready-file", str(combined)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 60.0
+            while not combined.is_file():
+                assert launcher.poll() is None, \
+                    launcher.stderr.read().decode()  # type: ignore
+                assert time.monotonic() < deadline, \
+                    "launcher never wrote the combined ready file"
+                time.sleep(0.05)
+            address = combined.read_text().strip()
+            assert address.count(",") == 1  # two members
+            client = FleetClient(address, timeout=60.0)
+            client.wait_healthy(timeout=30.0)
+            payload = client.submit(experiment="golden", scale=TINY_WIRE,
+                                    wait=True)
+            assert payload["state"] == "done"
+            stats = client.stats()
+            assert stats["fleet"] == {"size": 2, "reachable": 2}
+            assert stats["counters"]["simulations"] == \
+                payload["total_jobs"]
+            assert all(member["fleet"] is True
+                       for member in stats["members"])
+        finally:
+            launcher.send_signal(signal.SIGTERM)
+            try:
+                assert launcher.wait(timeout=30.0) == 0
+            except subprocess.TimeoutExpired:
+                launcher.kill()
+                raise
+        final = ResultStore(store)
+        assert final.total_lines() == len(final)

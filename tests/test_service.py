@@ -404,6 +404,132 @@ class TestFailureHygiene:
 
 
 # ======================================================================
+# Admission control: atomic check-and-reserve
+# ======================================================================
+class TestAdmissionControl:
+    def test_admit_is_check_and_reserve(self, tmp_path):
+        svc = SimulationService(tmp_path / "store", jobs=1, pool="thread",
+                                max_queue=1)
+        try:
+            reserved = svc._admit(1)
+            assert reserved == 1
+            # The slot is reserved the moment the check passes — a second
+            # submit sheds even though no job has reached the pool yet
+            # (the pre-fix race: both passed the check, both ran).
+            with pytest.raises(ServiceError) as excinfo:
+                svc._admit(1)
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retryable is True
+            svc._release_reservation(reserved)
+            assert svc._admit(1) == 1
+            svc._release_reservation(1)
+        finally:
+            svc.close(wait=True)
+
+    def test_concurrent_submits_cannot_overshoot_max_queue(
+            self, tmp_path, monkeypatch):
+        import repro.service as service_module
+
+        release = threading.Event()
+        real_execute = service_module.execute_job
+
+        def held(job, **kwargs):
+            release.wait(15.0)
+            return real_execute(job, **kwargs)
+
+        monkeypatch.setattr(service_module, "execute_job", held)
+        svc = SimulationService(tmp_path / "store", jobs=4, pool="thread",
+                                max_queue=2)
+        try:
+            admitted, sheds = [], []
+
+            def submit(seed: int) -> None:
+                spec = {"workload": "gups", "predictor": "baseline",
+                        "num_accesses": 40, "seed": seed}
+                try:
+                    admitted.append(
+                        svc.submit(jobs=[spec], wait=False)["id"])
+                except ServiceError as exc:
+                    sheds.append(exc)
+
+            threads = [threading.Thread(target=submit, args=(seed,))
+                       for seed in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Held jobs keep every admitted slot occupied, so admissions
+            # can never exceed the bound — the pre-fix race admitted all
+            # eight.  (Reservations may transiently double-count against
+            # active jobs, which sheds early but never over-admits.)
+            assert 1 <= len(admitted) <= 2
+            assert len(sheds) == 8 - len(admitted)
+            assert all(exc.code == "overloaded" and exc.retryable
+                       for exc in sheds)
+            assert svc.counters["shed"] == len(sheds)
+            release.set()
+            for request_id in admitted:
+                final = svc.result(request_id, wait=True, timeout=30.0)
+                assert final["state"] == "done"
+            # Drained: the backlog returns to zero, nothing leaks.
+            assert svc._reserved_jobs == 0
+            deadline = time.time() + 10.0
+            while svc._active_jobs and time.time() < deadline:
+                time.sleep(0.01)
+            assert svc._active_jobs == 0
+        finally:
+            release.set()
+            svc.close(wait=True)
+
+
+# ======================================================================
+# Sharded merges: fail fast, not in plan order
+# ======================================================================
+class TestShardedFailFast:
+    def test_failing_shard_fails_the_merge_promptly(
+            self, tmp_path, monkeypatch):
+        """A late-plan shard failure must surface immediately and cancel
+        queued siblings — not wait for every earlier shard to finish."""
+        import repro.service as service_module
+
+        release = threading.Event()
+        executed = []
+
+        def fake_shard(task):
+            if task == "fail":
+                raise RuntimeError("shard exploded")
+            executed.append(task)
+            release.wait(15.0)
+            return task
+
+        monkeypatch.setattr(service_module, "execute_shard", fake_shard)
+        svc = SimulationService(tmp_path / "store", jobs=2, pool="thread")
+        try:
+            # Two workers: "slow-a" occupies one, "fail" hits the other
+            # immediately, "slow-b"/"slow-c" are still queued behind them.
+            merged = svc._submit_sharded(["slow-a", "fail", "slow-b",
+                                          "slow-c"])
+            start = time.perf_counter()
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                merged.result(timeout=15.0)
+            elapsed = time.perf_counter() - start
+            # Plan-order collection would block ~15s on the held shard
+            # before ever observing the failure.
+            assert elapsed < 5.0
+            release.set()
+            svc._pool.shutdown(wait=True)
+            # At least one queued sibling was cancelled before a worker
+            # could reach it ("slow-b" may race the cancel onto the
+            # worker the failing shard just freed; "slow-c" cannot —
+            # both workers are held until the cancels have landed).
+            assert "slow-a" in executed
+            assert "slow-c" not in executed
+        finally:
+            release.set()
+            svc.close(wait=True)
+
+
+# ======================================================================
 # The socket layer
 # ======================================================================
 class TestSocketServer:
@@ -482,6 +608,122 @@ class TestSocketServer:
         assert not thread.is_alive()
         with pytest.raises(OSError):
             ServiceClient(address, timeout=0.5).health()
+
+
+# ======================================================================
+# Unix socket safety: never steal a live daemon's socket
+# ======================================================================
+class TestUnixSocketSafety:
+    def test_refuses_to_replace_a_live_socket(self, tmp_path):
+        svc = SimulationService(tmp_path / "store", jobs=1)
+        sock_path = tmp_path / "repro.sock"
+        srv, address = create_server(svc, socket_path=sock_path)
+        thread = threading.Thread(target=serve_forever, args=(svc, srv),
+                                  daemon=True)
+        thread.start()
+        other = SimulationService(tmp_path / "store2", jobs=1)
+        try:
+            client = ServiceClient(address, timeout=10.0)
+            client.wait_healthy()
+            with pytest.raises(ServiceError, match="already listening"):
+                create_server(other, socket_path=sock_path)
+            # The incumbent survived the probe unharmed.
+            assert client.health()["status"] == "ok"
+            assert sock_path.exists()
+            client.shutdown()
+        finally:
+            thread.join(timeout=10.0)
+            other.close(wait=True)
+
+    def test_replaces_a_stale_socket_file(self, tmp_path):
+        sock_path = tmp_path / "repro.sock"
+        # A crashed daemon leaves its socket file behind: bound once,
+        # never listening again.  Connecting is refused, so it is stale.
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(str(sock_path))
+        leftover.close()
+        assert sock_path.exists()
+        svc = SimulationService(tmp_path / "store", jobs=1)
+        srv, address = create_server(svc, socket_path=sock_path)
+        thread = threading.Thread(target=serve_forever, args=(svc, srv),
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(address, timeout=10.0)
+            assert client.wait_healthy()["status"] == "ok"
+            client.shutdown()
+        finally:
+            thread.join(timeout=10.0)
+
+
+# ======================================================================
+# Client clock hygiene and bounded request bookkeeping
+# ======================================================================
+class TestClientClock:
+    def test_wait_healthy_survives_wall_clock_jumps(self, tmp_path,
+                                                    monkeypatch):
+        """wait_healthy must pace itself on the monotonic clock: a wall
+        clock jumping forward (NTP step, suspend/resume) must not eat
+        the retry budget."""
+        import repro.service as service_module
+        from types import SimpleNamespace
+
+        state = {"mono": 1000.0, "wall": 5_000_000.0}
+
+        def fake_monotonic():
+            return state["mono"]
+
+        def fake_time():
+            # Every read of the wall clock leaps an hour forward.
+            state["wall"] += 3600.0
+            return state["wall"]
+
+        def fake_sleep(seconds):
+            state["mono"] += seconds
+
+        fake = SimpleNamespace(monotonic=fake_monotonic, time=fake_time,
+                               sleep=fake_sleep,
+                               perf_counter=time.perf_counter)
+        monkeypatch.setattr(service_module, "time", fake)
+        client = ServiceClient("127.0.0.1:1", timeout=0.1)
+        probes = []
+
+        def failing_health():
+            probes.append(state["mono"])
+            raise OSError("connection refused")
+
+        monkeypatch.setattr(client, "health", failing_health)
+        with pytest.raises(OSError, match="connection refused"):
+            client.wait_healthy(timeout=1.0, interval=0.05)
+        # 1.0s budget at 0.05s intervals: ~20 probes.  A wall-clock
+        # deadline would have bailed after the very first probe.
+        assert len(probes) >= 15
+
+    def test_finished_requests_evicted_by_completion_time(
+            self, tmp_path, monkeypatch):
+        import repro.service as service_module
+
+        monkeypatch.setattr(service_module, "MAX_FINISHED_REQUESTS", 2)
+        svc = SimulationService(tmp_path / "store", jobs=1, pool="thread")
+        try:
+            spec = {"workload": "gups", "predictor": "baseline",
+                    "num_accesses": 40, "seed": 0}
+            ids = []
+            for seed in range(3):
+                spec_n = dict(spec, seed=seed)
+                ids.append(svc.submit(jobs=[spec_n], wait=True)["id"])
+            # Forge completion order that disagrees with both insertion
+            # and request-id order: ids[1] finished first.
+            for request_id, finished_at in zip(ids, (300.0, 100.0, 200.0)):
+                svc._requests[request_id].finished_at = finished_at
+            # The next submit trips eviction down to MAX_FINISHED_REQUESTS.
+            svc.submit(jobs=[dict(spec, seed=9)], wait=True)
+            with pytest.raises(ServiceError, match="unknown request"):
+                svc.result(ids[1])
+            assert svc.result(ids[0])["state"] == "done"
+            assert svc.result(ids[2])["state"] == "done"
+        finally:
+            svc.close(wait=True)
 
 
 # ======================================================================
